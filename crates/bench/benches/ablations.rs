@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices DESIGN.md calls out: congestion
+//! control response, routing under failure, the statistics hot paths, and
+//! the geolocation error model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndt_geo::{city::city_by_name, GeoDb};
+use ndt_stats::{student_t_cdf, welch_t_test};
+use ndt_tcp::{BulkTransfer, CongestionControl, FluidSim, PathCharacteristics, TransferConfig};
+use ndt_topology::asn::well_known as wk;
+use ndt_topology::{build_topology, RoutingEngine, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    // BBR vs CUBIC: one NDT transfer over a wartime path.
+    let path = PathCharacteristics::new(40.0, 60.0, 0.03);
+    for cca in [CongestionControl::Bbr, CongestionControl::Cubic] {
+        let t = BulkTransfer::new(TransferConfig { cca, ..Default::default() });
+        g.bench_function(format!("transfer_{cca:?}"), |b| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| black_box(t.run(black_box(&path), &mut rng)))
+        });
+    }
+
+    // Response function vs dynamic fluid model: the cost gap that justifies
+    // using the closed form in the million-transfer simulator.
+    g.bench_function("transfer_fluid_dynamic_bbr", |b| {
+        let sim = FluidSim::new(CongestionControl::Bbr, 10.0);
+        let mut rng = StdRng::seed_from_u64(41);
+        b.iter(|| black_box(sim.run(40.0, 60.0, 0.03, &mut rng)))
+    });
+
+    // Routing: healthy vs a flapping topology (cache-busting reroutes).
+    let bt = build_topology(&TopologyConfig::default());
+    let warsaw = bt.mlab_hosts.iter().find(|h| h.metro == "Warsaw").unwrap().asn;
+    g.bench_function("route_select_healthy", |b| {
+        let mut eng = RoutingEngine::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(eng.select_path(&bt.topology, warsaw, wk::KYIVSTAR, &mut rng)))
+    });
+    g.bench_function("route_select_under_failure_churn", |b| {
+        let mut topo = bt.topology.clone();
+        let mut eng = RoutingEngine::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let cogent_links = topo.links_between(wk::UKRTELECOM_TRANSIT, wk::HURRICANE_ELECTRIC);
+        let mut down = false;
+        b.iter(|| {
+            // Alternate link state every iteration: worst-case cache misses.
+            down = !down;
+            for l in &cogent_links {
+                topo.set_link_up(*l, !down);
+            }
+            black_box(eng.select_path(&topo, warsaw, wk::KYIVSTAR, &mut rng))
+        })
+    });
+
+    // Statistics hot paths.
+    let a: Vec<f64> = (0..2_000).map(|i| (i % 97) as f64).collect();
+    let b2: Vec<f64> = (0..2_000).map(|i| (i % 89) as f64 * 1.1).collect();
+    g.bench_function("welch_t_test_2k_samples", |bch| {
+        bch.iter(|| black_box(welch_t_test(black_box(&a), black_box(&b2))))
+    });
+    g.bench_function("student_t_cdf", |bch| {
+        bch.iter(|| black_box(student_t_cdf(black_box(-7.3), black_box(1_234.5))))
+    });
+
+    // Geolocation lookup: noisy model vs perfect oracle.
+    let (kyiv, _) = city_by_name("Kyiv").unwrap();
+    for (label, db) in [("paper", GeoDb::paper_defaults()), ("oracle", GeoDb::perfect())] {
+        g.bench_function(format!("geodb_lookup_{label}"), |bch| {
+            let mut rng = StdRng::seed_from_u64(7);
+            bch.iter(|| black_box(db.lookup(black_box(kyiv), &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benches for the future-work extensions: router alias resolution and the
+//! date-level change-point analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndt_analysis::{ext_alias, ext_events};
+use ndt_bench::shared_data;
+use ndt_topology::{build_topology, AliasResolver, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let data = shared_data();
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("ext_alias_path_diversity", |b| {
+        b.iter(|| black_box(ext_alias::compute(black_box(data), 1000)))
+    });
+    g.bench_function("ext_events_change_points", |b| {
+        b.iter(|| black_box(ext_events::compute(black_box(data))))
+    });
+
+    // Raw resolver cost over the whole topology's interfaces.
+    let bt = build_topology(&TopologyConfig::default());
+    let interfaces: Vec<_> =
+        bt.topology.links().iter().flat_map(|l| [l.a_if, l.b_if]).collect();
+    for (label, recall) in [("perfect", 1.0), ("lossy", 0.7)] {
+        let resolver = AliasResolver::new(recall);
+        g.bench_function(format!("alias_resolve_{label}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(resolver.resolve(&bt.topology, black_box(&interfaces), &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

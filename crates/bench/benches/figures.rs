@@ -1,0 +1,44 @@
+//! One bench per figure of the paper: each target regenerates the figure's
+//! data series from the shared corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndt_analysis::{
+    fig2_national, fig3_oblast, fig4_city_counts, fig5_border, fig6_as199995,
+    fig7_8_distributions, fig9_path_perf,
+};
+use ndt_bench::shared_data;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let data = shared_data();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("fig2_national_timeline", |b| {
+        b.iter(|| black_box(fig2_national::compute(black_box(data))))
+    });
+    g.bench_function("fig3_oblast_changes", |b| {
+        b.iter(|| black_box(fig3_oblast::compute(black_box(data))))
+    });
+    g.bench_function("fig4_city_test_counts", |b| {
+        b.iter(|| black_box(fig4_city_counts::compute(black_box(data))))
+    });
+    g.bench_function("fig5_border_heatmap", |b| {
+        b.iter(|| black_box(fig5_border::compute(black_box(data))))
+    });
+    g.bench_function("fig6_as199995_case_study", |b| {
+        b.iter(|| black_box(fig6_as199995::compute(black_box(data))))
+    });
+    g.bench_function("fig7_8_metric_distributions", |b| {
+        b.iter(|| black_box(fig7_8_distributions::compute(black_box(data))))
+    });
+    g.bench_function("fig9_path_churn_vs_performance", |b| {
+        b.iter(|| black_box(fig9_path_perf::compute(black_box(data), 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

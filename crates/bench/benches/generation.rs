@@ -1,0 +1,37 @@
+//! Workload-generation benches: the cost of building the world and of
+//! producing the measurement corpus itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndt_analysis::StudyData;
+use ndt_mlab::{SimConfig, Simulator};
+use ndt_topology::{build_topology, TopologyConfig};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("build_topology", |b| {
+        b.iter(|| black_box(build_topology(black_box(&TopologyConfig::default()))))
+    });
+    g.bench_function("platform_setup", |b| {
+        b.iter(|| black_box(Simulator::new(SimConfig { scale: 0.02, ..SimConfig::default() })))
+    });
+    g.bench_function("simulate_corpus_scale_0.02", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig { scale: 0.02, seed: 9, ..SimConfig::default() });
+            black_box(sim.run())
+        })
+    });
+    g.bench_function("ingest_to_bq_scale_0.02", |b| {
+        let mut sim = Simulator::new(SimConfig { scale: 0.02, seed: 9, ..SimConfig::default() });
+        let ds = sim.run();
+        b.iter(|| black_box(StudyData::from_dataset(black_box(ds.clone()))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

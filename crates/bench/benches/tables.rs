@@ -1,0 +1,35 @@
+//! One bench per table of the paper: each target regenerates the table
+//! from the shared corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndt_analysis::{table1_cities, table2_paths, table3_as, table4_oblast, table5_6_as_detail};
+use ndt_bench::shared_data;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let data = shared_data();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("table1_city_metrics", |b| {
+        b.iter(|| black_box(table1_cities::compute(black_box(data))))
+    });
+    g.bench_function("table2_path_diversity_top1000", |b| {
+        b.iter(|| black_box(table2_paths::compute(black_box(data), 1000)))
+    });
+    g.bench_function("table3_top10_as_changes", |b| {
+        b.iter(|| black_box(table3_as::compute(black_box(data), 10)))
+    });
+    g.bench_function("table4_oblast_raw_metrics", |b| {
+        b.iter(|| black_box(table4_oblast::compute(black_box(data))))
+    });
+    g.bench_function("table5_6_as_detail_and_pvalues", |b| {
+        b.iter(|| black_box(table5_6_as_detail::compute(black_box(data), 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! # ndt-bench
+//!
+//! Criterion benchmark harness for the `ukraine-ndt` reproduction. Each
+//! table and figure of the paper has a bench target that regenerates it
+//! (workload + analysis), and a set of ablation benches covers the design
+//! choices called out in `DESIGN.md` (BBR vs CUBIC response, routing under
+//! failure, geolocation error model).
+//!
+//! The shared corpus is generated once per process at a reduced scale via
+//! [`shared_data`]; generation itself is benchmarked separately in the
+//! `generation` bench.
+
+use ndt_analysis::StudyData;
+use ndt_mlab::SimConfig;
+use std::sync::OnceLock;
+
+/// Volume scale used by the analysis benches: large enough that every
+/// experiment has meaningful input, small enough to keep bench startup
+/// inside seconds.
+pub const BENCH_SCALE: f64 = 0.08;
+
+/// The corpus shared by the analysis benches (generated once per process).
+pub fn shared_data() -> &'static StudyData {
+    static DATA: OnceLock<StudyData> = OnceLock::new();
+    DATA.get_or_init(|| {
+        StudyData::generate(SimConfig { scale: BENCH_SCALE, seed: 1_914, ..SimConfig::default() })
+    })
+}

@@ -1,0 +1,376 @@
+//! Query builder: filters, group-bys and aggregates over a table.
+
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// An immutable view over a subset of a table's rows.
+///
+/// Queries are index sets: forking, filtering and grouping never copy the
+/// data. Row order is preserved (insertion order of the base table).
+#[derive(Debug, Clone)]
+pub struct Query<'t> {
+    table: &'t Table,
+    idx: Vec<usize>,
+}
+
+impl<'t> Query<'t> {
+    /// A query over every row of `table`.
+    pub fn all(table: &'t Table) -> Self {
+        Self { table, idx: (0..table.len()).collect() }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'t Table {
+        self.table
+    }
+
+    /// Number of selected rows.
+    pub fn count(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Selected row indices (ascending).
+    pub fn indices(&self) -> &[usize] {
+        &self.idx
+    }
+
+    /// Keeps rows where `col` satisfies `pred`.
+    pub fn filter(mut self, col: &str, pred: impl Fn(&Value) -> bool) -> Self {
+        let c = self.table.column(col);
+        self.idx.retain(|&i| pred(&c.get(i)));
+        self
+    }
+
+    /// Keeps rows where `col` equals `v` (nulls never match).
+    pub fn filter_eq(self, col: &str, v: &Value) -> Self {
+        self.filter(col, |cell| !cell.is_null() && cell == v)
+    }
+
+    /// Keeps rows whose integer `col` lies in `[lo, hi)`. Nulls drop.
+    pub fn filter_int_range(self, col: &str, lo: i64, hi: i64) -> Self {
+        self.filter(col, move |cell| cell.as_int().is_some_and(|v| (lo..hi).contains(&v)))
+    }
+
+    /// Keeps rows where `col` is not null.
+    pub fn filter_not_null(self, col: &str) -> Self {
+        self.filter(col, |cell| !cell.is_null())
+    }
+
+    /// Non-null float values of `col` over the selection (ints widen).
+    pub fn floats(&self, col: &str) -> Vec<f64> {
+        let c = self.table.column(col);
+        self.idx.iter().filter_map(|&i| c.get(i).as_float()).collect()
+    }
+
+    /// Non-null integer values of `col`.
+    pub fn ints(&self, col: &str) -> Vec<i64> {
+        let c = self.table.column(col);
+        self.idx.iter().filter_map(|&i| c.get(i).as_int()).collect()
+    }
+
+    /// Non-null string values of `col`.
+    pub fn strings(&self, col: &str) -> Vec<String> {
+        let c = self.table.column(col);
+        self.idx.iter().filter_map(|&i| c.get(i).as_str().map(str::to_string)).collect()
+    }
+
+    /// Values (including nulls) of `col`.
+    pub fn values(&self, col: &str) -> Vec<Value> {
+        let c = self.table.column(col);
+        self.idx.iter().map(|&i| c.get(i)).collect()
+    }
+
+    /// Sum of the non-null floats in `col` (0 when empty).
+    pub fn sum(&self, col: &str) -> f64 {
+        self.floats(col).iter().sum()
+    }
+
+    /// Mean of the non-null floats in `col` (`NaN` when empty).
+    pub fn mean(&self, col: &str) -> f64 {
+        let v = self.floats(col);
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+
+    /// Median of the non-null floats in `col` (`NaN` when empty).
+    pub fn median(&self, col: &str) -> f64 {
+        let mut v = self.floats(col);
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mid = v.len() / 2;
+        if v.len() % 2 == 1 {
+            v[mid]
+        } else {
+            0.5 * (v[mid - 1] + v[mid])
+        }
+    }
+
+    /// Unbiased sample standard deviation of `col` (`NaN` below 2 values).
+    pub fn std_dev(&self, col: &str) -> f64 {
+        let v = self.floats(col);
+        if v.len() < 2 {
+            return f64::NAN;
+        }
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() as f64 - 1.0)).sqrt()
+    }
+
+    /// Minimum of the non-null floats in `col` (`NaN` when empty).
+    pub fn min(&self, col: &str) -> f64 {
+        self.floats(col).into_iter().fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum of the non-null floats in `col` (`NaN` when empty).
+    pub fn max(&self, col: &str) -> f64 {
+        self.floats(col).into_iter().fold(f64::NAN, f64::max)
+    }
+
+    /// Groups the selection by the (stringified) value of `col`. Nulls form
+    /// their own group keyed `Value::Null`. Groups preserve row order; the
+    /// group list is ordered by first appearance.
+    pub fn group_by(&self, col: &str) -> Vec<(Value, Query<'t>)> {
+        let c = self.table.column(col);
+        let mut order: Vec<Value> = Vec::new();
+        let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+        for &i in &self.idx {
+            let v = c.get(i);
+            let key = format!("{v:?}");
+            if !buckets.contains_key(&key) {
+                order.push(v.clone());
+            }
+            buckets.entry(key).or_default().push(i);
+        }
+        order
+            .into_iter()
+            .map(|v| {
+                let key = format!("{v:?}");
+                let idx = buckets.remove(&key).expect("bucket exists");
+                (v, Query { table: self.table, idx })
+            })
+            .collect()
+    }
+
+    /// Sorts the selection by `col` ascending (nulls last; ties keep row
+    /// order). Strings sort lexicographically, numbers numerically.
+    pub fn order_by(self, col: &str) -> Self {
+        self.order_impl(col, false)
+    }
+
+    /// Sorts the selection by `col` descending (nulls still last; ties keep
+    /// row order).
+    pub fn order_by_desc(self, col: &str) -> Self {
+        self.order_impl(col, true)
+    }
+
+    fn order_impl(mut self, col: &str, desc: bool) -> Self {
+        use std::cmp::Ordering;
+        let c = self.table.column(col);
+        self.idx.sort_by(|&a, &b| {
+            let (va, vb) = (c.get(a), c.get(b));
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater, // nulls last, either way
+                (false, true) => Ordering::Less,
+                (false, false) => {
+                    if desc {
+                        value_cmp(&vb, &va)
+                    } else {
+                        value_cmp(&va, &vb)
+                    }
+                }
+            };
+            ord.then(a.cmp(&b))
+        });
+        self
+    }
+
+    /// Keeps at most the first `n` selected rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.idx.truncate(n);
+        self
+    }
+
+    /// Distinct non-null values of `col`, in first-appearance order.
+    pub fn distinct(&self, col: &str) -> Vec<Value> {
+        let c = self.table.column(col);
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for &i in &self.idx {
+            let v = c.get(i);
+            if v.is_null() {
+                continue;
+            }
+            if seen.insert(format!("{v:?}")) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct non-null values of `col` (`COUNT(DISTINCT col)`).
+    pub fn count_distinct(&self, col: &str) -> usize {
+        self.distinct(col).len()
+    }
+
+    /// Keeps the top `n` groups of `group_by(col)` ranked by row count
+    /// (descending, ties by first appearance) — the paper's
+    /// "top-1000 connections" / "top-10 ASes" idiom.
+    pub fn top_groups_by_count(&self, col: &str, n: usize) -> Vec<(Value, Query<'t>)> {
+        let mut groups = self.group_by(col);
+        groups.sort_by_key(|g| std::cmp::Reverse(g.1.count()));
+        groups.truncate(n);
+        groups
+    }
+}
+
+/// SQL-ish ordering: numbers before strings before bools, nulls last.
+fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn class(v: &Value) -> u8 {
+        match v {
+            Value::Int(_) | Value::Float(_) => 0,
+            Value::Str(_) => 1,
+            Value::Bool(_) => 2,
+            Value::Null => 3,
+        }
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        _ if class(a) != class(b) => class(a).cmp(&class(b)),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        _ => a
+            .as_float()
+            .partial_cmp(&b.as_float())
+            .unwrap_or(Ordering::Equal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColType;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "t",
+            &[("day", ColType::Int), ("city", ColType::Str), ("tput", ColType::Float)],
+        );
+        for (d, c, v) in [
+            (1, Some("Kyiv"), Some(10.0)),
+            (1, Some("Lviv"), Some(20.0)),
+            (2, Some("Kyiv"), Some(30.0)),
+            (2, None, Some(40.0)),
+            (3, Some("Kyiv"), None),
+        ] {
+            t.push(vec![
+                Value::Int(d),
+                c.map(Value::from).unwrap_or(Value::Null),
+                v.map(Value::Float).unwrap_or(Value::Null),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn filter_and_aggregate() {
+        let t = sample();
+        let kyiv = t.query().filter_eq("city", &Value::from("Kyiv"));
+        assert_eq!(kyiv.count(), 3);
+        assert_eq!(kyiv.floats("tput"), vec![10.0, 30.0]);
+        assert!((kyiv.mean("tput") - 20.0).abs() < 1e-12);
+        assert_eq!(kyiv.min("tput"), 10.0);
+        assert_eq!(kyiv.max("tput"), 30.0);
+    }
+
+    #[test]
+    fn range_and_notnull_filters() {
+        let t = sample();
+        assert_eq!(t.query().filter_int_range("day", 1, 2).count(), 2);
+        assert_eq!(t.query().filter_not_null("city").count(), 4);
+        assert_eq!(t.query().filter_not_null("tput").count(), 4);
+    }
+
+    #[test]
+    fn chained_filters_compose() {
+        let t = sample();
+        let q = t
+            .query()
+            .filter_int_range("day", 1, 3)
+            .filter_eq("city", &Value::from("Kyiv"))
+            .filter_not_null("tput");
+        assert_eq!(q.count(), 2);
+        assert!((q.sum("tput") - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_by_includes_null_group() {
+        let t = sample();
+        let groups = t.query().group_by("city");
+        assert_eq!(groups.len(), 3); // Kyiv, Lviv, Null
+        let (first_key, first) = &groups[0];
+        assert_eq!(first_key, &Value::from("Kyiv"));
+        assert_eq!(first.count(), 3);
+        assert!(groups.iter().any(|(k, q)| k.is_null() && q.count() == 1));
+    }
+
+    #[test]
+    fn top_groups_rank_by_count() {
+        let t = sample();
+        let top = t.query().top_groups_by_count("city", 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, Value::from("Kyiv"));
+    }
+
+    #[test]
+    fn median_and_std() {
+        let t = sample();
+        let q = t.query();
+        assert!((q.median("tput") - 25.0).abs() < 1e-12);
+        let sd = q.std_dev("tput");
+        assert!((sd - 12.909944).abs() < 1e-5, "sd = {sd}");
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let t = sample();
+        let q = t.query().order_by_desc("tput").limit(2);
+        assert_eq!(q.floats("tput"), vec![40.0, 30.0]);
+        let asc = t.query().order_by("tput");
+        let f = asc.floats("tput");
+        assert_eq!(f, vec![10.0, 20.0, 30.0, 40.0]);
+        // Nulls sort last.
+        let vals = asc.values("tput");
+        assert!(vals.last().unwrap().is_null());
+    }
+
+    #[test]
+    fn distinct_values() {
+        let t = sample();
+        let cities = t.query().distinct("city");
+        assert_eq!(cities, vec![Value::from("Kyiv"), Value::from("Lviv")]);
+        assert_eq!(t.query().count_distinct("city"), 2);
+        assert_eq!(t.query().count_distinct("day"), 3);
+    }
+
+    #[test]
+    fn empty_selection_aggregates() {
+        let t = sample();
+        let q = t.query().filter_eq("city", &Value::from("Odessa"));
+        assert!(q.is_empty());
+        assert!(q.mean("tput").is_nan());
+        assert!(q.median("tput").is_nan());
+        assert_eq!(q.sum("tput"), 0.0);
+    }
+}

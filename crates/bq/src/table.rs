@@ -1,0 +1,252 @@
+//! Typed columnar tables.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColType {
+    Int,
+    Float,
+    Str,
+    Bool,
+}
+
+/// Columnar storage for one column (nullable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    Int(Vec<Option<i64>>),
+    Float(Vec<Option<f64>>),
+    Str(Vec<Option<String>>),
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    fn new(ty: ColType) -> Self {
+        match ty {
+            ColType::Int => Column::Int(Vec::new()),
+            ColType::Float => Column::Float(Vec::new()),
+            ColType::Str => Column::Str(Vec::new()),
+            ColType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    fn push(&mut self, v: Value, col_name: &str) {
+        match (self, v) {
+            (Column::Int(c), Value::Int(v)) => c.push(Some(v)),
+            (Column::Int(c), Value::Null) => c.push(None),
+            (Column::Float(c), Value::Float(v)) => c.push(Some(v)),
+            (Column::Float(c), Value::Int(v)) => c.push(Some(v as f64)),
+            (Column::Float(c), Value::Null) => c.push(None),
+            (Column::Str(c), Value::Str(v)) => c.push(Some(v)),
+            (Column::Str(c), Value::Null) => c.push(None),
+            (Column::Bool(c), Value::Bool(v)) => c.push(Some(v)),
+            (Column::Bool(c), Value::Null) => c.push(None),
+            (col, v) => panic!("type mismatch inserting {v:?} into column '{col_name}' ({:?})", col.col_type()),
+        }
+    }
+
+    /// The column's type tag.
+    pub fn col_type(&self) -> ColType {
+        match self {
+            Column::Int(_) => ColType::Int,
+            Column::Float(_) => ColType::Float,
+            Column::Str(_) => ColType::Str,
+            Column::Bool(_) => ColType::Bool,
+        }
+    }
+
+    /// Cell at `row` as a [`Value`].
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(c) => c[row].map(Value::Int).unwrap_or(Value::Null),
+            Column::Float(c) => c[row].map(Value::Float).unwrap_or(Value::Null),
+            Column::Str(c) => c[row].clone().map(Value::Str).unwrap_or(Value::Null),
+            Column::Bool(c) => c[row].map(Value::Bool).unwrap_or(Value::Null),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Column::Int(c) => c.len(),
+            Column::Float(c) => c.len(),
+            Column::Str(c) => c.len(),
+            Column::Bool(c) => c.len(),
+        }
+    }
+}
+
+/// A named table with a fixed schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    names: Vec<String>,
+    cols: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names or an empty schema.
+    pub fn new(name: impl Into<String>, schema: &[(&str, ColType)]) -> Self {
+        assert!(!schema.is_empty(), "table needs at least one column");
+        let mut names = Vec::with_capacity(schema.len());
+        let mut cols = Vec::with_capacity(schema.len());
+        for (n, ty) in schema {
+            assert!(!names.contains(&n.to_string()), "duplicate column '{n}'");
+            names.push(n.to_string());
+            cols.push(Column::new(*ty));
+        }
+        Self { name: name.into(), names, cols, rows: 0 }
+    }
+
+    /// Table name (e.g. `ndt.unified_download`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity or any cell type mismatches the schema.
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch in '{}'", self.name);
+        for ((col, name), v) in self.cols.iter_mut().zip(&self.names).zip(row) {
+            col.push(v, name);
+        }
+        self.rows += 1;
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Index of a column.
+    ///
+    /// # Panics
+    /// Panics if the column does not exist.
+    pub fn col_index(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("no column '{name}' in '{}' (have: {:?})", self.name, self.names))
+    }
+
+    /// Column storage by name.
+    pub fn column(&self, name: &str) -> &Column {
+        &self.cols[self.col_index(name)]
+    }
+
+    /// Cell value.
+    pub fn value(&self, row: usize, col: &str) -> Value {
+        self.column(col).get(row)
+    }
+
+    /// A query over all rows.
+    pub fn query(&self) -> crate::query::Query<'_> {
+        crate::query::Query::all(self)
+    }
+
+    /// Renders the table as CSV (header + all rows; nulls render empty,
+    /// strings are quoted only when they contain a comma or quote).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.names.join(",");
+        out.push('\n');
+        for row in 0..self.rows {
+            let cells: Vec<String> = self
+                .cols
+                .iter()
+                .map(|c| match c.get(row) {
+                    crate::value::Value::Null => String::new(),
+                    crate::value::Value::Str(s) if s.contains(',') || s.contains('"') => {
+                        format!("\"{}\"", s.replace('"', "\"\""))
+                    }
+                    v => v.to_string(),
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Internal consistency check (all columns same length).
+    pub fn check(&self) {
+        for (c, n) in self.cols.iter().zip(&self.names) {
+            assert_eq!(c.len(), self.rows, "column '{n}' length drift");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", &[("a", ColType::Int), ("b", ColType::Float), ("c", ColType::Str)]);
+        t.push(vec![Value::Int(1), Value::Float(1.5), Value::from("x")]);
+        t.push(vec![Value::Int(2), Value::Null, Value::from("y")]);
+        t.push(vec![Value::Null, Value::Int(3), Value::Null]);
+        t
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let t = sample();
+        t.check();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.value(0, "a"), Value::Int(1));
+        assert_eq!(t.value(1, "b"), Value::Null);
+        // Int widens into Float columns.
+        assert_eq!(t.value(2, "b"), Value::Float(3.0));
+        assert_eq!(t.value(2, "c"), Value::Null);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("t", &[("a", ColType::Int), ("c", ColType::Str)]);
+        t.push(vec![Value::Int(1), Value::from("plain")]);
+        t.push(vec![Value::Null, Value::from("with, comma")]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,c\n1,plain\n,\"with, comma\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut t = Table::new("t", &[("a", ColType::Int)]);
+        t.push(vec![Value::from("nope")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("t", &[("a", ColType::Int)]);
+        t.push(vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column 'zzz'")]
+    fn unknown_column_panics() {
+        sample().column("zzz");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_column_panics() {
+        Table::new("t", &[("a", ColType::Int), ("a", ColType::Float)]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests: the query algebra behaves like relational algebra.
+
+use ndt_bq::{ColType, Table, Value};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    prop::collection::vec((0i64..5, 0u8..4, prop::option::of(-100.0..100.0f64)), 0..120).prop_map(
+        |rows| {
+            let mut t = Table::new(
+                "t",
+                &[("k", ColType::Int), ("g", ColType::Str), ("x", ColType::Float)],
+            );
+            for (k, g, x) in rows {
+                t.push(vec![
+                    Value::Int(k),
+                    Value::from(format!("g{g}")),
+                    x.map(Value::Float).unwrap_or(Value::Null),
+                ]);
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    /// Group-by partitions the selection: group sizes sum to the total and
+    /// every row lands in exactly one group.
+    #[test]
+    fn group_by_partitions(t in arb_table()) {
+        let q = t.query();
+        let groups = q.group_by("g");
+        let total: usize = groups.iter().map(|(_, g)| g.count()).sum();
+        prop_assert_eq!(total, q.count());
+        let mut seen = std::collections::HashSet::new();
+        for (_, g) in &groups {
+            for &i in g.indices() {
+                prop_assert!(seen.insert(i), "row {i} in two groups");
+            }
+        }
+    }
+
+    /// Filtering is idempotent and anti-monotone in selectivity.
+    #[test]
+    fn filter_idempotent(t in arb_table(), lo in 0i64..5) {
+        let once = t.query().filter_int_range("k", lo, 5);
+        let twice = t.query().filter_int_range("k", lo, 5).filter_int_range("k", lo, 5);
+        prop_assert_eq!(once.indices(), twice.indices());
+        prop_assert!(once.count() <= t.len());
+    }
+
+    /// Filter order commutes.
+    #[test]
+    fn filters_commute(t in arb_table(), lo in 0i64..5, g in 0u8..4) {
+        let gv = Value::from(format!("g{g}"));
+        let a = t.query().filter_int_range("k", lo, 5).filter_eq("g", &gv);
+        let b = t.query().filter_eq("g", &gv).filter_int_range("k", lo, 5);
+        prop_assert_eq!(a.indices(), b.indices());
+    }
+
+    /// Sum distributes over the groups of any partition.
+    #[test]
+    fn sum_distributes_over_groups(t in arb_table()) {
+        let q = t.query();
+        let total = q.sum("x");
+        let by_group: f64 = q.group_by("g").iter().map(|(_, g)| g.sum("x")).sum();
+        prop_assert!((total - by_group).abs() < 1e-6 * (1.0 + total.abs()));
+    }
+
+    /// Aggregates stay within the data's bounds.
+    #[test]
+    fn aggregate_bounds(t in arb_table()) {
+        let q = t.query();
+        let xs = q.floats("x");
+        if !xs.is_empty() {
+            let mn = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(q.mean("x") >= mn - 1e-9 && q.mean("x") <= mx + 1e-9);
+            prop_assert!(q.median("x") >= mn - 1e-9 && q.median("x") <= mx + 1e-9);
+            prop_assert_eq!(q.min("x"), mn);
+            prop_assert_eq!(q.max("x"), mx);
+        }
+    }
+
+    /// `top_groups_by_count` returns groups in non-increasing size order and
+    /// never more than requested.
+    #[test]
+    fn top_groups_ordered(t in arb_table(), n in 0usize..6) {
+        let q = t.query();
+        let top = q.top_groups_by_count("g", n);
+        prop_assert!(top.len() <= n);
+        prop_assert!(top.windows(2).all(|w| w[0].1.count() >= w[1].1.count()));
+    }
+}

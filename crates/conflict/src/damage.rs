@@ -1,0 +1,283 @@
+//! Damage profiles: how much worse each region and each AS gets in wartime.
+//!
+//! We are reproducing a measurement study of a *specific* war, so the honest
+//! calibration source for damage magnitudes is the paper's own measured
+//! ratios: Table 4 gives per-oblast prewar→wartime ratios for throughput,
+//! min RTT, loss and test counts; Table 3 gives the same per top-10 AS.
+//! These are encoded here as **period-mean targets**; the intensity curves
+//! of [`crate::intensity`](mod@crate::intensity) spread them over time (ramp after February 24,
+//! Kyiv step-down after April 3, …), and the platform simulator draws
+//! per-test noise around them. The analysis pipeline then *measures* the
+//! ratios back out of the generated tests — the test of the reproduction is
+//! that the measured shape matches.
+//!
+//! The border dynamics behind Figures 5 and 6 are also here: Cogent's
+//! Ukrainian adjacencies fade (flaps plus added loss) while Hurricane
+//! Electric's remain clean, and AS6663 — AS199995's primary ingress —
+//! degrades progressively until routing shifts to AS6939.
+
+use crate::calendar::dates;
+use crate::intensity::damage_scale;
+use ndt_geo::Oblast;
+use ndt_topology::asn::well_known as wk;
+use ndt_topology::Asn;
+use serde::{Deserialize, Serialize};
+
+/// Period-mean multipliers of wartime relative to prewar.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DamageProfile {
+    /// Test-count multiplier (displacement/curiosity net effect).
+    pub count_mult: f64,
+    /// Mean-throughput multiplier.
+    pub tput_mult: f64,
+    /// Min-RTT multiplier.
+    pub rtt_mult: f64,
+    /// Loss-rate multiplier.
+    pub loss_mult: f64,
+}
+
+impl DamageProfile {
+    /// The identity profile (no damage).
+    pub const NONE: DamageProfile =
+        DamageProfile { count_mult: 1.0, tput_mult: 1.0, rtt_mult: 1.0, loss_mult: 1.0 };
+
+    /// Interpolates the profile towards identity by the temporal scale
+    /// (`scale = 0` → no damage, `scale = 1` → full period-mean damage).
+    /// Multipliers are floored to stay physical.
+    pub fn at_scale(&self, scale: f64) -> DamageProfile {
+        let lerp = |target: f64| (1.0 + (target - 1.0) * scale).max(0.02);
+        DamageProfile {
+            count_mult: lerp(self.count_mult),
+            tput_mult: lerp(self.tput_mult),
+            rtt_mult: lerp(self.rtt_mult),
+            loss_mult: lerp(self.loss_mult),
+        }
+    }
+}
+
+/// Per-oblast wartime targets, read straight off the paper's Table 4.
+pub fn oblast_profile(oblast: Oblast) -> DamageProfile {
+    let info = oblast.info();
+    let pre = info.paper_prewar;
+    let war = info.paper_wartime;
+    DamageProfile {
+        count_mult: war.tests as f64 / pre.tests as f64,
+        tput_mult: war.tput_mbps / pre.tput_mbps,
+        rtt_mult: war.min_rtt_ms / pre.min_rtt_ms,
+        loss_mult: war.loss_pct / pre.loss_pct,
+    }
+}
+
+/// Per-AS wartime targets for the paper's top-10 ASes (Table 3), or `None`
+/// for the synthetic tail (which inherits its oblast's profile).
+pub fn as_profile(asn: Asn) -> Option<DamageProfile> {
+    let p = |count: f64, tput: f64, rtt: f64, loss: f64| {
+        Some(DamageProfile { count_mult: count, tput_mult: tput, rtt_mult: rtt, loss_mult: loss })
+    };
+    // Transcribed from Table 3: ΔCounts, ΔTPut, ΔRTT (percent) and ×Loss.
+    match asn {
+        a if a == wk::KYIVSTAR => p(1.1645, 1.0 - 0.3662, 1.1020, 1.58),
+        a if a == wk::UARNET => p(1.3759, 1.0 - 0.0599, 1.0 + 1.340, 1.59),
+        a if a == wk::KYIV_TELECOM => p(1.3118, 1.0 - 0.0493, 1.0 + 1.764, 2.20),
+        a if a == wk::DATALINE => p(1.7194, 1.0 - 0.3443, 1.8601, 2.81),
+        a if a == wk::EMPLOT => p(1.0 - 0.8673, 1.0031, 1.0 + 5.546, 3.73),
+        a if a == wk::VODAFONE_UKR => p(1.1582, 1.0 - 0.1967, 1.0 + 2.028, 0.98),
+        a if a == wk::TENET => p(1.0 - 0.3472, 1.0555, 1.0 - 0.07, 0.60),
+        a if a == wk::UKR_TELECOM => p(1.0 + 2.828, 1.0 - 0.2241, 1.0 + 1.167, 4.92),
+        a if a == wk::LANET => p(1.0 - 0.4441, 1.0 - 0.2193, 1.0 + 1.187, 2.80),
+        a if a == wk::SKIF => p(1.0 - 0.1318, 1.0975, 1.0 - 0.4689, 0.82),
+        _ => None,
+    }
+}
+
+/// National wartime/prewar test-count ratio (Table 1's National row:
+/// 37,815 / 35,488). Per-AS count deviations (Table 3's ΔCounts) are
+/// national figures, so the simulator applies them relative to this
+/// national trend — not to each oblast's own count trend, which would
+/// wrongly explode the rates of national ISPs inside collapsed regions.
+pub const NATIONAL_COUNT_MULT: f64 = 37_815.0 / 35_488.0;
+
+/// Upward correction applied to throughput targets before use. The paper's
+/// Table 3/4 ratios are *measured outcomes*; our simulator additionally has
+/// physical couplings that depress wartime throughput beyond the applied
+/// edge target (loss × BBR goodput, slow-start over inflated RTTs, longer
+/// backup paths). Calibrated so the *measured* national throughput ratio
+/// lands on the paper's 0.83 rather than ~5% below it.
+pub const TPUT_DRAG_CORRECTION: f64 = 1.055;
+
+/// The damage profile a client experiences: its AS's Table 3 profile when it
+/// is a top-10 client, otherwise its oblast's Table 4 profile — scaled by
+/// the oblast's intensity curve for the given day, with the throughput
+/// target pre-corrected for the simulator's physical drag.
+pub fn client_profile(asn: Asn, oblast: Oblast, day: i64) -> DamageProfile {
+    let mut target = as_profile(asn).unwrap_or_else(|| oblast_profile(oblast));
+    target.tput_mult *= TPUT_DRAG_CORRECTION;
+    target.at_scale(damage_scale(oblast, day))
+}
+
+/// Extra edge damage for a city under siege, multiplied on top of the
+/// region profile. The paper's Mariupol row (Table 1) shows throughput
+/// nearly halving and loss rising ~2.5x beyond the Donetsk-region trend
+/// once the city is encircled on March 1.
+pub fn siege_boost(city_name: &str, day: i64) -> Option<DamageProfile> {
+    if city_name == "Mariupol" && day >= dates::MARIUPOL_ENCIRCLED.day_index() {
+        // No extra RTT: the paper's Mariupol minRTT stays flat (Table 1:
+        // 17.7 → 17.1 ms, not significant).
+        Some(DamageProfile { count_mult: 1.0, tput_mult: 0.55, rtt_mult: 1.0, loss_mult: 2.5 })
+    } else {
+        None
+    }
+}
+
+/// Damage to one border AS's Ukrainian adjacencies on a given day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BorderDamage {
+    pub asn: Asn,
+    /// Additive loss on the AS's Ukrainian links.
+    pub loss_add: f64,
+    /// Latency multiplier on those links.
+    pub latency_mult: f64,
+    /// Whether the adjacencies are down entirely (route withdrawal).
+    pub down: bool,
+}
+
+/// Border-AS damage active on `day` (empty before the invasion).
+///
+/// * **AS6663** (AS199995's primary, cheapest ingress) degrades steadily —
+///   loss ramping to ~8%, latency inflating ~1.6× — and flaps down
+///   periodically from mid-March. Each flap forces AS199995's ingress onto
+///   Hurricane Electric; between flaps BGP happily returns traffic to the
+///   degraded-but-up primary. This is the Figure 6 mechanism.
+/// * **Cogent** progressively reduces its Ukrainian footprint (the paper
+///   observes fewer tests entering via Cogent and more via Hurricane
+///   Electric, Figure 5): mild added loss plus increasingly frequent
+///   withdrawal days.
+pub fn border_damage(day: i64) -> Vec<BorderDamage> {
+    let invasion = dates::INVASION.day_index();
+    if day < invasion {
+        return Vec::new();
+    }
+    let t = (day - invasion) as f64;
+    let frac = (t / 54.0).min(1.0);
+    let mut out = Vec::new();
+    // AS6663: progressive decay, then availability collapse — occasional
+    // flaps from day 14, every other day through late March, and mostly
+    // down from April. Between flaps BGP returns traffic to the degraded
+    // primary, which is exactly the oscillation Figure 6 plots.
+    let ti = day - invasion;
+    let flap_6663 = (7..14).contains(&ti) && ti % 3 == 0
+        || (14..28).contains(&ti) && ti % 4 == 0
+        || (28..35).contains(&ti) && ti % 2 == 0
+        || ti >= 35 && ti % 4 != 0;
+    out.push(BorderDamage {
+        asn: wk::AS6663,
+        loss_add: 0.035 * frac,
+        latency_mult: 1.0 + 1.5 * frac,
+        down: flap_6663,
+    });
+    // Cogent: fade-out via withdrawal days of increasing frequency
+    // (the paper observes fewer tests entering via Cogent, Figure 5).
+    // Cogent's fade is availability-driven (withdrawn adjacencies), not
+    // quality-driven: only a whisper of added loss, so that the western
+    // oblasts' loss ratios — whose paths often transit Cogent — stay at
+    // their calibrated Table 4 levels.
+    let flap_cogent = (10..30).contains(&ti) && ti % 4 == 0 || ti >= 30 && ti % 2 == 0;
+    out.push(BorderDamage {
+        asn: wk::COGENT,
+        loss_add: 0.005 * frac,
+        latency_mult: 1.0 + 0.15 * frac,
+        down: flap_cogent,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Period;
+
+    #[test]
+    fn oblast_profiles_match_table4_direction() {
+        // Zaporizhzhya: the paper's worst loss deterioration (2.0% → 12.09%).
+        let z = oblast_profile(Oblast::Zaporizhzhya);
+        assert!(z.loss_mult > 5.0, "loss_mult = {}", z.loss_mult);
+        // Lviv: throughput actually improved slightly.
+        let l = oblast_profile(Oblast::Lviv);
+        assert!(l.tput_mult > 1.0);
+        assert!(l.count_mult > 1.4, "refugee influx");
+        // Chernihiv: throughput collapse (71.33 → 18.55).
+        let c = oblast_profile(Oblast::Chernihiv);
+        assert!(c.tput_mult < 0.3);
+    }
+
+    #[test]
+    fn top10_profiles_exist_and_tail_does_not() {
+        for asn in [wk::KYIVSTAR, wk::TENET, wk::SKIF, wk::EMPLOT] {
+            assert!(as_profile(asn).is_some());
+        }
+        assert!(as_profile(Asn(60_000)).is_none());
+        assert!(as_profile(wk::HURRICANE_ELECTRIC).is_none());
+    }
+
+    #[test]
+    fn emplot_collapses_and_tenet_is_spared() {
+        let e = as_profile(wk::EMPLOT).unwrap();
+        assert!(e.count_mult < 0.2);
+        assert!(e.rtt_mult > 6.0);
+        let t = as_profile(wk::TENET).unwrap();
+        assert!(t.loss_mult < 1.0 && t.tput_mult > 1.0);
+    }
+
+    #[test]
+    fn client_profile_is_identity_prewar() {
+        let p = client_profile(wk::KYIVSTAR, Oblast::KyivCity, 400);
+        assert_eq!(p, DamageProfile::NONE);
+    }
+
+    #[test]
+    fn client_profile_wartime_mean_hits_target() {
+        let (s, e) = Period::Wartime2022.day_range();
+        let days = (e - s) as f64;
+        let target = as_profile(wk::KYIVSTAR).unwrap();
+        let mean_loss: f64 =
+            (s..e).map(|d| client_profile(wk::KYIVSTAR, Oblast::KyivCity, d).loss_mult).sum::<f64>() / days;
+        assert!((mean_loss - target.loss_mult).abs() < 0.05, "mean {mean_loss} vs target {}", target.loss_mult);
+    }
+
+    #[test]
+    fn border_damage_only_in_wartime_and_ramps() {
+        assert!(border_damage(400).is_empty());
+        let early = border_damage(dates::INVASION.day_index() + 2);
+        let late = border_damage(dates::INVASION.day_index() + 50);
+        let six_early = early.iter().find(|d| d.asn == wk::AS6663).unwrap();
+        let six_late = late.iter().find(|d| d.asn == wk::AS6663).unwrap();
+        assert!(six_late.loss_add > six_early.loss_add);
+        assert!(six_late.latency_mult > six_early.latency_mult);
+    }
+
+    #[test]
+    fn border_flaps_intensify_over_the_war() {
+        let inv = dates::INVASION.day_index();
+        let flap_days = |lo: i64, hi: i64| {
+            (inv + lo..inv + hi)
+                .flat_map(border_damage)
+                .filter(|d| d.asn == wk::AS6663 && d.down)
+                .count()
+        };
+        // The first week is flap-free; the last two weeks are mostly down.
+        assert_eq!(flap_days(0, 7), 0);
+        let early = flap_days(7, 21);
+        let late = flap_days(40, 54);
+        assert!(late > 2 * early, "early {early} vs late {late}");
+        assert!(late >= 8, "late flap days = {late}");
+    }
+
+    #[test]
+    fn at_scale_endpoints() {
+        let p = DamageProfile { count_mult: 0.5, tput_mult: 0.7, rtt_mult: 2.0, loss_mult: 3.0 };
+        assert_eq!(p.at_scale(0.0), DamageProfile::NONE);
+        let full = p.at_scale(1.0);
+        assert!((full.loss_mult - 3.0).abs() < 1e-12);
+        assert!((full.count_mult - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-oblast daily conflict-intensity curves.
+//!
+//! Intensity is a dimensionless `[0, 1]` scalar shaping *when* damage
+//! happens; the *magnitude* of damage is calibrated separately per oblast in
+//! [`crate::damage`]. The curves encode the §2 narrative: zero before the
+//! invasion, a sharp ramp on the assaulted fronts, a step-down on the Kyiv
+//! axis after the April 3 withdrawal, and an extra surge in Kharkiv after
+//! the March 14 mass shelling.
+
+use crate::calendar::dates;
+use ndt_geo::{Front, Oblast};
+
+/// Conflict intensity for `oblast` on `day` (day index since 2021-01-01).
+pub fn intensity(oblast: Oblast, day: i64) -> f64 {
+    let invasion = dates::INVASION.day_index();
+    if day < invasion {
+        return 0.0;
+    }
+    let t = (day - invasion) as f64; // days since invasion
+    let ramp = (t / 5.0).min(1.0); // one-week escalation
+    let base = match oblast.front() {
+        Front::North => {
+            let peak = 0.9;
+            let after_withdrawal = 0.35;
+            if day < dates::KYIV_REGAINED.day_index() {
+                peak
+            } else {
+                // Gradual step-down over a few days after April 3.
+                let dt = (day - dates::KYIV_REGAINED.day_index()) as f64;
+                after_withdrawal + (peak - after_withdrawal) * (-dt / 3.0).exp()
+            }
+        }
+        Front::East => {
+            let mut v: f64 = 0.95;
+            if oblast == Oblast::Kharkiv && day >= dates::KHARKIV_SHELLING.day_index() {
+                v = 1.0;
+            }
+            v
+        }
+        Front::South => {
+            if oblast == Oblast::Odessa {
+                0.30
+            } else {
+                0.80
+            }
+        }
+        Front::Center => 0.20,
+        Front::West => {
+            if oblast == Oblast::Lviv {
+                0.08
+            } else {
+                0.05
+            }
+        }
+        Front::Occupied => 0.10,
+    };
+    base * ramp
+}
+
+/// Intensity normalized so its mean over the wartime period is 1 for the
+/// oblast; 0 before the invasion. Damage targets calibrated as *period
+/// means* are modulated by this, so their wartime averages come out right
+/// while preserving the ramp/withdrawal dynamics.
+pub fn damage_scale(oblast: Oblast, day: i64) -> f64 {
+    let invasion = dates::INVASION.day_index();
+    if day < invasion {
+        return 0.0;
+    }
+    let mean = wartime_mean_intensity(oblast);
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    intensity(oblast, day) / mean
+}
+
+/// Mean intensity over the 54 wartime days.
+pub fn wartime_mean_intensity(oblast: Oblast) -> f64 {
+    let (s, e) = crate::calendar::Period::Wartime2022.day_range();
+    (s..e).map(|d| intensity(oblast, d)).sum::<f64>() / (e - s) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Period;
+
+    #[test]
+    fn zero_before_invasion() {
+        for o in Oblast::all() {
+            assert_eq!(intensity(o, 0), 0.0);
+            assert_eq!(intensity(o, dates::INVASION.day_index() - 1), 0.0);
+            assert_eq!(damage_scale(o, 100), 0.0);
+        }
+    }
+
+    #[test]
+    fn fronts_order_by_intensity_at_peak() {
+        let d = dates::MAX_OCCUPATION.day_index();
+        let east = intensity(Oblast::Kharkiv, d);
+        let north = intensity(Oblast::KyivCity, d);
+        let south = intensity(Oblast::Kherson, d);
+        let center = intensity(Oblast::Poltava, d);
+        let west = intensity(Oblast::Lviv, d);
+        assert!(east > north && north > south && south > center && center > west);
+        assert!(west > 0.0);
+    }
+
+    #[test]
+    fn kyiv_steps_down_after_withdrawal() {
+        let before = intensity(Oblast::KyivCity, dates::KYIV_REGAINED.day_index() - 1);
+        let after = intensity(Oblast::KyivCity, dates::KYIV_REGAINED.day_index() + 10);
+        assert!(after < before * 0.6, "before {before}, after {after}");
+        assert!(after > 0.0, "still some military action");
+    }
+
+    #[test]
+    fn kharkiv_surges_after_shelling() {
+        let before = intensity(Oblast::Kharkiv, dates::KHARKIV_SHELLING.day_index() - 1);
+        let after = intensity(Oblast::Kharkiv, dates::KHARKIV_SHELLING.day_index());
+        assert!(after > before);
+    }
+
+    #[test]
+    fn damage_scale_has_unit_wartime_mean() {
+        let (s, e) = Period::Wartime2022.day_range();
+        for o in [Oblast::KyivCity, Oblast::Kharkiv, Oblast::Lviv, Oblast::Kherson] {
+            let mean = (s..e).map(|d| damage_scale(o, d)).sum::<f64>() / (e - s) as f64;
+            assert!((mean - 1.0).abs() < 1e-9, "{o}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn intensity_bounded() {
+        for o in Oblast::all() {
+            for d in 360..480 {
+                let v = intensity(o, d);
+                assert!((0.0..=1.0).contains(&v), "{o} day {d}: {v}");
+            }
+        }
+    }
+}

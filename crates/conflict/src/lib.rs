@@ -1,0 +1,41 @@
+//! # ndt-conflict
+//!
+//! Wartime scenario model for the `ukraine-ndt` reproduction of *"The
+//! Ukrainian Internet Under Attack: an NDT Perspective"* (IMC '22).
+//!
+//! The paper's analyses slice a 108-day window in 2022 (54 prewar days, 54
+//! wartime days) against the same window in 2021, and explain what they see
+//! with the military narrative of §2: direct assault on the Northern,
+//! Eastern and Southern fronts, the recapture of the Kyiv axis on April 3,
+//! the siege of Mariupol from March 1, the mass shelling of Kharkiv around
+//! March 14, the nationwide Ukrtelecom/Triolan outages of March 10, and the
+//! westward flight of refugees towards Lviv.
+//!
+//! This crate turns that narrative into a deterministic generative model:
+//!
+//! * [`calendar`] — the study windows and period taxonomy (baseline 2021 ×2,
+//!   prewar, wartime), with a day index anchored at 2021-01-01;
+//! * [`events`] — the dated events the paper cites, as machine-readable
+//!   structs the platform simulator consumes;
+//! * [`intensity`](mod@intensity) — per-oblast daily conflict-intensity curves shaped by
+//!   the front classification;
+//! * [`damage`] — per-oblast and per-AS wartime damage profiles, calibrated
+//!   against the paper's own Table 4 and Table 3 ratios (we must reproduce
+//!   *their* war, so their measured ratios are the honest calibration
+//!   source), modulated over time by the intensity curves; plus the border
+//!   dynamics behind Figures 5 and 6 (Cogent fade-out, AS6663 decay);
+//! * [`displacement`] — per-city activity multipliers (Mariupol collapse,
+//!   Kharkiv exodus, Lviv influx) and the test-when-it-breaks curiosity
+//!   spikes visible in Figure 2a.
+
+pub mod calendar;
+pub mod damage;
+pub mod displacement;
+pub mod events;
+pub mod intensity;
+
+pub use calendar::{Date, Period, DAYS_PER_PERIOD};
+pub use damage::{as_profile, border_damage, oblast_profile, BorderDamage, DamageProfile};
+pub use displacement::DisplacementModel;
+pub use events::{key_events, outages_on, Event, EventKind, OutageEvent};
+pub use intensity::{damage_scale, intensity};

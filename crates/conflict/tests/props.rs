@@ -1,0 +1,107 @@
+//! Property-based tests for the wartime scenario model.
+
+use ndt_conflict::calendar::{dates, Date, Period};
+use ndt_conflict::damage::{border_damage, client_profile, oblast_profile};
+use ndt_conflict::displacement::DisplacementModel;
+use ndt_conflict::intensity::{damage_scale, intensity};
+use ndt_geo::city::all_cities;
+use ndt_geo::Oblast;
+use ndt_topology::Asn;
+use proptest::prelude::*;
+
+fn oblasts() -> Vec<Oblast> {
+    Oblast::all().collect()
+}
+
+proptest! {
+    /// Date ↔ day-index conversion round-trips on any day in a wide range.
+    #[test]
+    fn date_roundtrip(idx in -2000i64..2000) {
+        let d = Date::from_day_index(idx);
+        prop_assert_eq!(d.day_index(), idx);
+        prop_assert!((1..=12).contains(&d.month));
+        prop_assert!((1..=31).contains(&d.day));
+    }
+
+    /// Dates order like their indices.
+    #[test]
+    fn date_order_matches_index_order(a in -1000i64..1000, b in -1000i64..1000) {
+        let (da, db) = (Date::from_day_index(a), Date::from_day_index(b));
+        prop_assert_eq!(a.cmp(&b), da.cmp(&db));
+    }
+
+    /// Intensity is always a valid scalar and zero before the invasion.
+    #[test]
+    fn intensity_bounded_and_causal(ob_idx in 0usize..27, day in -100i64..900) {
+        let ob = oblasts()[ob_idx];
+        let v = intensity(ob, day);
+        prop_assert!((0.0..=1.0).contains(&v));
+        if day < dates::INVASION.day_index() {
+            prop_assert_eq!(v, 0.0);
+            prop_assert_eq!(damage_scale(ob, day), 0.0);
+        }
+    }
+
+    /// Client profiles are the identity before the invasion and physical
+    /// (positive multipliers) always.
+    #[test]
+    fn client_profile_is_physical(ob_idx in 0usize..27, asn in 0u32..70_000, day in 0i64..900) {
+        let ob = oblasts()[ob_idx];
+        let p = client_profile(Asn(asn), ob, day);
+        for m in [p.count_mult, p.tput_mult, p.rtt_mult, p.loss_mult] {
+            prop_assert!(m > 0.0 && m.is_finite(), "bad multiplier {m}");
+        }
+        if day < dates::INVASION.day_index() {
+            prop_assert!((p.loss_mult - 1.0).abs() < 1e-12);
+            prop_assert!((p.count_mult - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Oblast profiles always come straight from Table 4 (ratios of
+    /// positive published values).
+    #[test]
+    fn oblast_profiles_finite(ob_idx in 0usize..27) {
+        let p = oblast_profile(oblasts()[ob_idx]);
+        for m in [p.count_mult, p.tput_mult, p.rtt_mult, p.loss_mult] {
+            prop_assert!(m > 0.0 && m.is_finite());
+        }
+    }
+
+    /// City activity is positive, 1 before the invasion, and bounded.
+    #[test]
+    fn city_activity_valid(city_idx in 0usize..33, day in 0i64..900) {
+        let model = DisplacementModel::new();
+        let (cid, _) = all_cities().nth(city_idx).expect("city exists");
+        let a = model.city_activity(cid, day);
+        prop_assert!(a > 0.0 && a < 5.0, "activity {a}");
+        if day < dates::INVASION.day_index() {
+            prop_assert_eq!(a, 1.0);
+        }
+    }
+
+    /// Border damage never occurs before the invasion, and its loss/latency
+    /// stay physical.
+    #[test]
+    fn border_damage_valid(day in 0i64..900) {
+        let dmg = border_damage(day);
+        if day < dates::INVASION.day_index() {
+            prop_assert!(dmg.is_empty());
+        }
+        for d in dmg {
+            prop_assert!((0.0..0.5).contains(&d.loss_add));
+            prop_assert!(d.latency_mult >= 1.0);
+        }
+    }
+
+    /// Every day of the two study windows belongs to exactly one period.
+    #[test]
+    fn period_partition(day in 0i64..900) {
+        let n = Period::ALL.iter().filter(|p| {
+            let (s, e) = p.day_range();
+            (s..e).contains(&day)
+        }).count();
+        prop_assert!(n <= 1);
+        let in_windows = (0..108).contains(&day) || (365..473).contains(&day);
+        prop_assert_eq!(n == 1, in_windows);
+    }
+}

@@ -1,0 +1,106 @@
+//! Dataset wrapper: the two "BigQuery tables" plus period helpers.
+
+use ndt_bq::{Query, Table, Value};
+use ndt_conflict::Period;
+use ndt_mlab::{Dataset, Scamper1Row, SimConfig, Simulator};
+
+/// The generated corpus, ready for analysis.
+pub struct StudyData {
+    /// Raw dataset (scamper rows consumed natively by the §5 analyses).
+    pub raw: Dataset,
+    /// `ndt.unified_download` as a queryable table (§4 analyses).
+    pub unified: Table,
+}
+
+impl StudyData {
+    /// Generates a corpus with the given simulator configuration.
+    pub fn generate(config: SimConfig) -> Self {
+        let raw = Simulator::new(config).run();
+        Self::from_dataset(raw)
+    }
+
+    /// Wraps an already-generated dataset.
+    pub fn from_dataset(raw: Dataset) -> Self {
+        let unified = raw.unified_table();
+        Self { raw, unified }
+    }
+
+    /// Unified rows within a period.
+    pub fn period(&self, p: Period) -> Query<'_> {
+        let (s, e) = p.day_range();
+        self.unified.query().filter_int_range("day", s, e)
+    }
+
+    /// Unified rows of one labeled city within a period (Table 1's slices).
+    pub fn city_period(&self, city: &str, p: Period) -> Query<'_> {
+        self.period(p).filter_eq("city", &Value::from(city))
+    }
+
+    /// Unified rows of one labeled region within a period.
+    pub fn oblast_period(&self, oblast: &str, p: Period) -> Query<'_> {
+        self.period(p).filter_eq("oblast", &Value::from(oblast))
+    }
+
+    /// Scamper rows within a period.
+    pub fn traces_in(&self, p: Period) -> impl Iterator<Item = &Scamper1Row> {
+        let (s, e) = p.day_range();
+        self.raw.traces.iter().filter(move |r| (s..e).contains(&r.day))
+    }
+
+    /// Total unified rows.
+    pub fn unified_len(&self) -> usize {
+        self.unified.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_support::shared_small;
+
+    #[test]
+    fn periods_partition_unified_rows() {
+        let data = shared_small();
+        let total: usize = Period::ALL.iter().map(|p| data.period(*p).count()).sum();
+        assert_eq!(total, data.unified_len(), "every row belongs to exactly one period");
+    }
+
+    #[test]
+    fn city_slices_are_subsets() {
+        let data = shared_small();
+        let kyiv = data.city_period("Kyiv", Period::Prewar2022).count();
+        let all = data.period(Period::Prewar2022).count();
+        assert!(kyiv > 0 && kyiv < all);
+    }
+
+    #[test]
+    fn traces_filter_by_day() {
+        let data = shared_small();
+        let (s, e) = Period::Wartime2022.day_range();
+        assert!(data.traces_in(Period::Wartime2022).all(|r| (s..e).contains(&r.day)));
+        assert!(data.traces_in(Period::Wartime2022).next().is_some());
+    }
+}
+
+/// Shared fixtures so the per-experiment test modules don't each pay for a
+/// fresh simulation.
+pub mod test_support {
+    use super::*;
+    use std::sync::OnceLock;
+
+    static SMALL: OnceLock<StudyData> = OnceLock::new();
+    static MEDIUM: OnceLock<StudyData> = OnceLock::new();
+
+    /// A ~6%-volume corpus, shared by fast unit tests.
+    pub fn shared_small() -> &'static StudyData {
+        SMALL.get_or_init(|| StudyData::generate(SimConfig::small(1234)))
+    }
+
+    /// A ~20%-volume corpus for analyses that need statistical depth
+    /// (Welch stars, top-1000 connections).
+    pub fn shared_medium() -> &'static StudyData {
+        MEDIUM.get_or_init(|| {
+            StudyData::generate(SimConfig { scale: 0.2, seed: 99, ..SimConfig::default() })
+        })
+    }
+}

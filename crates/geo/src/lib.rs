@@ -1,0 +1,36 @@
+//! # ndt-geo
+//!
+//! Geography substrate for the `ukraine-ndt` reproduction of *"The Ukrainian
+//! Internet Under Attack: an NDT Perspective"* (IMC '22).
+//!
+//! The paper slices NDT metrics three ways — nation, oblast (administrative
+//! region) and city — and relies on MaxMind geolocation with documented
+//! imperfections (>68% accuracy at 25 km, 11.7% of tests with no geodata).
+//! This crate provides:
+//!
+//! * the 27 regions of the paper's Table 4 (24 oblasts plus Kyiv City,
+//!   Crimea and Sevastopol), each with coordinates, a prewar test-volume
+//!   weight taken from the paper's own prewar counts, and a military-front
+//!   classification encoding the conflict narrative of §2 / Figure 1;
+//! * a catalogue of Ukrainian cities (the paper's four key cities and each
+//!   region's capital) with coordinates and population weights;
+//! * great-circle distance ([`haversine_km`]) used by the M-Lab load
+//!   balancer to pick the geographically nearest site;
+//! * [`GeoDb`], a MaxMind stand-in that annotates client IPs with city-level
+//!   geodata under an explicit error model (missingness + mislabeling), so
+//!   the paper's "incorrect labels weaken, not strengthen, our results"
+//!   argument is exercised by the reproduction rather than assumed;
+//! * a world-city catalogue used to place the 210 M-Lab sites in 47
+//!   countries (none in Ukraine or Russia, as the paper notes).
+
+pub mod city;
+pub mod coords;
+pub mod maxmind;
+pub mod oblast;
+pub mod world;
+
+pub use city::{City, CityId, CITIES};
+pub use coords::{haversine_km, LatLon};
+pub use maxmind::{GeoDb, GeoDbConfig, GeoRecord};
+pub use oblast::{Front, Oblast, OblastInfo};
+pub use world::{WorldCity, WORLD_CITIES};

@@ -1,0 +1,64 @@
+//! Property-based tests for the geography substrate.
+
+use ndt_geo::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn latlon() -> impl Strategy<Value = LatLon> {
+    (-89.0..89.0f64, -179.0..179.0f64).prop_map(|(lat, lon)| LatLon::new(lat, lon))
+}
+
+proptest! {
+    /// Haversine is a metric: non-negative, symmetric, zero iff same point,
+    /// and satisfies the triangle inequality.
+    #[test]
+    fn haversine_is_a_metric(a in latlon(), b in latlon(), c in latlon()) {
+        let ab = haversine_km(a, b);
+        let ba = haversine_km(b, a);
+        let ac = haversine_km(a, c);
+        let cb = haversine_km(c, b);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(haversine_km(a, a) < 1e-9);
+        prop_assert!(ab <= ac + cb + 1e-6, "triangle violated: {ab} > {ac} + {cb}");
+    }
+
+    /// Distances never exceed half Earth's circumference.
+    #[test]
+    fn haversine_bounded(a in latlon(), b in latlon()) {
+        let d = haversine_km(a, b);
+        prop_assert!(d <= std::f64::consts::PI * coords::EARTH_RADIUS_KM + 1e-6);
+    }
+
+    /// GeoDb lookups always produce structurally valid records: a city label
+    /// implies a region label and coordinates; when not mislabeling, the
+    /// oblast matches the labeled city's oblast.
+    #[test]
+    fn geodb_records_are_consistent(seed in 0u64..10_000, city_idx in 0usize..32) {
+        let db = GeoDb::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let id = CityId(city_idx as u16);
+        let r = db.lookup(id, &mut rng);
+        if let Some(cid) = r.city {
+            prop_assert_eq!(r.oblast, Some(cid.get().oblast));
+            prop_assert!(r.loc.is_some());
+        }
+        if r.oblast.is_some() {
+            prop_assert!(r.loc.is_some());
+        }
+        prop_assert_eq!(r.country, "UA");
+    }
+
+    /// With a perfect database the lookup is the identity on city and
+    /// location regardless of seed.
+    #[test]
+    fn perfect_geodb_is_identity(seed in 0u64..10_000, city_idx in 0usize..32) {
+        let db = GeoDb::perfect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let id = CityId(city_idx as u16);
+        let r = db.lookup(id, &mut rng);
+        prop_assert_eq!(r.city, Some(id));
+        prop_assert_eq!(r.loc, Some(id.get().loc));
+    }
+}

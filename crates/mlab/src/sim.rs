@@ -1,0 +1,580 @@
+//! The dataset simulator: days × clients × tests → published rows.
+
+use crate::client::{ClientPool, ClientPoolConfig};
+use crate::schema::{Dataset, Scamper1Row, UnifiedDownloadRow};
+use crate::site::LoadBalancer;
+use ndt_conflict::calendar::Period;
+use ndt_conflict::damage::{
+    as_profile, border_damage, client_profile, siege_boost, NATIONAL_COUNT_MULT,
+};
+use ndt_conflict::displacement::DisplacementModel;
+use ndt_conflict::events::outages_on;
+use ndt_conflict::intensity::{damage_scale, intensity};
+use ndt_geo::{GeoDb, GeoDbConfig};
+use ndt_stats::Poisson;
+use ndt_tcp::{BulkTransfer, CongestionControl, PathCharacteristics, TransferConfig};
+use ndt_topology::route::RoutingConfig;
+use ndt_topology::{build_topology, AliasResolver, BuiltTopology, RoutingEngine, TopologyConfig};
+use std::collections::HashMap;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Counterfactual scenario selector. `Historical` reproduces the paper;
+/// the others answer "what would the dataset have looked like if …" —
+/// the kind of what-if analysis the simulator makes possible and the
+/// real study could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// The war as modeled (default).
+    Historical,
+    /// No invasion: damage, displacement, border dynamics and outages all
+    /// disabled. 2022 should look like 2021 plus volume growth.
+    NoWar,
+    /// The invasion happens but the *core* stays intact: no border decay,
+    /// no transit flaps, no outages — only edge damage and displacement.
+    /// Isolates the paper's §5 hypothesis that most degradation is at the
+    /// edge.
+    EdgeDamageOnly,
+    /// The inverse: core damage and outages happen, the edge is spared.
+    CoreDamageOnly,
+}
+
+impl Scenario {
+    fn edge_damage(&self) -> bool {
+        matches!(self, Scenario::Historical | Scenario::EdgeDamageOnly)
+    }
+
+    fn core_damage(&self) -> bool {
+        matches!(self, Scenario::Historical | Scenario::CoreDamageOnly)
+    }
+
+    fn displacement(&self) -> bool {
+        !matches!(self, Scenario::NoWar)
+    }
+}
+
+/// Simulation knobs. Defaults reproduce the paper's setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed; the whole dataset is a pure function of it.
+    pub seed: u64,
+    /// Volume scale: 1.0 generates the full ~1M-raw-test corpus; tests use
+    /// a fraction of it.
+    pub scale: f64,
+    /// Probability that a raw test is published to `unified_download`
+    /// (§3's 78,539 over §5.2's 852,738 ≈ 0.092).
+    pub unified_fraction: f64,
+    /// NDT volume in 2021 relative to 2022 (usage grew; Table 2's
+    /// tests/connection roughly triple between the years).
+    pub volume_mult_2021: f64,
+    /// Congestion control of the NDT servers (NDT7 = BBR).
+    pub cca: CongestionControl,
+    /// Whether to simulate the 2021 baseline window.
+    pub simulate_2021: bool,
+    /// Whether to simulate the 2022 study window.
+    pub simulate_2022: bool,
+    /// Counterfactual selector (Historical reproduces the paper).
+    pub scenario: Scenario,
+    /// Worker threads for dataset generation (0 = all available cores).
+    /// The output is bit-identical for every thread count: each
+    /// (client, day) has its own derived RNG stream and results merge in
+    /// client order.
+    pub threads: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            scale: 1.0,
+            unified_fraction: 78_539.0 / 852_738.0,
+            volume_mult_2021: 0.42,
+            cca: CongestionControl::Bbr,
+            simulate_2021: true,
+            simulate_2022: true,
+            scenario: Scenario::Historical,
+            threads: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A reduced configuration for fast tests (~6% of full volume).
+    pub fn small(seed: u64) -> Self {
+        Self { seed, scale: 0.06, ..Default::default() }
+    }
+}
+
+/// The platform simulator. Owns the topology, client population, routing
+/// engine and error-model databases.
+pub struct Simulator {
+    config: SimConfig,
+    bt: BuiltTopology,
+    lb: LoadBalancer,
+    pool: ClientPool,
+    geodb: GeoDb,
+    displacement: DisplacementModel,
+    engine: RoutingEngine,
+    transfer: BulkTransfer,
+    /// Interface → inferred-router cluster, from an imperfect (70%-recall)
+    /// Ally-style resolution run at platform setup. Paths are stamped with
+    /// a resolver's-eye fingerprint so the alias-resolution extension can
+    /// compare IP-level, resolver-level and ground-truth path counting.
+    alias_clusters: HashMap<ndt_topology::Ipv4Addr, u64>,
+}
+
+impl Simulator {
+    /// Builds the platform with default sub-configurations.
+    pub fn new(config: SimConfig) -> Self {
+        Self::with_parts(config, TopologyConfig::default(), ClientPoolConfig::default(), GeoDbConfig::default(), RoutingConfig::default())
+    }
+
+    /// Builds the platform with explicit sub-configurations (used by the
+    /// ablation benches: perfect geolocation, CUBIC servers, …).
+    pub fn with_parts(
+        config: SimConfig,
+        topo_cfg: TopologyConfig,
+        client_cfg: ClientPoolConfig,
+        geo_cfg: GeoDbConfig,
+        routing_cfg: RoutingConfig,
+    ) -> Self {
+        assert!(config.scale > 0.0, "scale must be positive");
+        assert!((0.0..=1.0).contains(&config.unified_fraction), "unified_fraction is a probability");
+        let bt = build_topology(&topo_cfg);
+        let lb = LoadBalancer::new(&bt);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x00c1_1e57);
+        let pool = ClientPool::generate(&bt, &client_cfg, &mut rng);
+        let interfaces: Vec<ndt_topology::Ipv4Addr> =
+            bt.topology.links().iter().flat_map(|l| [l.a_if, l.b_if]).collect();
+        let alias_clusters =
+            AliasResolver::new(0.7).cluster_map(&bt.topology, &interfaces, &mut rng);
+        Self {
+            config,
+            lb,
+            pool,
+            geodb: GeoDb::new(geo_cfg),
+            displacement: DisplacementModel::new(),
+            engine: RoutingEngine::with_config(routing_cfg),
+            transfer: BulkTransfer::new(TransferConfig { cca: config.cca, ..Default::default() }),
+            alias_clusters,
+            bt,
+        }
+    }
+
+    /// FNV-1a over the resolver's cluster ids along a path — what path
+    /// counting sees after imperfect alias resolution. Unresolved
+    /// interfaces (never observed by the resolver) hash as themselves.
+    fn resolved_fingerprint(&self, path: &ndt_topology::Path) -> u64 {
+        let mut h: u64 = 0x6384_2232_5cbf_29ce;
+        for ip in path.ips(&self.bt.topology) {
+            let id = self.alias_clusters.get(&ip).copied().unwrap_or(ip.0 as u64 | 1 << 63);
+            h ^= id;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// The built topology (for inspection by analyses and tests).
+    pub fn built(&self) -> &BuiltTopology {
+        &self.bt
+    }
+
+    /// The client population.
+    pub fn pool(&self) -> &ClientPool {
+        &self.pool
+    }
+
+    /// The site list / load balancer.
+    pub fn load_balancer(&self) -> &LoadBalancer {
+        &self.lb
+    }
+
+    /// Runs the configured windows and returns the published dataset.
+    pub fn run(&mut self) -> Dataset {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        let mut engines: Vec<RoutingEngine> =
+            (0..threads).map(|_| RoutingEngine::with_config(*self.engine.config())).collect();
+        let mut ds = Dataset::default();
+        if self.config.simulate_2021 {
+            let (s, _) = Period::BaselineJanFeb2021.day_range();
+            let (_, e) = Period::BaselineFebApr2021.day_range();
+            self.run_days(s..e, &mut ds, &mut engines);
+        }
+        if self.config.simulate_2022 {
+            let (s, _) = Period::Prewar2022.day_range();
+            let (_, e) = Period::Wartime2022.day_range();
+            self.run_days(s..e, &mut ds, &mut engines);
+        }
+        ds
+    }
+
+    /// Simulates a contiguous day range into `ds`, sharding clients across
+    /// the worker engines.
+    pub fn run_days(
+        &mut self,
+        days: std::ops::Range<i64>,
+        ds: &mut Dataset,
+        engines: &mut [RoutingEngine],
+    ) {
+        for day in days {
+            self.apply_day_damage(day);
+            self.simulate_day(day, ds, engines);
+        }
+        // Leave the topology healthy for the next window.
+        self.bt.topology.heal_all();
+    }
+
+    /// Applies the conflict model's state for one day to the topology.
+    fn apply_day_damage(&mut self, day: i64) {
+        let topo = &mut self.bt.topology;
+        topo.heal_all();
+        if !self.config.scenario.core_damage() {
+            return;
+        }
+        // Border-AS decay and flaps (Figures 5 and 6).
+        for dmg in border_damage(day) {
+            let links: Vec<_> = topo
+                .links_of(dmg.asn)
+                .filter(|l| topo.catalog.is_ukrainian(l.peer_of(dmg.asn)))
+                .map(|l| l.id)
+                .collect();
+            for id in links {
+                topo.degrade_link(id, dmg.loss_add, dmg.latency_mult);
+                if dmg.down {
+                    topo.set_link_up(id, false);
+                }
+            }
+        }
+        // Intra-Ukraine transit instability: links whose Ukrainian transit
+        // router sits in a high-intensity oblast flap on a deterministic
+        // schedule scaled by that intensity. This is the mechanism that
+        // couples path churn (Table 2, Figure 9) to regional damage — BGP
+        // reroutes around the dead interconnect, the connection gains a
+        // path, and the client behind it is in the damaged region.
+        let flap_candidates: Vec<(ndt_topology::LinkId, ndt_geo::Oblast)> = {
+            let tro = &self.bt.transit_router_oblast;
+            topo.links()
+                .iter()
+                .filter_map(|l| tro.get(&l.a).or_else(|| tro.get(&l.b)).map(|ob| (l.id, *ob)))
+                .collect()
+        };
+        for (lid, oblast) in flap_candidates {
+            let inten = intensity(oblast, day);
+            if inten <= 0.0 {
+                continue;
+            }
+            // Deterministic per-(link, day) coin with P(down) = 0.12 × intensity.
+            let h = splitmix64((lid.0 as u64) << 32 | (day as u64 & 0xffff_ffff));
+            if (h % 1_000) as f64 <= 120.0 * inten {
+                topo.set_link_up(lid, false);
+            }
+        }
+        // Transit outages (March 10): majority-of-day outages take the
+        // network's links down for the day; the 40-minute Ukrtelecom blip
+        // shows up as the curiosity spike instead.
+        for outage in outages_on(day) {
+            if outage.down_fraction >= 0.5 {
+                let links: Vec<_> = topo.links_of(outage.asn).map(|l| l.id).collect();
+                for id in links {
+                    topo.set_link_up(id, false);
+                }
+            }
+        }
+    }
+
+    }
+
+/// SplitMix64 finalizer — deterministic per-(link, day) coin flips.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Simulator {
+    /// Expected-volume multiplier for a client on a day.
+    fn activity(&self, client: &crate::client::Client, day: i64) -> f64 {
+        let year_mult = if day < 365 { self.config.volume_mult_2021 } else { 1.0 };
+        if !self.config.scenario.displacement() {
+            return year_mult * self.config.scale;
+        }
+        let base = self.displacement.city_activity(client.city, day);
+        // AS-specific count deviation relative to the *national* trend
+        // (Table 3's ΔCounts are national figures; dividing by the local
+        // oblast trend instead would explode national ISPs' rates inside
+        // collapsed regions).
+        let as_adj = match as_profile(client.asn) {
+            Some(p) => {
+                let scale = damage_scale(client.oblast, day);
+                let national = 1.0 + (NATIONAL_COUNT_MULT - 1.0) * scale;
+                p.at_scale(scale).count_mult / national
+            }
+            None => 1.0,
+        };
+        year_mult * base * as_adj * DisplacementModel::test_spike(day) * self.config.scale
+    }
+
+    /// Simulates all clients for one day, sharded across worker threads.
+    ///
+    /// Every (client, day) draws from its own derived RNG stream and each
+    /// worker appends into a private buffer; buffers merge in client order,
+    /// so the published dataset is bit-identical for any worker count.
+    fn simulate_day(&mut self, day: i64, ds: &mut Dataset, engines: &mut [RoutingEngine]) {
+        let n_clients = self.pool.len();
+        let threads = engines.len().max(1);
+        let chunk = n_clients.div_ceil(threads);
+        let this: &Simulator = self;
+        let mut buffers: Vec<Dataset> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, engine) in engines.iter_mut().enumerate() {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n_clients);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut out = Dataset::default();
+                    for ci in lo..hi {
+                        this.simulate_client_day(engine, ci, day, &mut out);
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                buffers.push(h.join().expect("worker panicked"));
+            }
+        })
+        .expect("scope panicked");
+        for mut b in buffers {
+            ds.ndt.append(&mut b.ndt);
+            ds.traces.append(&mut b.traces);
+        }
+    }
+
+    /// Simulates one client's tests for one day from its derived stream.
+    fn simulate_client_day(
+        &self,
+        engine: &mut RoutingEngine,
+        ci: usize,
+        day: i64,
+        out: &mut Dataset,
+    ) {
+        let client = &self.pool.clients()[ci];
+        let lambda = client.daily_rate * self.activity(client, day);
+        if lambda <= 0.0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(splitmix64(
+            splitmix64(self.config.seed ^ (day as u64)) ^ ci as u64,
+        ));
+        let n_tests = Poisson::new(lambda).sample_count(&mut rng);
+        for k in 0..n_tests {
+            self.simulate_test(engine, client, day, k, out, &mut rng);
+        }
+    }
+
+    /// Simulates one NDT download + scamper sidecar.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_test(
+        &self,
+        engine: &mut RoutingEngine,
+        client: &crate::client::Client,
+        day: i64,
+        test_index: u64,
+        ds: &mut Dataset,
+        rng: &mut StdRng,
+    ) {
+        let site = self.lb.site_for_city(client.city, client.ip).clone();
+        // Damaged edge infrastructure forces local rerouting: lower the
+        // primary-route bias in proportion to the client's exposure and the
+        // day's regional intensity.
+        let inten = if self.config.scenario.edge_damage() { intensity(client.oblast, day) } else { 0.0 };
+        let churn = (0.22 * client.war_exposure * inten).min(0.5);
+        let bias = (engine.config().primary_bias * (1.0 - churn)).max(0.3);
+        let Some(path) =
+            engine.select_path_with_bias(&self.bt.topology, site.host_asn, client.asn, bias, rng)
+        else {
+            // Destination unreachable (e.g. single-homed ISP behind a downed
+            // transit): the test never completes, no row is published.
+            return;
+        };
+        let mut profile = if self.config.scenario.edge_damage() {
+            client_profile(client.asn, client.oblast, day)
+        } else {
+            ndt_conflict::damage::DamageProfile::NONE
+        };
+        // Besieged cities take damage beyond their region's trend.
+        if let Some(siege) = siege_boost(client.city.get().name, day)
+            .filter(|_| self.config.scenario.edge_damage())
+        {
+            profile.tput_mult *= siege.tput_mult;
+            profile.rtt_mult *= siege.rtt_mult;
+            profile.loss_mult *= siege.loss_mult;
+        }
+        // Per-client exposure scales the damage deltas around the regional
+        // mean (median exposure is 1, so period means stay calibrated).
+        let expose = |mult: f64| (1.0 + (mult - 1.0) * client.war_exposure).max(0.02);
+        // Edge + core composition. The damage multipliers act on the
+        // client's access segment (the paper's §5 hypothesis places most
+        // damage at the network edge); core damage (border decay, reroutes)
+        // arrives through the selected path's own metrics.
+        let base_rtt = expose(profile.rtt_mult) * (2.0 * path.oneway_latency_ms + client.edge_rtt_ms);
+        let edge_loss = (client.edge_loss * expose(profile.loss_mult)).min(0.9);
+        let loss = 1.0 - (1.0 - edge_loss) * (1.0 - path.core_loss);
+        let bottleneck = (client.access_mbps * expose(profile.tput_mult))
+            .min(path.bottleneck_mbps)
+            .max(0.1);
+        let stats = self.transfer.run(
+            &PathCharacteristics::new(base_rtt.max(0.2), bottleneck, loss.min(0.95)),
+            rng,
+        );
+        ds.traces.push(Scamper1Row {
+            day,
+            client_ip: client.ip,
+            server_ip: site.server_ip,
+            path_fingerprint: path.fingerprint(),
+            router_fingerprint: path.router_fingerprint(),
+            resolved_fingerprint: self.resolved_fingerprint(&path),
+            as_path: path.as_seq.clone(),
+            border: path.border_crossing(&self.bt.topology.catalog),
+            mean_tput_mbps: stats.mean_tput_mbps,
+            min_rtt_ms: stats.min_rtt_ms,
+            loss_rate: stats.loss_rate,
+        });
+        if rng.random::<f64>() < self.config.unified_fraction {
+            // Geolocation noise draws from its own derived stream so that
+            // changing the geo error model never perturbs the rest of the
+            // simulation (exercised by the geolocation ablation tests).
+            let mut geo_rng = StdRng::seed_from_u64(splitmix64(
+                (client.ip.0 as u64) ^ ((day as u64) << 32) ^ (test_index << 1),
+            ));
+            let geo = self.geodb.lookup(client.city, &mut geo_rng);
+            ds.ndt.push(UnifiedDownloadRow {
+                day,
+                client_ip: client.ip,
+                server_ip: site.server_ip,
+                client_asn: client.asn,
+                oblast: geo.oblast,
+                city: geo.city,
+                mean_tput_mbps: stats.mean_tput_mbps,
+                min_rtt_ms: stats.min_rtt_ms,
+                loss_rate: stats.loss_rate,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndt_conflict::calendar::dates;
+
+    fn small_dataset(seed: u64) -> Dataset {
+        Simulator::new(SimConfig::small(seed)).run()
+    }
+
+    #[test]
+    fn generates_both_windows_at_expected_volume() {
+        let ds = small_dataset(1);
+        let cfg = SimConfig::small(1);
+        // Expected raw volume: two 108-day windows, the 2021 one at
+        // reduced volume: 108 × 7900 × (0.42 + 1.0) × scale.
+        let expected = 108.0 * 7_900.0 * (cfg.volume_mult_2021 + 1.0) * cfg.scale;
+        let got = ds.traces.len() as f64;
+        assert!((got - expected).abs() / expected < 0.15, "raw tests = {got}, expected ≈ {expected}");
+        // Unified subsample fraction.
+        let frac = ds.ndt.len() as f64 / got;
+        assert!((frac - cfg.unified_fraction).abs() < 0.01, "unified fraction = {frac}");
+        // Rows from both years.
+        assert!(ds.traces.iter().any(|r| r.day < 365));
+        assert!(ds.traces.iter().any(|r| r.day >= 365));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small_dataset(9);
+        let b = small_dataset(9);
+        assert_eq!(a.traces.len(), b.traces.len());
+        assert_eq!(a.ndt.len(), b.ndt.len());
+        assert_eq!(a.traces[..50.min(a.traces.len())], b.traces[..50.min(b.traces.len())]);
+    }
+
+    #[test]
+    fn output_is_identical_for_any_thread_count() {
+        let run_with = |threads: usize| {
+            let cfg = SimConfig { threads, scale: 0.02, seed: 77, ..SimConfig::default() };
+            Simulator::new(cfg).run()
+        };
+        let serial = run_with(1);
+        let par3 = run_with(3);
+        let par8 = run_with(8);
+        assert_eq!(serial, par3);
+        assert_eq!(serial, par8);
+    }
+
+    #[test]
+    fn wartime_degrades_unified_metrics_nationally() {
+        let ds = small_dataset(3);
+        let (ps, pe) = Period::Prewar2022.day_range();
+        let (ws, we) = Period::Wartime2022.day_range();
+        let sel = |lo: i64, hi: i64| -> Vec<&UnifiedDownloadRow> {
+            ds.ndt.iter().filter(|r| (lo..hi).contains(&r.day)).collect()
+        };
+        let mean = |rows: &[&UnifiedDownloadRow], f: fn(&UnifiedDownloadRow) -> f64| {
+            rows.iter().map(|r| f(r)).sum::<f64>() / rows.len() as f64
+        };
+        let pre = sel(ps, pe);
+        let war = sel(ws, we);
+        assert!(pre.len() > 1000 && war.len() > 1000);
+        assert!(
+            mean(&war, |r| r.loss_rate) > 1.5 * mean(&pre, |r| r.loss_rate),
+            "loss: prewar {} vs wartime {}",
+            mean(&pre, |r| r.loss_rate),
+            mean(&war, |r| r.loss_rate)
+        );
+        assert!(mean(&war, |r| r.min_rtt_ms) > 1.2 * mean(&pre, |r| r.min_rtt_ms));
+        assert!(mean(&war, |r| r.mean_tput_mbps) < 0.95 * mean(&pre, |r| r.mean_tput_mbps));
+    }
+
+    #[test]
+    fn baseline_2021_stays_flat() {
+        let ds = small_dataset(4);
+        let (b1s, b1e) = Period::BaselineJanFeb2021.day_range();
+        let (b2s, b2e) = Period::BaselineFebApr2021.day_range();
+        let mean_loss = |lo: i64, hi: i64| {
+            let rows: Vec<_> = ds.ndt.iter().filter(|r| (lo..hi).contains(&r.day)).collect();
+            rows.iter().map(|r| r.loss_rate).sum::<f64>() / rows.len() as f64
+        };
+        let a = mean_loss(b1s, b1e);
+        let b = mean_loss(b2s, b2e);
+        assert!((a - b).abs() / a < 0.25, "baseline drift: {a} vs {b}");
+    }
+
+    #[test]
+    fn outage_day_shows_test_spike() {
+        let ds = small_dataset(5);
+        let mar10 = dates::NATIONAL_OUTAGES.day_index();
+        let count = |d: i64| ds.traces.iter().filter(|r| r.day == d).count() as f64;
+        let spike = count(mar10);
+        let typical = ((mar10 - 6)..(mar10 - 1)).map(count).sum::<f64>() / 5.0;
+        assert!(spike > 1.25 * typical, "no spike: {spike} vs typical {typical}");
+    }
+
+    #[test]
+    fn traces_have_valid_structure() {
+        let ds = small_dataset(6);
+        for r in ds.traces.iter().take(2_000) {
+            assert!(r.as_path.len() >= 2);
+            assert!(r.border.is_some(), "every UA test crosses the border");
+            assert!(r.min_rtt_ms > 0.0);
+            assert!((0.0..=1.0).contains(&r.loss_rate));
+        }
+    }
+}

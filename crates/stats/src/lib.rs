@@ -1,0 +1,44 @@
+//! # ndt-stats
+//!
+//! Statistics substrate for the `ukraine-ndt` reproduction of *"The Ukrainian
+//! Internet Under Attack: an NDT Perspective"* (IMC '22).
+//!
+//! The paper's quantitative backbone is a small set of classical tools:
+//! Welch's t-test with two-sided p-values (Tables 1, 3 and 6), daily and
+//! weekly aggregation of per-test metrics (Figures 2, 4 and 6), histograms of
+//! metric distributions (Figures 7 and 8) and correlation between path-churn
+//! and performance (Figure 9). This crate implements all of them from
+//! scratch — including the special functions (log-gamma, regularized
+//! incomplete beta, Student-t CDF) needed to turn a Welch t-statistic into a
+//! p-value — so that the analysis crates carry no numerical dependencies
+//! beyond `rand`.
+//!
+//! The crate also hosts the seedable distribution samplers (normal,
+//! log-normal, Poisson, exponential, Pareto) used by the measurement-platform
+//! simulator; `rand` ships only uniform sources in our dependency budget, so
+//! the transforms live here.
+//!
+//! Everything is deterministic given a seed, heap-light, and panics only on
+//! programmer error (documented per function).
+
+pub mod correlate;
+pub mod describe;
+pub mod histogram;
+pub mod ks;
+pub mod normality;
+pub mod rank;
+pub mod sample;
+pub mod series;
+pub mod special;
+pub mod ttest;
+
+pub use correlate::{linear_fit, pearson, spearman, LinearFit};
+pub use describe::{mean, median, quantile, std_dev, Summary};
+pub use histogram::Histogram;
+pub use ks::{ks_two_sample, KsTest};
+pub use normality::{excess_kurtosis, jarque_bera, skewness, JarqueBera};
+pub use rank::{mann_whitney_u, MannWhitney};
+pub use sample::{Exponential, LogNormal, Normal, Pareto, Poisson, Sampler};
+pub use series::{DailySeries, WeeklyPoint};
+pub use special::{erf, ln_gamma, normal_cdf, reg_inc_beta, student_t_cdf};
+pub use ttest::{welch_t_test, WelchTTest};

@@ -1,0 +1,263 @@
+//! Seedable distribution samplers.
+//!
+//! The measurement-platform simulator needs several non-uniform
+//! distributions: log-normal throughputs and RTT jitter, Poisson daily test
+//! arrivals, exponential inter-test gaps, and Pareto per-client test rates
+//! (NDT's Google-search integration makes a small set of clients responsible
+//! for a large share of tests, which is what lets Table 2's top-1000
+//! connections accumulate ~100–200 tests each). Our dependency budget has
+//! `rand` but not `rand_distr`, so the classical transforms live here.
+
+use rand::{Rng, RngExt as _};
+
+/// A distribution from which `f64` values can be drawn with any [`Rng`].
+pub trait Sampler {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Normal distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    pub mean: f64,
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// # Panics
+    /// Panics if `std_dev < 0` or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0, "invalid Normal({mean}, {std_dev})");
+        Self { mean, std_dev }
+    }
+}
+
+impl Sampler for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; guard u1 away from 0 so ln is finite.
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution parameterized by the *underlying* normal's
+/// `mu`/`sigma` (so `median = exp(mu)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// # Panics
+    /// Panics if `sigma < 0` or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid LogNormal({mu}, {sigma})");
+        Self { mu, sigma }
+    }
+
+    /// Log-normal whose *median* is `median` with shape `sigma`.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "log-normal median must be positive, got {median}");
+        Self::new(median.ln(), sigma)
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal::new(self.mu, self.sigma).sample(rng).exp()
+    }
+}
+
+/// Poisson distribution; Knuth's product method for small means, a clamped
+/// normal approximation for large ones (the simulator draws day-level test
+/// counts where the mean can reach a few thousand).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    pub lambda: f64,
+}
+
+impl Poisson {
+    /// # Panics
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "invalid Poisson({lambda})");
+        Self { lambda }
+    }
+
+    /// Draws an integer count.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until the product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.random::<f64>();
+                if p <= limit {
+                    return k;
+                }
+                k += 1;
+            }
+        }
+        // Normal approximation with continuity correction.
+        let n = Normal::new(self.lambda, self.lambda.sqrt()).sample(rng);
+        n.round().max(0.0) as u64
+    }
+}
+
+impl Sampler for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_count(rng) as f64
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// # Panics
+    /// Panics if `lambda <= 0` or non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "invalid Exponential({lambda})");
+        Self { lambda }
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        -u.ln() / self.lambda
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+///
+/// Heavy-tailed; used for per-client NDT test frequency so a small core of
+/// clients dominates test volume (matching the paper's top-1000-connection
+/// analysis in Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    pub x_min: f64,
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// # Panics
+    /// Panics if `x_min <= 0` or `alpha <= 0` or either is non-finite.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(
+            x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0,
+            "invalid Pareto({x_min}, {alpha})"
+        );
+        Self { x_min, alpha }
+    }
+}
+
+impl Sampler for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draw<S: Sampler>(s: &S, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| s.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn normal_moments() {
+        let xs = draw(&Normal::new(10.0, 2.0), 50_000, 1);
+        let s = Summary::of(&xs);
+        assert!((s.mean() - 10.0).abs() < 0.05, "mean = {}", s.mean());
+        assert!((s.std_dev() - 2.0).abs() < 0.05, "std = {}", s.std_dev());
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let xs = draw(&Normal::new(3.0, 0.0), 100, 2);
+        assert!(xs.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let xs = draw(&LogNormal::with_median(40.0, 0.5), 50_000, 3);
+        let med = crate::describe::median(&xs);
+        assert!((med - 40.0).abs() / 40.0 < 0.03, "median = {med}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let p = Poisson::new(4.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..50_000).map(|_| p.sample_count(&mut rng) as f64).collect();
+        let s = Summary::of(&xs);
+        assert!((s.mean() - 4.0).abs() < 0.05, "mean = {}", s.mean());
+        assert!((s.variance() - 4.0).abs() < 0.15, "var = {}", s.variance());
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let p = Poisson::new(500.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| p.sample_count(&mut rng) as f64).collect();
+        let s = Summary::of(&xs);
+        assert!((s.mean() - 500.0).abs() < 1.0, "mean = {}", s.mean());
+        assert!((s.variance() - 500.0).abs() < 25.0, "var = {}", s.variance());
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let p = Poisson::new(0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(p.sample_count(&mut rng), 0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let xs = draw(&Exponential::new(0.5), 50_000, 7);
+        let s = Summary::of(&xs);
+        assert!((s.mean() - 2.0).abs() < 0.05, "mean = {}", s.mean());
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pareto_support_and_tail() {
+        let p = Pareto::new(1.0, 1.5);
+        let xs = draw(&p, 50_000, 8);
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        // P(X > 10) = 10^-1.5 ≈ 0.0316.
+        let frac = xs.iter().filter(|&&x| x > 10.0).count() as f64 / xs.len() as f64;
+        assert!((frac - 0.0316).abs() < 0.01, "tail fraction = {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let a = draw(&Normal::new(0.0, 1.0), 10, 42);
+        let b = draw(&Normal::new(0.0, 1.0), 10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Pareto")]
+    fn pareto_rejects_bad_params() {
+        Pareto::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the statistics substrate.
+
+use ndt_stats::*;
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..max_len)
+}
+
+proptest! {
+    /// The t CDF is a valid, monotone CDF for any df.
+    #[test]
+    fn t_cdf_monotone(df in 0.5..200.0f64, a in -50.0..50.0f64, b in -50.0..50.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let pl = student_t_cdf(lo, df);
+        let ph = student_t_cdf(hi, df);
+        prop_assert!((0.0..=1.0).contains(&pl));
+        prop_assert!((0.0..=1.0).contains(&ph));
+        prop_assert!(pl <= ph + 1e-12, "cdf not monotone: F({lo})={pl} > F({hi})={ph}");
+    }
+
+    /// Symmetry: F(-t) + F(t) = 1.
+    #[test]
+    fn t_cdf_symmetric(df in 0.5..200.0f64, t in -40.0..40.0f64) {
+        let s = student_t_cdf(t, df) + student_t_cdf(-t, df);
+        prop_assert!((s - 1.0).abs() < 1e-10, "sum = {s}");
+    }
+
+    /// Regularized incomplete beta stays in [0,1] and is monotone in x.
+    #[test]
+    fn inc_beta_monotone(a in 0.1..50.0f64, b in 0.1..50.0f64, x in 0.0..1.0f64, y in 0.0..1.0f64) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let il = reg_inc_beta(a, b, lo);
+        let ih = reg_inc_beta(a, b, hi);
+        prop_assert!((0.0..=1.0).contains(&il));
+        prop_assert!(il <= ih + 1e-9);
+    }
+
+    /// ln_gamma satisfies the recurrence Γ(x+1) = xΓ(x).
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05..100.0f64) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()), "lhs={lhs} rhs={rhs}");
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(v in finite_vec(100), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&v, lo);
+        let b = quantile(&v, hi);
+        prop_assert!(a <= b + 1e-9);
+        let mn = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= mn - 1e-9 && b <= mx + 1e-9);
+    }
+
+    /// Summary mean lies between min and max; variance is non-negative.
+    #[test]
+    fn summary_bounds(v in finite_vec(200)) {
+        let s = Summary::of(&v);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        if s.count() >= 2 {
+            prop_assert!(s.variance() >= -1e-9);
+        }
+    }
+
+    /// Merging summaries equals summarizing concatenation.
+    #[test]
+    fn summary_merge_associative(a in finite_vec(100), b in finite_vec(100)) {
+        let mut m = Summary::of(&a);
+        m.merge(&Summary::of(&b));
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let w = Summary::of(&all);
+        prop_assert_eq!(m.count(), w.count());
+        prop_assert!((m.mean() - w.mean()).abs() < 1e-6 * (1.0 + w.mean().abs()));
+        if w.count() >= 2 {
+            prop_assert!((m.variance() - w.variance()).abs() < 1e-5 * (1.0 + w.variance().abs()));
+        }
+    }
+
+    /// Pearson correlation is bounded and symmetric.
+    #[test]
+    fn pearson_bounded(pairs in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..60)) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&x, &y);
+        if r.is_finite() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson(&y, &x);
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    /// Pearson is invariant under positive affine transforms.
+    #[test]
+    fn pearson_affine_invariant(
+        pairs in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..40),
+        scale in 0.1..10.0f64,
+        shift in -100.0..100.0f64,
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let xs: Vec<f64> = x.iter().map(|v| v * scale + shift).collect();
+        let r1 = pearson(&x, &y);
+        let r2 = pearson(&xs, &y);
+        if r1.is_finite() && r2.is_finite() {
+            prop_assert!((r1 - r2).abs() < 1e-6, "{r1} vs {r2}");
+        }
+    }
+
+    /// Welch's test: p in [0,1]; identical samples with spread give p = 1.
+    #[test]
+    fn welch_p_valid(a in finite_vec(80), b in finite_vec(80)) {
+        let r = welch_t_test(&a, &b);
+        if r.p.is_finite() {
+            prop_assert!((0.0..=1.0).contains(&r.p), "p = {}", r.p);
+            prop_assert!(r.df > 0.0);
+        }
+    }
+
+    /// Histogram conserves observations: bins + under + over = total.
+    #[test]
+    fn histogram_conserves(v in finite_vec(200), bins in 1usize..40) {
+        let mut h = Histogram::new(-100.0, 100.0, bins);
+        h.extend(&v);
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+        prop_assert_eq!(h.total(), v.len() as u64);
+    }
+
+    /// Weekly aggregation conserves observation counts.
+    #[test]
+    fn weekly_conserves(obs in prop::collection::vec((-200i64..200, -1e3..1e3f64), 1..200), anchor in -50i64..50) {
+        let mut s = DailySeries::new();
+        for &(d, v) in &obs {
+            s.push(d, v);
+        }
+        let total: usize = s.weekly_medians(anchor).iter().map(|w| w.count).sum();
+        prop_assert_eq!(total, s.len());
+    }
+}
+
+proptest! {
+    /// Mann–Whitney produces a valid, symmetric p-value.
+    #[test]
+    fn mann_whitney_valid(a in finite_vec(60), b in finite_vec(60)) {
+        let r1 = mann_whitney_u(&a, &b);
+        let r2 = mann_whitney_u(&b, &a);
+        if r1.p.is_finite() {
+            prop_assert!((0.0..=1.0).contains(&r1.p));
+            prop_assert!((r1.p - r2.p).abs() < 1e-9);
+            prop_assert!((r1.z + r2.z).abs() < 1e-9);
+        }
+    }
+
+    /// Shifting one sample far enough always makes Mann–Whitney significant.
+    #[test]
+    fn mann_whitney_detects_large_shifts(a in prop::collection::vec(-100.0..100.0f64, 30..80)) {
+        let b: Vec<f64> = a.iter().map(|v| v + 1_000.0).collect();
+        let r = mann_whitney_u(&a, &b);
+        prop_assert!(r.significant(), "p = {}", r.p);
+        prop_assert_eq!(r.u, 0.0);
+    }
+
+    /// The KS statistic is a bounded, symmetric distance; identical samples
+    /// give d = 0.
+    #[test]
+    fn ks_is_a_distance(a in finite_vec(80), b in finite_vec(80)) {
+        let r1 = ks_two_sample(&a, &b);
+        let r2 = ks_two_sample(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&r1.d));
+        prop_assert!((0.0..=1.0).contains(&r1.p));
+        prop_assert!((r1.d - r2.d).abs() < 1e-12);
+        let self_d = ks_two_sample(&a, &a).d;
+        prop_assert!(self_d < 1e-12, "d(a, a) = {self_d}");
+    }
+
+    /// Skewness is shift-invariant and flips sign under negation; kurtosis
+    /// is shift- and sign-invariant.
+    #[test]
+    fn moment_invariances(v in prop::collection::vec(-100.0..100.0f64, 5..80), shift in -50.0..50.0f64) {
+        let s0 = skewness(&v);
+        if s0.is_finite() {
+            let shifted: Vec<f64> = v.iter().map(|x| x + shift).collect();
+            prop_assert!((skewness(&shifted) - s0).abs() < 1e-5 * (1.0 + s0.abs()), "shift breaks skew");
+            let negated: Vec<f64> = v.iter().map(|x| -x).collect();
+            prop_assert!((skewness(&negated) + s0).abs() < 1e-6 * (1.0 + s0.abs()), "negation");
+        }
+        let k0 = excess_kurtosis(&v);
+        if k0.is_finite() {
+            let negated: Vec<f64> = v.iter().map(|x| -x).collect();
+            prop_assert!((excess_kurtosis(&negated) - k0).abs() < 1e-6 * (1.0 + k0.abs()));
+        }
+    }
+
+    /// Jarque–Bera p is a probability and the statistic is non-negative.
+    #[test]
+    fn jarque_bera_valid(v in prop::collection::vec(-100.0..100.0f64, 8..120)) {
+        let jb = jarque_bera(&v);
+        if jb.p.is_finite() {
+            prop_assert!(jb.jb >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&jb.p));
+        }
+    }
+}

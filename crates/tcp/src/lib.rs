@@ -1,0 +1,39 @@
+//! # ndt-tcp
+//!
+//! Single-connection bulk-transfer model for NDT downloads, built for the
+//! `ukraine-ndt` reproduction of *"The Ukrainian Internet Under Attack: an
+//! NDT Perspective"* (IMC '22).
+//!
+//! NDT "tests the client's network connectivity by downloading/uploading an
+//! object via a WebSocket over TLS … using a single TCP connection", and
+//! publishes `TCP_INFO` statistics: **mean throughput**, **minimum RTT** and
+//! **loss rate** (§3). Those three numbers are everything the paper's
+//! analyses consume, so the reproduction models the *transfer*, not the wire
+//! protocol: given a path's base RTT, bottleneck bandwidth and loss
+//! probability, the steady-state response function of the congestion
+//! controller determines the achieved rate.
+//!
+//! Two controllers are provided, matching the paper's note that NDT5 used
+//! Reno/CUBIC while NDT7 uses BBR (stable across the studied window):
+//!
+//! * [`cubic_rate_mbps`] — the RFC 8312 CUBIC response function, with the
+//!   Mathis Reno floor in the AIMD-friendly region;
+//! * [`bbr_rate_mbps`] — a BBR model: rate ≈ bottleneck bandwidth, largely
+//!   insensitive to random loss below a tolerance knee, collapsing beyond it.
+//!
+//! [`fluid::FluidSim`] is a per-RTT dynamic simulation of the same
+//! controllers (slow start, loss events, CUBIC window evolution, BBR
+//! cruise); it exists to *validate* the response-function substitution and
+//! is exercised by the agreement tests in that module.
+//!
+//! [`BulkTransfer`] wraps a response function with a ~10 s NDT transfer:
+//! slow-start ramp discount, seeded log-normal variability, and sampled loss
+//! so that reported loss rates scatter realistically around the path loss.
+
+pub mod fluid;
+pub mod model;
+pub mod transfer;
+
+pub use fluid::{FluidOutcome, FluidSim};
+pub use model::{bbr_rate_mbps, cubic_rate_mbps, mathis_reno_rate_mbps, CongestionControl};
+pub use transfer::{BulkTransfer, PathCharacteristics, TcpInfoStats, TransferConfig};

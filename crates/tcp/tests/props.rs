@@ -1,0 +1,53 @@
+//! Property-based tests for the bulk-transfer model.
+
+use ndt_tcp::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The response functions are monotone: more loss never increases rate,
+    /// and (for loss-based CCAs) more RTT never increases rate.
+    #[test]
+    fn response_monotone_in_loss(rtt in 1.0..300.0f64, p1 in 1e-5..0.5f64, p2 in 1e-5..0.5f64) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(cubic_rate_mbps(rtt, lo) >= cubic_rate_mbps(rtt, hi) - 1e-9);
+        prop_assert!(mathis_reno_rate_mbps(rtt, lo) >= mathis_reno_rate_mbps(rtt, hi) - 1e-9);
+        prop_assert!(bbr_rate_mbps(100.0, lo) >= bbr_rate_mbps(100.0, hi) - 1e-9);
+    }
+
+    #[test]
+    fn response_monotone_in_rtt(p in 1e-5..0.5f64, r1 in 1.0..300.0f64, r2 in 1.0..300.0f64) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(cubic_rate_mbps(lo, p) >= cubic_rate_mbps(hi, p) - 1e-9);
+    }
+
+    /// BBR never exceeds the bottleneck; all reported statistics stay in
+    /// their physical ranges for any valid path.
+    #[test]
+    fn transfer_outputs_in_range(
+        rtt in 1.0..200.0f64,
+        bw in 1.0..500.0f64,
+        loss in 0.0..0.6f64,
+        seed in 0u64..5_000,
+    ) {
+        let path = PathCharacteristics::new(rtt, bw, loss);
+        let t = BulkTransfer::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = t.run(&path, &mut rng);
+        prop_assert!(s.mean_tput_mbps > 0.0 && s.mean_tput_mbps <= bw + 1e-9);
+        prop_assert!(s.min_rtt_ms >= rtt);
+        prop_assert!((0.0..=1.0).contains(&s.loss_rate));
+        prop_assert!(s.duration_s > 0.0);
+    }
+
+    /// Same seed, same result — the platform's reproducibility contract.
+    #[test]
+    fn transfer_deterministic(seed in 0u64..2_000) {
+        let path = PathCharacteristics::new(25.0, 60.0, 0.01);
+        let t = BulkTransfer::default();
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(t.run(&path, &mut r1), t.run(&path, &mut r2));
+    }
+}

@@ -1,0 +1,273 @@
+//! Router alias resolution.
+//!
+//! Traceroutes record *interface* addresses, and one router answers from a
+//! different interface per link — so counting distinct hop-IP sequences
+//! (the paper's §5.1 method) overcounts distinct forwarding paths. The
+//! paper acknowledges this: "Additional work on router alias resolution may
+//! also prove to be more precise than IP-level measurement" (citing Keys'
+//! CAIDA techniques). This module implements that future-work item against
+//! the simulated topology:
+//!
+//! * [`AliasResolver`] plays the role of an Ally/Mercator-style prober: for
+//!   a pair of interface addresses it can test whether they belong to the
+//!   same router. The topology is the ground-truth oracle; the resolver's
+//!   *recall* knob models probe failures (routers that rate-limit or drop
+//!   alias probes), so resolution is imperfect exactly the way real alias
+//!   resolution is.
+//! * [`AliasResolver::resolve`] clusters a set of observed interfaces into
+//!   inferred routers (union-find over successful pairwise probes, scoped
+//!   to each AS — cross-AS aliasing is structurally impossible here and
+//!   probing across ASes would be wasted work).
+//!
+//! The `ndt-analysis` extension uses the clusters to recompute Table 2's
+//! paths-per-connection at router granularity and quantify the IP-level
+//! overcount.
+
+use crate::graph::{RouterId, Topology};
+use crate::ip::Ipv4Addr;
+use rand::{Rng, RngExt as _};
+use std::collections::HashMap;
+
+/// An inferred router: a set of interface addresses believed to be aliases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AliasCluster {
+    /// Member interfaces, sorted ascending.
+    pub interfaces: Vec<Ipv4Addr>,
+}
+
+/// Ally/Mercator-style alias resolver with imperfect recall.
+#[derive(Debug, Clone)]
+pub struct AliasResolver {
+    /// Probability that a true alias pair is confirmed by probing.
+    recall: f64,
+}
+
+impl AliasResolver {
+    /// Creates a resolver.
+    ///
+    /// # Panics
+    /// Panics if `recall` is not a probability.
+    pub fn new(recall: f64) -> Self {
+        assert!((0.0..=1.0).contains(&recall), "recall must be in [0, 1], got {recall}");
+        Self { recall }
+    }
+
+    /// A perfect oracle resolver.
+    pub fn perfect() -> Self {
+        Self::new(1.0)
+    }
+
+    /// Probes one interface pair: `true` iff both belong to the same router
+    /// *and* the probe succeeds. Never produces false aliases (Ally-style
+    /// probing is precise; its failure mode is missed pairs).
+    pub fn probe<R: Rng + ?Sized>(
+        &self,
+        topo: &Topology,
+        x: Ipv4Addr,
+        y: Ipv4Addr,
+        rng: &mut R,
+    ) -> bool {
+        let same = match (topo.owner_of_interface(x), topo.owner_of_interface(y)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
+        same && rng.random::<f64>() < self.recall
+    }
+
+    /// Clusters observed interfaces into inferred routers.
+    ///
+    /// Probing is quadratic per AS, which is why real alias resolution
+    /// scopes candidate sets; we scope by origin AS via the prefix table.
+    pub fn resolve<R: Rng + ?Sized>(
+        &self,
+        topo: &Topology,
+        observed: &[Ipv4Addr],
+        rng: &mut R,
+    ) -> Vec<AliasCluster> {
+        // Deduplicate, keep deterministic order.
+        let mut ifaces: Vec<Ipv4Addr> = observed.to_vec();
+        ifaces.sort_unstable();
+        ifaces.dedup();
+
+        // Union-find.
+        let mut parent: Vec<usize> = (0..ifaces.len()).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+
+        // Scope pairwise probing by AS (ordered map: probe order, and with
+        // it the RNG stream, must be deterministic).
+        let mut by_as: std::collections::BTreeMap<Option<crate::asn::Asn>, Vec<usize>> =
+            Default::default();
+        for (i, ip) in ifaces.iter().enumerate() {
+            by_as.entry(topo.prefixes.lookup(*ip)).or_default().push(i);
+        }
+        for group in by_as.values() {
+            for (gi, &i) in group.iter().enumerate() {
+                for &j in &group[gi + 1..] {
+                    if find(&mut parent, i) == find(&mut parent, j) {
+                        continue;
+                    }
+                    if self.probe(topo, ifaces[i], ifaces[j], rng) {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut clusters: HashMap<usize, Vec<Ipv4Addr>> = HashMap::new();
+        for (i, ip) in ifaces.iter().enumerate() {
+            let root = find(&mut parent, i);
+            clusters.entry(root).or_default().push(*ip);
+        }
+        let mut out: Vec<AliasCluster> = clusters
+            .into_values()
+            .map(|mut v| {
+                v.sort_unstable();
+                AliasCluster { interfaces: v }
+            })
+            .collect();
+        out.sort_by_key(|c| c.interfaces[0]);
+        out
+    }
+
+    /// Builds an interface → cluster-id map from a resolution run
+    /// (cluster ids are indices into the cluster list). The platform
+    /// simulator uses this to stamp each traceroute with a
+    /// "resolver's-eye" path fingerprint.
+    pub fn cluster_map<R: Rng + ?Sized>(
+        &self,
+        topo: &Topology,
+        observed: &[Ipv4Addr],
+        rng: &mut R,
+    ) -> HashMap<Ipv4Addr, u64> {
+        let clusters = self.resolve(topo, observed, rng);
+        let mut map = HashMap::new();
+        for (ci, c) in clusters.iter().enumerate() {
+            for ip in &c.interfaces {
+                map.insert(*ip, ci as u64);
+            }
+        }
+        map
+    }
+
+    /// Resolution quality against ground truth: fraction of true alias
+    /// pairs (among the observed interfaces) that ended up clustered
+    /// together.
+    pub fn pair_recall(topo: &Topology, observed: &[Ipv4Addr], clusters: &[AliasCluster]) -> f64 {
+        let mut cluster_of: HashMap<Ipv4Addr, usize> = HashMap::new();
+        for (ci, c) in clusters.iter().enumerate() {
+            for ip in &c.interfaces {
+                cluster_of.insert(*ip, ci);
+            }
+        }
+        let mut ifaces: Vec<Ipv4Addr> = observed.to_vec();
+        ifaces.sort_unstable();
+        ifaces.dedup();
+        let truth: HashMap<Ipv4Addr, RouterId> = ifaces
+            .iter()
+            .filter_map(|ip| topo.owner_of_interface(*ip).map(|r| (*ip, r)))
+            .collect();
+        let mut true_pairs = 0usize;
+        let mut found_pairs = 0usize;
+        for (i, x) in ifaces.iter().enumerate() {
+            for y in ifaces.iter().skip(i + 1) {
+                if let (Some(rx), Some(ry)) = (truth.get(x), truth.get(y)) {
+                    if rx == ry {
+                        true_pairs += 1;
+                        if cluster_of.get(x) == cluster_of.get(y) {
+                            found_pairs += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if true_pairs == 0 {
+            1.0
+        } else {
+            found_pairs as f64 / true_pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_topology, TopologyConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// All interface addresses of a built topology.
+    fn all_interfaces(topo: &Topology) -> Vec<Ipv4Addr> {
+        topo.links().iter().flat_map(|l| [l.a_if, l.b_if]).collect()
+    }
+
+    #[test]
+    fn perfect_resolver_recovers_ground_truth() {
+        let bt = build_topology(&TopologyConfig::default());
+        let observed = all_interfaces(&bt.topology);
+        let mut rng = StdRng::seed_from_u64(1);
+        let clusters = AliasResolver::perfect().resolve(&bt.topology, &observed, &mut rng);
+        // Every cluster's members share one true router.
+        for c in &clusters {
+            let owners: std::collections::HashSet<_> = c
+                .interfaces
+                .iter()
+                .map(|ip| bt.topology.owner_of_interface(*ip).expect("interface has owner"))
+                .collect();
+            assert_eq!(owners.len(), 1, "mixed cluster {c:?}");
+        }
+        // And the recall is 1.
+        assert_eq!(AliasResolver::pair_recall(&bt.topology, &observed, &clusters), 1.0);
+        // Interfaces outnumber routers-with-links (that's the aliasing).
+        let routers_with_links: std::collections::HashSet<_> = bt
+            .topology
+            .links()
+            .iter()
+            .flat_map(|l| [l.a, l.b])
+            .collect();
+        let unique_ifaces: std::collections::HashSet<_> = observed.iter().collect();
+        assert!(unique_ifaces.len() > routers_with_links.len());
+        assert_eq!(clusters.len(), routers_with_links.len());
+    }
+
+    #[test]
+    fn imperfect_recall_splits_clusters_but_never_merges_wrongly() {
+        let bt = build_topology(&TopologyConfig::default());
+        let observed = all_interfaces(&bt.topology);
+        let mut rng = StdRng::seed_from_u64(2);
+        let resolver = AliasResolver::new(0.5);
+        let clusters = resolver.resolve(&bt.topology, &observed, &mut rng);
+        for c in &clusters {
+            let owners: std::collections::HashSet<_> = c
+                .interfaces
+                .iter()
+                .map(|ip| bt.topology.owner_of_interface(*ip).expect("owner"))
+                .collect();
+            assert_eq!(owners.len(), 1, "false alias in {c:?}");
+        }
+        let recall = AliasResolver::pair_recall(&bt.topology, &observed, &clusters);
+        assert!(recall < 1.0, "recall should be imperfect, got {recall}");
+        assert!(recall > 0.3, "union-find transitivity should recover many pairs: {recall}");
+    }
+
+    #[test]
+    fn resolution_is_deterministic_under_seed() {
+        let bt = build_topology(&TopologyConfig::default());
+        let observed = all_interfaces(&bt.topology);
+        let r = AliasResolver::new(0.8);
+        let a = r.resolve(&bt.topology, &observed, &mut StdRng::seed_from_u64(3));
+        let b = r.resolve(&bt.topology, &observed, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "recall must be in")]
+    fn rejects_bad_recall() {
+        AliasResolver::new(1.5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Graphviz export of the AS-level topology.
+//!
+//! `dot -Tsvg topology.dot -o topology.svg` renders the model: Ukrainian
+//! eyeballs and transits, the border ASes of Figure 5, and the M-Lab
+//! hosting networks, with edge styling by BGP relationship and current
+//! link state.
+
+use crate::asn::{AsKind, Asn};
+use crate::graph::{Relationship, Topology};
+use std::collections::BTreeSet;
+
+/// Renders the AS-level graph in Graphviz `dot` syntax.
+///
+/// One node per AS (shaped/colored by kind), one edge per AS adjacency
+/// (deduplicating parallel links; a dashed edge means every parallel link
+/// of the pair is currently down). M-Lab host ASes can be elided with
+/// `include_hosts = false` — with 54 of them the picture gets busy.
+pub fn to_dot(topo: &Topology, include_hosts: bool) -> String {
+    let mut out = String::from("graph ukraine_ndt {\n  layout=neato;\n  overlap=false;\n");
+    // Nodes.
+    for info in topo.catalog.iter() {
+        if info.kind == AsKind::MLabHost && !include_hosts {
+            continue;
+        }
+        let (shape, color) = match info.kind {
+            AsKind::UkrEyeball => ("ellipse", "lightblue"),
+            AsKind::UkrTransit => ("box", "gold"),
+            AsKind::Border => ("diamond", "salmon"),
+            AsKind::ForeignTransit => ("diamond", "lightgray"),
+            AsKind::MLabHost => ("point", "gray"),
+        };
+        out.push_str(&format!(
+            "  \"{}\" [label=\"{}\\n{}\", shape={shape}, style=filled, fillcolor={color}];\n",
+            info.asn, info.name, info.asn
+        ));
+    }
+    // Edges: one per AS pair.
+    let mut pairs: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+    for link in topo.links() {
+        let (a, b) = if link.a_asn < link.b_asn {
+            (link.a_asn, link.b_asn)
+        } else {
+            (link.b_asn, link.a_asn)
+        };
+        pairs.insert((a, b));
+    }
+    for (a, b) in pairs {
+        if !include_hosts {
+            let host = |asn: Asn| topo.catalog.get(asn).map(|i| i.kind) == Some(AsKind::MLabHost);
+            if host(a) || host(b) {
+                continue;
+            }
+        }
+        let links = topo.links_between(a, b);
+        let any_up = links.iter().any(|id| topo.link(*id).state.up);
+        let rel = topo.link(links[0]).rel_from(a);
+        let style = if any_up { "solid" } else { "dashed" };
+        let color = match rel {
+            Relationship::PeerToPeer => "gray",
+            _ => "black",
+        };
+        let label = if links.len() > 1 { format!(" [label=\"x{}\"]", links.len()) } else { String::new() };
+        out.push_str(&format!(
+            "  \"{a}\" -- \"{b}\" [style={style}, color={color}]{label};\n"
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_topology, TopologyConfig};
+    use crate::asn::well_known as wk;
+
+    #[test]
+    fn dot_contains_the_paper_ases_and_valid_syntax() {
+        let bt = build_topology(&TopologyConfig::default());
+        let dot = to_dot(&bt.topology, false);
+        assert!(dot.starts_with("graph ukraine_ndt {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for name in ["Kyivstar", "Hurricane Electric", "AS199995", "TeNeT"] {
+            assert!(dot.contains(name), "missing {name}");
+        }
+        // Hosts elided.
+        assert!(!dot.contains("MLab Host"));
+        // Parallel links annotated.
+        assert!(dot.contains("label=\"x"), "parallel-link annotation missing");
+    }
+
+    #[test]
+    fn downed_pairs_render_dashed() {
+        let mut bt = build_topology(&TopologyConfig::default());
+        for id in bt.topology.links_between(wk::AS199995, wk::AS6663) {
+            bt.topology.set_link_up(id, false);
+        }
+        let dot = to_dot(&bt.topology, false);
+        let line = dot
+            .lines()
+            .find(|l| l.contains("\"AS6663\"") && l.contains("AS199995") && l.contains("--"))
+            .expect("edge rendered");
+        assert!(line.contains("dashed"), "line = {line}");
+    }
+
+    #[test]
+    fn including_hosts_adds_nodes() {
+        let bt = build_topology(&TopologyConfig::default());
+        let with = to_dot(&bt.topology, true);
+        let without = to_dot(&bt.topology, false);
+        assert!(with.len() > without.len());
+        assert!(with.contains("MLab Host"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # ndt-topology
+//!
+//! AS/router-level model of the Ukrainian Internet and its foreign transit
+//! neighbourhood, built for the `ukraine-ndt` reproduction of *"The
+//! Ukrainian Internet Under Attack: an NDT Perspective"* (IMC '22).
+//!
+//! The paper's routing analyses consume three observables, all of which this
+//! crate produces:
+//!
+//! * **traceroute hop sequences** between M-Lab sites and Ukrainian clients
+//!   (scamper sidecar, §5.1) — [`route::RoutingEngine`] selects router-level
+//!   paths; [`traceroute`] renders them as hop lists with per-hop RTTs;
+//! * **IP→AS annotation** of every hop (§5.2) — [`ip::PrefixTable`] maps the
+//!   synthetic address plan back to origin ASes;
+//! * **path-level metrics** (RTT, bottleneck bandwidth, loss) fed to the TCP
+//!   model — accumulated along the selected path by [`path::Path`].
+//!
+//! The graph is policy-routed (customer > peer > provider, then latency),
+//! supports equal-cost and backup multipath — the source of the paper's
+//! per-connection path diversity (Table 2) — and exposes a failure-injection
+//! API that the conflict model drives day by day. Failing a link bumps the
+//! topology version, invalidating cached routes exactly like a BGP
+//! reconvergence would.
+//!
+//! Everything is deterministic under a seed. The AS catalogue contains the
+//! paper's top-10 Ukrainian ASes (Table 3), the border ASes of Figure 5
+//! (Hurricane Electric, Cogent, RETN, …), AS199995 and AS6663 from the
+//! Figure 6 case study, plus synthetic eyeball ASes so that — as in the
+//! paper — the top-10 carry only a minority of tests.
+
+pub mod alias;
+pub mod asn;
+pub mod build;
+pub mod dot;
+pub mod graph;
+pub mod ip;
+pub mod path;
+pub mod route;
+pub mod traceroute;
+
+pub use alias::{AliasCluster, AliasResolver};
+pub use asn::{AsCatalog, AsInfo, AsKind, Asn};
+pub use build::{build_topology, BuiltTopology, MLabHost, TopologyConfig};
+pub use dot::to_dot;
+pub use graph::{LinkId, LinkState, RouterId, Topology};
+pub use ip::{Ipv4Addr, Prefix, PrefixTable};
+pub use path::Path;
+pub use route::{FlowKey, RoutingEngine};
+pub use traceroute::{Traceroute, TracerouteHop};

@@ -1,0 +1,97 @@
+//! Property-based tests for the network model and routing engine.
+
+use ndt_topology::asn::well_known as wk;
+use ndt_topology::{build_topology, AsKind, Asn, RoutingEngine, TopologyConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn eyeballs() -> Vec<Asn> {
+    let bt = build_topology(&TopologyConfig::default());
+    bt.catalog().of_kind(AsKind::UkrEyeball).map(|e| e.asn).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any selected path is loop-free at the AS level, starts at the host
+    /// AS, ends at the requested eyeball, and crosses the UA border exactly
+    /// once (never re-exits).
+    #[test]
+    fn selected_paths_are_wellformed(seed in 0u64..500, host_idx in 0usize..54, eyeball_sel in 0usize..1000) {
+        let bt = build_topology(&TopologyConfig::default());
+        let eye = {
+            let es = eyeballs();
+            es[eyeball_sel % es.len()]
+        };
+        let host = bt.mlab_hosts[host_idx].asn;
+        let mut eng = RoutingEngine::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = eng.select_path(&bt.topology, host, eye, &mut rng).expect("reachable");
+        prop_assert_eq!(*p.as_seq.first().unwrap(), host);
+        prop_assert_eq!(*p.as_seq.last().unwrap(), eye);
+        // Loop-free.
+        let mut seen = std::collections::HashSet::new();
+        for a in &p.as_seq {
+            prop_assert!(seen.insert(*a), "AS loop through {a} in {:?}", p.as_seq);
+        }
+        // Once inside Ukraine, never leave.
+        let mut inside = false;
+        for a in &p.as_seq {
+            let ua = bt.catalog().is_ukrainian(*a);
+            if inside {
+                prop_assert!(ua, "path exits Ukraine: {:?}", p.as_seq);
+            }
+            inside |= ua;
+        }
+        prop_assert!(p.border_crossing(bt.catalog()).is_some());
+        // Metrics are sane.
+        prop_assert!(p.oneway_latency_ms > 0.0 && p.oneway_latency_ms < 500.0);
+        prop_assert!(p.bottleneck_mbps > 0.0);
+        prop_assert!((0.0..1.0).contains(&p.core_loss));
+    }
+
+    /// Path selection is a pure function of the RNG stream: same seed, same
+    /// sequence of fingerprints.
+    #[test]
+    fn selection_deterministic(seed in 0u64..200) {
+        let bt = build_topology(&TopologyConfig::default());
+        let host = bt.mlab_hosts[0].asn;
+        let run = || {
+            let mut eng = RoutingEngine::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10)
+                .map(|_| eng.select_path(&bt.topology, host, wk::KYIVSTAR, &mut rng).unwrap().fingerprint())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Killing every link of a randomly chosen Ukrainian transit still
+    /// leaves multi-homed eyeballs reachable (resilience), and restoring
+    /// heals back to the original primary route.
+    #[test]
+    fn transit_failure_does_not_partition_multihomed(seed in 0u64..200, t_idx in 0usize..4) {
+        let mut bt = build_topology(&TopologyConfig::default());
+        let transit = bt.ua_transits[t_idx];
+        let host = bt.mlab_hosts.iter().find(|h| h.metro == "Warsaw").unwrap().asn;
+        let mut eng = RoutingEngine::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before = eng.select_path(&bt.topology, host, wk::KYIVSTAR, &mut rng);
+        prop_assert!(before.is_some());
+        let ids: Vec<_> = bt.topology.links_of(transit).map(|l| l.id).collect();
+        for id in &ids {
+            bt.topology.set_link_up(*id, false);
+        }
+        // Kyivstar is multi-homed to three border ASes directly; it must
+        // survive the loss of any single Ukrainian transit.
+        let during = eng.select_path(&bt.topology, host, wk::KYIVSTAR, &mut rng);
+        prop_assert!(during.is_some(), "Kyivstar partitioned by losing {transit}");
+        prop_assert!(!during.unwrap().traverses(transit));
+        for id in &ids {
+            bt.topology.set_link_up(*id, true);
+        }
+        let after = eng.select_path(&bt.topology, host, wk::KYIVSTAR, &mut rng);
+        prop_assert!(after.is_some());
+    }
+}

@@ -1,0 +1,39 @@
+//! Figures 5 & 6: how ingress routing into Ukraine changed — the
+//! border-AS × Ukrainian-AS heat map and the AS199995 case study.
+//!
+//! ```sh
+//! cargo run --release --example border_shift
+//! ```
+
+use ukraine_ndt::analysis::{fig5_border, fig6_as199995};
+use ukraine_ndt::prelude::*;
+use ukraine_ndt::topology::asn::well_known as wk;
+
+fn main() {
+    let data = StudyData::generate(SimConfig { scale: 0.15, seed: 11, ..SimConfig::default() });
+
+    println!("Figure 5 — change in tests per (border AS, Ukrainian AS) pair");
+    println!("(wartime − prewar; '.' = no routes seen, the paper's black squares)\n");
+    let fig5 = fig5_border::compute(&data);
+    println!("{}", fig5.render());
+    println!(
+        "Hurricane Electric net change: {:+}; Cogent net change: {:+}\n",
+        fig5.row_change(wk::HURRICANE_ELECTRIC),
+        fig5.row_change(wk::COGENT),
+    );
+
+    println!("Figure 6 — AS199995 ingress shares by week (share via AS6663 / AS6939 / AS9002):");
+    let fig6 = fig6_as199995::compute(&data);
+    for w in &fig6.weeks {
+        let bar = |share: f64| "#".repeat((share * 30.0).round() as usize);
+        println!(
+            "  {}  6663 {:>5.1}% {:<30}  6939 {:>5.1}%  9002 {:>5.1}%  (6663 median loss {})",
+            Date::from_day_index(w.week_start),
+            100.0 * w.share(wk::AS6663),
+            bar(w.share(wk::AS6663)),
+            100.0 * w.share(wk::HURRICANE_ELECTRIC),
+            100.0 * w.share(wk::RETN),
+            w.median_loss_6663.map(|v| format!("{:.2}%", v * 100.0)).unwrap_or_else(|| "-".into()),
+        );
+    }
+}

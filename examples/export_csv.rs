@@ -1,0 +1,44 @@
+//! Exports every figure's data series and every table's text rendering to
+//! an output directory, for external plotting.
+//!
+//! ```sh
+//! cargo run --release --example export_csv -- out/
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use ukraine_ndt::analysis::{full_report, StudyData};
+use ukraine_ndt::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let out: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "out".to_string()).into();
+    fs::create_dir_all(&out)?;
+    eprintln!("generating corpus ...");
+    let data = StudyData::generate(SimConfig { scale: 0.25, seed: 2022, ..SimConfig::default() });
+    eprintln!("running the pipeline ...");
+    let r = full_report(&data);
+
+    let write = |name: &str, content: String| -> std::io::Result<()> {
+        let path = out.join(name);
+        fs::write(&path, content)?;
+        eprintln!("  wrote {}", path.display());
+        Ok(())
+    };
+    write("fig2_national_timeline.csv", r.fig2.to_csv())?;
+    write("fig3_oblast_changes.csv", r.fig3.to_csv())?;
+    write("fig4_city_counts.csv", r.fig4.to_csv())?;
+    write("fig6_as199995.csv", r.fig6.to_csv())?;
+    write("fig7_8_distributions.csv", r.fig7_8.to_csv())?;
+    write("fig9_path_performance.csv", r.fig9.to_csv())?;
+    write("table1_cities.txt", r.table1.render())?;
+    write("table2_path_diversity.txt", r.table2.render())?;
+    write("table3_as_changes.txt", r.table3.render())?;
+    write("table4_oblast.txt", r.table4.render())?;
+    write("table5_as_detail.txt", r.tables5_6.render_table5())?;
+    write("table6_as_pvalues.txt", r.tables5_6.render_table6())?;
+    write("fig5_border_heatmap.txt", r.fig5.render())?;
+    write("ext_alias_resolution.txt", r.ext_alias.render())?;
+    write("ext_event_alignment.txt", r.ext_events.render())?;
+    eprintln!("done.");
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Figure 2: the national daily time series of the four NDT metrics for the
+//! 2022 study window and the 2021 baseline, written as CSV for plotting.
+//!
+//! ```sh
+//! cargo run --release --example national_timeline > fig2.csv
+//! ```
+
+use ukraine_ndt::analysis::fig2_national;
+use ukraine_ndt::prelude::*;
+
+fn main() {
+    let data = StudyData::generate(SimConfig { scale: 0.15, seed: 7, ..SimConfig::default() });
+    let fig2 = fig2_national::compute(&data);
+
+    // The CSV goes to stdout; a human-readable summary goes to stderr so
+    // `> fig2.csv` captures a clean file.
+    let invasion = Date::new(2022, 2, 24).day_index();
+    let pre = |f: fn(&fig2_national::DayPoint) -> f64| fig2.mean_2022(invasion - 54, invasion, f);
+    let war = |f: fn(&fig2_national::DayPoint) -> f64| fig2.mean_2022(invasion, invasion + 54, f);
+    eprintln!("national daily means, prewar → wartime:");
+    eprintln!("  min RTT : {:7.2} → {:7.2} ms", pre(|p| p.mean_min_rtt_ms), war(|p| p.mean_min_rtt_ms));
+    eprintln!("  tput    : {:7.2} → {:7.2} Mbps", pre(|p| p.mean_tput_mbps), war(|p| p.mean_tput_mbps));
+    eprintln!("  loss    : {:7.3} → {:7.3} %", 100.0 * pre(|p| p.mean_loss), 100.0 * war(|p| p.mean_loss));
+    print!("{}", fig2.to_csv());
+}

@@ -1,0 +1,277 @@
+//! `ukraine-ndt` — command-line driver for the reproduction.
+//!
+//! ```text
+//! ukraine-ndt report   [--scale S] [--seed N] [--scenario NAME]
+//! ukraine-ndt export   [--scale S] [--seed N] [--scenario NAME] [--out DIR]
+//! ukraine-ndt generate [--scale S] [--seed N] [--scenario NAME] [--out DIR]
+//! ukraine-ndt map      [--date YYYY-MM-DD]
+//! ukraine-ndt topo     [--out DIR]          # Graphviz dot of the AS graph
+//! ```
+//!
+//! Scenarios: `historical` (default), `no-war`, `edge-only`, `core-only`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use ukraine_ndt::analysis::full_report;
+use ukraine_ndt::conflict::calendar::dates;
+use ukraine_ndt::mlab::Scenario;
+use ukraine_ndt::prelude::*;
+
+struct Options {
+    scale: f64,
+    seed: u64,
+    scenario: Scenario,
+    out: PathBuf,
+    date: Date,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: 0.15,
+            seed: 2022,
+            scenario: Scenario::Historical,
+            out: PathBuf::from("out"),
+            date: dates::MAX_OCCUPATION,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ukraine-ndt <report|export|generate|map> \
+         [--scale S] [--seed N] [--scenario historical|no-war|edge-only|core-only] \
+         [--out DIR] [--date YYYY-MM-DD]; commands: report export generate map topo"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_date(s: &str) -> Option<Date> {
+    let mut it = s.split('-');
+    let year: i32 = it.next()?.parse().ok()?;
+    let month: u8 = it.next()?.parse().ok()?;
+    let day: u8 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    // Date::new still validates month lengths; a bad day like Feb 30 is a
+    // user error worth a clean message, not a panic.
+    std::panic::catch_unwind(|| Date::new(year, month, day)).ok()
+}
+
+fn parse(args: &[String]) -> Option<(String, Options)> {
+    let command = args.first()?.clone();
+    let mut opts = Options::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1)?;
+        match flag {
+            "--scale" => opts.scale = value.parse().ok().filter(|v| *v > 0.0)?,
+            "--seed" => opts.seed = value.parse().ok()?,
+            "--out" => opts.out = PathBuf::from(value),
+            "--date" => opts.date = parse_date(value)?,
+            "--scenario" => {
+                opts.scenario = match value.as_str() {
+                    "historical" => Scenario::Historical,
+                    "no-war" => Scenario::NoWar,
+                    "edge-only" => Scenario::EdgeDamageOnly,
+                    "core-only" => Scenario::CoreDamageOnly,
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+        i += 2;
+    }
+    Some((command, opts))
+}
+
+fn generate(opts: &Options) -> StudyData {
+    eprintln!(
+        "generating corpus: scale {}, seed {}, scenario {:?} ...",
+        opts.scale, opts.seed, opts.scenario
+    );
+    StudyData::generate(SimConfig {
+        scale: opts.scale,
+        seed: opts.seed,
+        scenario: opts.scenario,
+        ..SimConfig::default()
+    })
+}
+
+fn cmd_report(opts: &Options) {
+    let data = generate(opts);
+    println!("{}", full_report(&data).render());
+}
+
+fn cmd_export(opts: &Options) -> std::io::Result<()> {
+    let data = generate(opts);
+    let r = full_report(&data);
+    fs::create_dir_all(&opts.out)?;
+    let write = |name: &str, content: String| -> std::io::Result<()> {
+        fs::write(opts.out.join(name), content)
+    };
+    write("fig1_activity_map.txt", r.fig1.render())?;
+    write("fig2_national_timeline.csv", r.fig2.to_csv())?;
+    write("fig3_oblast_changes.csv", r.fig3.to_csv())?;
+    write("fig4_city_counts.csv", r.fig4.to_csv())?;
+    write("fig5_border_heatmap.txt", r.fig5.render())?;
+    write("fig6_as199995.csv", r.fig6.to_csv())?;
+    write("fig7_8_distributions.csv", r.fig7_8.to_csv())?;
+    write("fig9_path_performance.csv", r.fig9.to_csv())?;
+    write("table1_cities.txt", r.table1.render())?;
+    write("table2_path_diversity.txt", r.table2.render())?;
+    write("table3_as_changes.txt", r.table3.render())?;
+    write("table4_oblast.txt", r.table4.render())?;
+    write("table5_as_detail.txt", r.tables5_6.render_table5())?;
+    write("table6_as_pvalues.txt", r.tables5_6.render_table6())?;
+    write("ext_alias_resolution.txt", r.ext_alias.render())?;
+    write("ext_event_alignment.txt", r.ext_events.render())?;
+    write("ext_robustness.txt", r.ext_robustness.render())?;
+    eprintln!("wrote 17 artifacts to {}", opts.out.display());
+    Ok(())
+}
+
+fn cmd_generate(opts: &Options) -> std::io::Result<()> {
+    let data = generate(opts);
+    fs::create_dir_all(&opts.out)?;
+    // unified_download as CSV.
+    let mut unified = String::from("day,client_ip,server_ip,client_asn,oblast,city,tput_mbps,min_rtt_ms,loss_rate\n");
+    for r in &data.raw.ndt {
+        unified.push_str(&format!(
+            "{},{},{},{},{},{},{:.4},{:.4},{:.6}\n",
+            r.day,
+            r.client_ip,
+            r.server_ip,
+            r.client_asn.0,
+            r.oblast.map(|o| o.name()).unwrap_or(""),
+            r.city.map(|c| c.get().name).unwrap_or(""),
+            r.mean_tput_mbps,
+            r.min_rtt_ms,
+            r.loss_rate
+        ));
+    }
+    fs::write(opts.out.join("unified_download.csv"), unified)?;
+    // scamper rows as CSV (AS path joined with '-').
+    let mut traces = String::from("day,client_ip,server_ip,path_fingerprint,router_fingerprint,border_from,border_to,as_path,tput_mbps,min_rtt_ms,loss_rate\n");
+    for r in &data.raw.traces {
+        let as_path: Vec<String> = r.as_path.iter().map(|a| a.0.to_string()).collect();
+        traces.push_str(&format!(
+            "{},{},{},{:016x},{:016x},{},{},{},{:.4},{:.4},{:.6}\n",
+            r.day,
+            r.client_ip,
+            r.server_ip,
+            r.path_fingerprint,
+            r.router_fingerprint,
+            r.border.map(|(b, _)| b.0.to_string()).unwrap_or_default(),
+            r.border.map(|(_, u)| u.0.to_string()).unwrap_or_default(),
+            as_path.join("-"),
+            r.mean_tput_mbps,
+            r.min_rtt_ms,
+            r.loss_rate
+        ));
+    }
+    fs::write(opts.out.join("scamper1.csv"), traces)?;
+    eprintln!(
+        "wrote {} unified rows and {} traceroute rows to {}",
+        data.raw.ndt.len(),
+        data.raw.traces.len(),
+        opts.out.display()
+    );
+    Ok(())
+}
+
+fn cmd_topo(opts: &Options) -> std::io::Result<()> {
+    let bt = build_topology(&TopologyConfig::default());
+    fs::create_dir_all(&opts.out)?;
+    let path = opts.out.join("topology.dot");
+    fs::write(&path, ukraine_ndt::topology::to_dot(&bt.topology, false))?;
+    eprintln!("wrote {} (render with: dot -Tsvg {} -o topology.svg)", path.display(), path.display());
+    Ok(())
+}
+
+fn cmd_map(opts: &Options) {
+    let map = ukraine_ndt::analysis::fig1_map::compute(opts.date.day_index());
+    println!("{}", map.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let (cmd, o) = parse(&args(&["report"])).expect("parses");
+        assert_eq!(cmd, "report");
+        assert_eq!(o.scale, 0.15);
+        assert_eq!(o.scenario, Scenario::Historical);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let (cmd, o) = parse(&args(&[
+            "export", "--scale", "0.5", "--seed", "9", "--scenario", "edge-only", "--out",
+            "/tmp/x", "--date", "2022-03-10",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd, "export");
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.scenario, Scenario::EdgeDamageOnly);
+        assert_eq!(o.out, PathBuf::from("/tmp/x"));
+        assert_eq!(o.date, Date::new(2022, 3, 10));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args(&[])).is_none());
+        assert!(parse(&args(&["report", "--scale"])).is_none(), "missing value");
+        assert!(parse(&args(&["report", "--scale", "-1"])).is_none(), "negative scale");
+        assert!(parse(&args(&["report", "--scenario", "apocalypse"])).is_none());
+        assert!(parse(&args(&["report", "--date", "2022-13-01"])).is_none());
+        assert!(parse(&args(&["report", "--date", "2022-02-30"])).is_none());
+        assert!(parse(&args(&["report", "--bogus", "x"])).is_none());
+    }
+
+    #[test]
+    fn date_parsing() {
+        assert_eq!(parse_date("2022-02-24"), Some(Date::new(2022, 2, 24)));
+        assert!(parse_date("2022-02").is_none());
+        assert!(parse_date("2022-02-24-01").is_none());
+        assert!(parse_date("abc").is_none());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, opts)) = parse(&args) else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "report" => {
+            cmd_report(&opts);
+            Ok(())
+        }
+        "export" => cmd_export(&opts),
+        "generate" => cmd_generate(&opts),
+        "map" => {
+            cmd_map(&opts);
+            Ok(())
+        }
+        "topo" => cmd_topo(&opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # ukraine-ndt
+//!
+//! A full-system Rust reproduction of *"The Ukrainian Internet Under
+//! Attack: an NDT Perspective"* (Jain, Patra, Xu, Sherry, Gill — ACM IMC
+//! 2022).
+//!
+//! The paper measures how the user-perceived performance of the Ukrainian
+//! Internet degraded during the first 54 days of the 2022 Russian invasion,
+//! using Measurement Lab's NDT dataset and its scamper traceroute sidecar.
+//! Its raw inputs — M-Lab's BigQuery tables, MaxMind geolocation, and the
+//! Ukrainian Internet at war — cannot be bundled with a code artifact, so
+//! this workspace rebuilds the entire measurement ecosystem as a
+//! deterministic simulation and then runs the paper's full analysis
+//! pipeline over it:
+//!
+//! * [`geo`] (`ndt-geo`) — Ukraine's 27 regions, cities, fronts, and a
+//!   MaxMind-style geolocation database with the paper's error model;
+//! * [`topology`] (`ndt-topology`) — an AS/router model of the Ukrainian
+//!   Internet with policy routing, multipath and failure-driven rerouting;
+//! * [`tcp`] (`ndt-tcp`) — BBR/CUBIC bulk-transfer response models
+//!   producing `TCP_INFO`-style statistics;
+//! * [`conflict`] (`ndt-conflict`) — the war as a generative model:
+//!   calendar, per-oblast intensity, damage profiles calibrated against the
+//!   paper's own tables, displacement and outage events;
+//! * [`mlab`] (`ndt-mlab`) — the M-Lab platform: 210 sites, geographic load
+//!   balancing, heavy-tailed client populations, NDT tests + traceroutes;
+//! * [`bq`] (`ndt-bq`) — a small columnar query engine standing in for
+//!   BigQuery;
+//! * [`stats`] (`ndt-stats`) — Welch's t-test with real p-values, special
+//!   functions, histograms, correlation, samplers;
+//! * [`analysis`] (`ndt-analysis`) — one module per table and figure of the
+//!   paper.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use ukraine_ndt::prelude::*;
+//!
+//! // Generate a reduced corpus (scale 1.0 reproduces the paper's ~850k
+//! // wartime-window tests) and run the full pipeline.
+//! let data = StudyData::generate(SimConfig { scale: 0.1, ..SimConfig::default() });
+//! let report = full_report(&data);
+//! println!("{}", report.render());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison of every table and figure.
+
+pub use ndt_analysis as analysis;
+pub use ndt_bq as bq;
+pub use ndt_conflict as conflict;
+pub use ndt_geo as geo;
+pub use ndt_mlab as mlab;
+pub use ndt_stats as stats;
+pub use ndt_tcp as tcp;
+pub use ndt_topology as topology;
+
+/// The most common imports for driving the reproduction.
+pub mod prelude {
+    pub use ndt_analysis::{full_report, ReproReport, StudyData};
+    pub use ndt_conflict::{Date, Period};
+    pub use ndt_geo::Oblast;
+    pub use ndt_mlab::{Dataset, SimConfig, Simulator};
+    pub use ndt_stats::{welch_t_test, WelchTTest};
+    pub use ndt_topology::{build_topology, Asn, TopologyConfig};
+}

@@ -1,0 +1,91 @@
+//! Counterfactual scenarios: what the dataset would have looked like
+//! without the war, with edge-only damage, or with core-only damage.
+//! These runs isolate the causal structure the paper can only hypothesize
+//! about (§5: "most of the performance instability occurs due to damage at
+//! the edge of the network").
+
+use std::sync::OnceLock;
+use ukraine_ndt::analysis::{table1_cities, table2_paths};
+use ukraine_ndt::mlab::Scenario;
+use ukraine_ndt::prelude::*;
+
+fn run(scenario: Scenario) -> StudyData {
+    StudyData::generate(SimConfig {
+        scale: 0.1,
+        seed: 404,
+        scenario,
+        simulate_2021: false,
+        ..SimConfig::default()
+    })
+}
+
+fn historical() -> &'static StudyData {
+    static D: OnceLock<StudyData> = OnceLock::new();
+    D.get_or_init(|| run(Scenario::Historical))
+}
+
+fn no_war() -> &'static StudyData {
+    static D: OnceLock<StudyData> = OnceLock::new();
+    D.get_or_init(|| run(Scenario::NoWar))
+}
+
+fn edge_only() -> &'static StudyData {
+    static D: OnceLock<StudyData> = OnceLock::new();
+    D.get_or_init(|| run(Scenario::EdgeDamageOnly))
+}
+
+fn core_only() -> &'static StudyData {
+    static D: OnceLock<StudyData> = OnceLock::new();
+    D.get_or_init(|| run(Scenario::CoreDamageOnly))
+}
+
+fn national_loss_ratio(data: &StudyData) -> f64 {
+    let t = table1_cities::compute(data);
+    let n = t.row("National").unwrap();
+    n.loss_wartime / n.loss_prewar
+}
+
+#[test]
+fn no_war_shows_no_degradation() {
+    let ratio = national_loss_ratio(no_war());
+    assert!((0.8..1.2).contains(&ratio), "NoWar loss ratio = {ratio}");
+    let t = table1_cities::compute(no_war());
+    let n = t.row("National").unwrap();
+    assert!(
+        !n.loss_test.significant() || (n.loss_wartime / n.loss_prewar - 1.0).abs() < 0.1,
+        "phantom war detected: p = {}",
+        n.loss_test.p
+    );
+    // Mariupol keeps its tests.
+    let m = t.row("Mariupol").unwrap();
+    assert!((m.tests_wartime as f64) > 0.5 * m.tests_prewar as f64);
+}
+
+#[test]
+fn edge_damage_carries_most_of_the_loss_degradation() {
+    // The paper's hypothesis, made quantitative: the edge-only counterfactual
+    // reproduces most of the historical loss increase, the core-only one
+    // very little.
+    let hist = national_loss_ratio(historical());
+    let edge = national_loss_ratio(edge_only());
+    let core = national_loss_ratio(core_only());
+    assert!(hist > 1.5, "historical loss ratio = {hist}");
+    assert!(edge > 0.75 * hist, "edge-only ratio {edge} vs historical {hist}");
+    assert!(core < 1.0 + 0.5 * (hist - 1.0), "core-only ratio {core} vs historical {hist}");
+}
+
+#[test]
+fn path_churn_needs_the_core_damage() {
+    // Conversely, Table 2's wartime path-diversity jump is a *core*
+    // phenomenon: it survives in core-only and shrinks without it.
+    let paths = |data: &StudyData| {
+        let t = table2_paths::compute(data, 1000);
+        t.row(Period::Wartime2022).paths_per_conn - t.row(Period::Prewar2022).paths_per_conn
+    };
+    let hist = paths(historical());
+    let core = paths(core_only());
+    let none = paths(no_war());
+    assert!(hist > 0.4, "historical jump = {hist}");
+    assert!(core > 0.5 * hist, "core-only jump {core} vs historical {hist}");
+    assert!(none < 0.5 * hist, "no-war jump {none} should be small");
+}
