@@ -1,0 +1,104 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's bench targets compiling and runnable without
+//! crates.io access. `cargo bench` runs every registered closure a handful
+//! of times and prints a single mean wall-clock figure — a smoke benchmark,
+//! not a statistical one. Swap the real criterion back in for publication
+//! numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        eprintln!("[bench group] {name}");
+        BenchmarkGroup { iters: 3 }
+    }
+
+    /// Runs one benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, 3, f);
+        self
+    }
+}
+
+/// A named group with (ignored) tuning knobs matching criterion's API.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    iters: u64,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stub keeps its own tiny count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.iters, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, iters: u64, mut f: F) {
+    let mut b = Bencher { total: Duration::ZERO, runs: 0, iters };
+    f(&mut b);
+    let mean = if b.runs > 0 { b.total / b.runs as u32 } else { Duration::ZERO };
+    eprintln!("  {name}: {mean:?} mean over {} run(s)", b.runs);
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    runs: u64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over the stub's fixed iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.runs += 1;
+        }
+    }
+}
+
+/// Registers bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

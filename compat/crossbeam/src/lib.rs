@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`, covering only `crossbeam::thread::scope`.
+//!
+//! Since Rust 1.63 the standard library has scoped threads, so the stub is a
+//! thin adapter that preserves crossbeam's calling convention: the spawn
+//! closure receives the scope (for nested spawns) and `scope` returns a
+//! `Result` rather than propagating child panics directly.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread (`Err` carries the panic payload).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; crossbeam-style `spawn` passes it to each closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope,
+        /// matching crossbeam's signature (callers commonly ignore it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local state can be
+    /// spawned; all are joined before `scope` returns.
+    ///
+    /// Always returns `Ok`: unjoined panicking children make the underlying
+    /// `std::thread::scope` panic instead, which is strictly louder than
+    /// crossbeam's `Err` — acceptable for a workspace that joins every
+    /// handle.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns_values() {
+        let data = vec![1, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<i32>())).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum::<i32>()
+        })
+        .expect("scope ok");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_in_join() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .expect("scope ok");
+        assert!(r.is_err());
+    }
+}

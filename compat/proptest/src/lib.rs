@@ -1,0 +1,403 @@
+//! Offline mini-proptest.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: numeric range strategies, tuples, `prop::collection::vec`,
+//! `prop::option::of`, `Just`, `.prop_map`, the `proptest!` macro (with
+//! optional `#![proptest_config(..)]`) and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs via the assertion
+//!   message instead of a minimized counterexample.
+//! * **Deterministic** — cases are derived from a fixed per-test seed (FNV
+//!   of the test name), so runs are reproducible without a regression file;
+//!   `*.proptest-regressions` files are ignored.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case generator (xoshiro-free: SplitMix64 is plenty here).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator from a test name, stable across runs and platforms.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed property case; `prop_assert!` returns this.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure with its message.
+    Fail(String),
+}
+
+/// Body result type of a property closure.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy always producing a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `.prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// `Vec` strategy with a uniformly drawn length in `len`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// Vector of values from `elem` with length in `len`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy producing `None` a quarter of the time.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Some(value)` ~75% of the time, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.new_value(rng))
+                }
+            }
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    { $body }
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err($crate::TestCaseError::Fail(msg)) = outcome {
+                    panic!(
+                        "property '{}' failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body (fails the case, not the
+/// process, exactly like upstream).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Skips the case when an assumption does not hold. Upstream retries the
+/// case; the stub simply treats it as passing, which keeps determinism.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let x = crate::Strategy::new_value(&(-5i64..7), &mut rng);
+            assert!((-5..7).contains(&x));
+            let f = crate::Strategy::new_value(&(-1.5..2.5f64), &mut rng);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_compose() {
+        let mut rng = crate::TestRng::deterministic("compose");
+        let strat = prop::collection::vec((0i64..5, prop::option::of(0.0..1.0f64)), 2..9);
+        for _ in 0..200 {
+            let v = crate::Strategy::new_value(&strat, &mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro pipeline itself works end to end.
+        #[test]
+        fn macro_roundtrip(a in 0i64..10, v in prop::collection::vec(0.0..1.0f64, 1..4)) {
+            prop_assert!(a >= 0, "a = {a}");
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

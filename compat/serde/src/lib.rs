@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits (blanket-implemented,
+//! so generic bounds always hold) and re-exports the no-op derive macros
+//! under the same names, mirroring real serde's `derive` feature. Swapping in
+//! the real crate is a one-line Cargo.toml change; no source edits needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

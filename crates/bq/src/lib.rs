@@ -33,10 +33,12 @@
 //! sophisticated (Welch's t-test, histograms) consumes extracted vectors via
 //! `ndt-stats`.
 
+pub mod error;
 pub mod query;
 pub mod table;
 pub mod value;
 
+pub use error::BqError;
 pub use query::Query;
 pub use table::{ColType, Column, Table};
 pub use value::Value;

@@ -1,5 +1,12 @@
 //! Query builder: filters, group-bys and aggregates over a table.
+//!
+//! Every data-dependent accessor has a `try_` twin returning
+//! `Result<_, BqError>`; aggregates additionally return `Option<f64>` so an
+//! empty or all-null selection is a typed empty rather than a `NaN` that
+//! silently poisons downstream arithmetic. The panicking variants stay for
+//! tests and fixtures with statically known schemas.
 
+use crate::error::BqError;
 use crate::table::Table;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -41,10 +48,18 @@ impl<'t> Query<'t> {
     }
 
     /// Keeps rows where `col` satisfies `pred`.
-    pub fn filter(mut self, col: &str, pred: impl Fn(&Value) -> bool) -> Self {
-        let c = self.table.column(col);
+    pub fn filter(self, col: &str, pred: impl Fn(&Value) -> bool) -> Self {
+        match self.try_filter(col, pred) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Query::filter`].
+    pub fn try_filter(mut self, col: &str, pred: impl Fn(&Value) -> bool) -> Result<Self, BqError> {
+        let c = self.table.try_column(col)?;
         self.idx.retain(|&i| pred(&c.get(i)));
-        self
+        Ok(self)
     }
 
     /// Keeps rows where `col` equals `v` (nulls never match).
@@ -52,9 +67,19 @@ impl<'t> Query<'t> {
         self.filter(col, |cell| !cell.is_null() && cell == v)
     }
 
+    /// Fallible [`Query::filter_eq`].
+    pub fn try_filter_eq(self, col: &str, v: &Value) -> Result<Self, BqError> {
+        self.try_filter(col, |cell| !cell.is_null() && cell == v)
+    }
+
     /// Keeps rows whose integer `col` lies in `[lo, hi)`. Nulls drop.
     pub fn filter_int_range(self, col: &str, lo: i64, hi: i64) -> Self {
         self.filter(col, move |cell| cell.as_int().is_some_and(|v| (lo..hi).contains(&v)))
+    }
+
+    /// Fallible [`Query::filter_int_range`].
+    pub fn try_filter_int_range(self, col: &str, lo: i64, hi: i64) -> Result<Self, BqError> {
+        self.try_filter(col, move |cell| cell.as_int().is_some_and(|v| (lo..hi).contains(&v)))
     }
 
     /// Keeps rows where `col` is not null.
@@ -62,22 +87,71 @@ impl<'t> Query<'t> {
         self.filter(col, |cell| !cell.is_null())
     }
 
+    /// Fallible [`Query::filter_not_null`].
+    pub fn try_filter_not_null(self, col: &str) -> Result<Self, BqError> {
+        self.try_filter(col, |cell| !cell.is_null())
+    }
+
     /// Non-null float values of `col` over the selection (ints widen).
     pub fn floats(&self, col: &str) -> Vec<f64> {
-        let c = self.table.column(col);
-        self.idx.iter().filter_map(|&i| c.get(i).as_float()).collect()
+        match self.try_floats(col) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Query::floats`].
+    pub fn try_floats(&self, col: &str) -> Result<Vec<f64>, BqError> {
+        let c = self.table.try_column(col)?;
+        Ok(self.idx.iter().filter_map(|&i| c.get(i).as_float()).collect())
+    }
+
+    /// Finite (non-null, non-NaN, non-infinite) float values of `col`, plus
+    /// the count of non-null values dropped for being non-finite. Degraded
+    /// pipelines use this to aggregate cleanly while accounting for every
+    /// corrupt cell they skipped.
+    pub fn finite_floats(&self, col: &str) -> Result<(Vec<f64>, usize), BqError> {
+        let all = self.try_floats(col)?;
+        let mut dropped = 0usize;
+        let finite: Vec<f64> = all
+            .into_iter()
+            .filter(|v| {
+                let keep = v.is_finite();
+                if !keep {
+                    dropped += 1;
+                }
+                keep
+            })
+            .collect();
+        Ok((finite, dropped))
     }
 
     /// Non-null integer values of `col`.
     pub fn ints(&self, col: &str) -> Vec<i64> {
-        let c = self.table.column(col);
-        self.idx.iter().filter_map(|&i| c.get(i).as_int()).collect()
+        match self.try_ints(col) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Query::ints`].
+    pub fn try_ints(&self, col: &str) -> Result<Vec<i64>, BqError> {
+        let c = self.table.try_column(col)?;
+        Ok(self.idx.iter().filter_map(|&i| c.get(i).as_int()).collect())
     }
 
     /// Non-null string values of `col`.
     pub fn strings(&self, col: &str) -> Vec<String> {
-        let c = self.table.column(col);
-        self.idx.iter().filter_map(|&i| c.get(i).as_str().map(str::to_string)).collect()
+        match self.try_strings(col) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Query::strings`].
+    pub fn try_strings(&self, col: &str) -> Result<Vec<String>, BqError> {
+        let c = self.table.try_column(col)?;
+        Ok(self.idx.iter().filter_map(|&i| c.get(i).as_str().map(str::to_string)).collect())
     }
 
     /// Values (including nulls) of `col`.
@@ -91,6 +165,12 @@ impl<'t> Query<'t> {
         self.floats(col).iter().sum()
     }
 
+    /// Fallible [`Query::sum`] over *finite* values only: corrupt (NaN or
+    /// infinite) cells are skipped rather than poisoning the total.
+    pub fn try_sum(&self, col: &str) -> Result<f64, BqError> {
+        Ok(self.finite_floats(col)?.0.iter().sum())
+    }
+
     /// Mean of the non-null floats in `col` (`NaN` when empty).
     pub fn mean(&self, col: &str) -> f64 {
         let v = self.floats(col);
@@ -101,19 +181,43 @@ impl<'t> Query<'t> {
         }
     }
 
+    /// Mean over the finite values of `col`; `Ok(None)` when the selection
+    /// is empty, all-null or has no finite values — the typed-empty
+    /// counterpart of [`Query::mean`]'s `NaN`.
+    pub fn try_mean(&self, col: &str) -> Result<Option<f64>, BqError> {
+        let (v, _) = self.finite_floats(col)?;
+        if v.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(v.iter().sum::<f64>() / v.len() as f64))
+        }
+    }
+
     /// Median of the non-null floats in `col` (`NaN` when empty).
     pub fn median(&self, col: &str) -> f64 {
         let mut v = self.floats(col);
         if v.is_empty() {
             return f64::NAN;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(f64::total_cmp);
         let mid = v.len() / 2;
         if v.len() % 2 == 1 {
             v[mid]
         } else {
             0.5 * (v[mid - 1] + v[mid])
         }
+    }
+
+    /// Median over the finite values of `col`; `Ok(None)` on a typed-empty
+    /// selection.
+    pub fn try_median(&self, col: &str) -> Result<Option<f64>, BqError> {
+        let (mut v, _) = self.finite_floats(col)?;
+        if v.is_empty() {
+            return Ok(None);
+        }
+        v.sort_by(f64::total_cmp);
+        let mid = v.len() / 2;
+        Ok(Some(if v.len() % 2 == 1 { v[mid] } else { 0.5 * (v[mid - 1] + v[mid]) }))
     }
 
     /// Unbiased sample standard deviation of `col` (`NaN` below 2 values).
@@ -126,9 +230,29 @@ impl<'t> Query<'t> {
         (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() as f64 - 1.0)).sqrt()
     }
 
+    /// Unbiased sample standard deviation over the finite values of `col`;
+    /// `Ok(None)` below 2 finite values.
+    pub fn try_std_dev(&self, col: &str) -> Result<Option<f64>, BqError> {
+        let (v, _) = self.finite_floats(col)?;
+        if v.len() < 2 {
+            return Ok(None);
+        }
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        Ok(Some(
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() as f64 - 1.0)).sqrt(),
+        ))
+    }
+
     /// Minimum of the non-null floats in `col` (`NaN` when empty).
     pub fn min(&self, col: &str) -> f64 {
         self.floats(col).into_iter().fold(f64::NAN, f64::min)
+    }
+
+    /// Minimum over the finite values of `col`; `Ok(None)` on a typed-empty
+    /// selection.
+    pub fn try_min(&self, col: &str) -> Result<Option<f64>, BqError> {
+        let (v, _) = self.finite_floats(col)?;
+        Ok(v.into_iter().reduce(f64::min))
     }
 
     /// Maximum of the non-null floats in `col` (`NaN` when empty).
@@ -136,11 +260,26 @@ impl<'t> Query<'t> {
         self.floats(col).into_iter().fold(f64::NAN, f64::max)
     }
 
+    /// Maximum over the finite values of `col`; `Ok(None)` on a typed-empty
+    /// selection.
+    pub fn try_max(&self, col: &str) -> Result<Option<f64>, BqError> {
+        let (v, _) = self.finite_floats(col)?;
+        Ok(v.into_iter().reduce(f64::max))
+    }
+
     /// Groups the selection by the (stringified) value of `col`. Nulls form
     /// their own group keyed `Value::Null`. Groups preserve row order; the
     /// group list is ordered by first appearance.
     pub fn group_by(&self, col: &str) -> Vec<(Value, Query<'t>)> {
-        let c = self.table.column(col);
+        match self.try_group_by(col) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Query::group_by`].
+    pub fn try_group_by(&self, col: &str) -> Result<Vec<(Value, Query<'t>)>, BqError> {
+        let c = self.table.try_column(col)?;
         let mut order: Vec<Value> = Vec::new();
         let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
         for &i in &self.idx {
@@ -151,31 +290,47 @@ impl<'t> Query<'t> {
             }
             buckets.entry(key).or_default().push(i);
         }
-        order
+        Ok(order
             .into_iter()
             .map(|v| {
                 let key = format!("{v:?}");
                 let idx = buckets.remove(&key).expect("bucket exists");
                 (v, Query { table: self.table, idx })
             })
-            .collect()
+            .collect())
     }
 
     /// Sorts the selection by `col` ascending (nulls last; ties keep row
     /// order). Strings sort lexicographically, numbers numerically.
     pub fn order_by(self, col: &str) -> Self {
+        match self.try_order_by(col) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Query::order_by`].
+    pub fn try_order_by(self, col: &str) -> Result<Self, BqError> {
         self.order_impl(col, false)
     }
 
     /// Sorts the selection by `col` descending (nulls still last; ties keep
     /// row order).
     pub fn order_by_desc(self, col: &str) -> Self {
+        match self.try_order_by_desc(col) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Query::order_by_desc`].
+    pub fn try_order_by_desc(self, col: &str) -> Result<Self, BqError> {
         self.order_impl(col, true)
     }
 
-    fn order_impl(mut self, col: &str, desc: bool) -> Self {
+    fn order_impl(mut self, col: &str, desc: bool) -> Result<Self, BqError> {
         use std::cmp::Ordering;
-        let c = self.table.column(col);
+        let c = self.table.try_column(col)?;
         self.idx.sort_by(|&a, &b| {
             let (va, vb) = (c.get(a), c.get(b));
             let ord = match (va.is_null(), vb.is_null()) {
@@ -192,7 +347,7 @@ impl<'t> Query<'t> {
             };
             ord.then(a.cmp(&b))
         });
-        self
+        Ok(self)
     }
 
     /// Keeps at most the first `n` selected rows.
@@ -203,7 +358,15 @@ impl<'t> Query<'t> {
 
     /// Distinct non-null values of `col`, in first-appearance order.
     pub fn distinct(&self, col: &str) -> Vec<Value> {
-        let c = self.table.column(col);
+        match self.try_distinct(col) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Query::distinct`].
+    pub fn try_distinct(&self, col: &str) -> Result<Vec<Value>, BqError> {
+        let c = self.table.try_column(col)?;
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for &i in &self.idx {
@@ -215,7 +378,7 @@ impl<'t> Query<'t> {
                 out.push(v);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Number of distinct non-null values of `col` (`COUNT(DISTINCT col)`).
@@ -223,14 +386,31 @@ impl<'t> Query<'t> {
         self.distinct(col).len()
     }
 
+    /// Fallible [`Query::count_distinct`].
+    pub fn try_count_distinct(&self, col: &str) -> Result<usize, BqError> {
+        Ok(self.try_distinct(col)?.len())
+    }
+
     /// Keeps the top `n` groups of `group_by(col)` ranked by row count
     /// (descending, ties by first appearance) — the paper's
     /// "top-1000 connections" / "top-10 ASes" idiom.
     pub fn top_groups_by_count(&self, col: &str, n: usize) -> Vec<(Value, Query<'t>)> {
-        let mut groups = self.group_by(col);
+        match self.try_top_groups_by_count(col, n) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Query::top_groups_by_count`].
+    pub fn try_top_groups_by_count(
+        &self,
+        col: &str,
+        n: usize,
+    ) -> Result<Vec<(Value, Query<'t>)>, BqError> {
+        let mut groups = self.try_group_by(col)?;
         groups.sort_by_key(|g| std::cmp::Reverse(g.1.count()));
         groups.truncate(n);
-        groups
+        Ok(groups)
     }
 }
 
@@ -250,10 +430,13 @@ fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
         _ if class(a) != class(b) => class(a).cmp(&class(b)),
         (Value::Str(x), Value::Str(y)) => x.cmp(y),
         (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
-        _ => a
-            .as_float()
-            .partial_cmp(&b.as_float())
-            .unwrap_or(Ordering::Equal),
+        // total_cmp gives NaN a fixed place in the order (after +inf), so a
+        // corrupt cell can never make the comparator inconsistent and
+        // scramble an otherwise-valid sort.
+        _ => match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => x.total_cmp(&y),
+            (x, y) => x.is_some().cmp(&y.is_some()).reverse(),
+        },
     }
 }
 

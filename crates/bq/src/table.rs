@@ -1,5 +1,6 @@
 //! Typed columnar tables.
 
+use crate::error::BqError;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 
@@ -31,7 +32,7 @@ impl Column {
         }
     }
 
-    fn push(&mut self, v: Value, col_name: &str) {
+    fn try_push(&mut self, v: Value, col_name: &str, table: &str) -> Result<(), BqError> {
         match (self, v) {
             (Column::Int(c), Value::Int(v)) => c.push(Some(v)),
             (Column::Int(c), Value::Null) => c.push(None),
@@ -42,8 +43,16 @@ impl Column {
             (Column::Str(c), Value::Null) => c.push(None),
             (Column::Bool(c), Value::Bool(v)) => c.push(Some(v)),
             (Column::Bool(c), Value::Null) => c.push(None),
-            (col, v) => panic!("type mismatch inserting {v:?} into column '{col_name}' ({:?})", col.col_type()),
+            (col, v) => {
+                return Err(BqError::TypeMismatch {
+                    table: table.to_string(),
+                    column: col_name.to_string(),
+                    expected: col.col_type(),
+                    got: format!("{v:?}"),
+                })
+            }
         }
+        Ok(())
     }
 
     /// The column's type tag.
@@ -115,13 +124,51 @@ impl Table {
     /// Appends a row.
     ///
     /// # Panics
-    /// Panics if the arity or any cell type mismatches the schema.
+    /// Panics if the arity or any cell type mismatches the schema. Data
+    /// paths ingesting untrusted rows use [`Table::try_push`] instead.
     pub fn push(&mut self, row: Vec<Value>) {
-        assert_eq!(row.len(), self.cols.len(), "row arity mismatch in '{}'", self.name);
+        if let Err(e) = self.try_push(row) {
+            panic!("{e}");
+        }
+    }
+
+    /// Appends a row, rejecting arity and cell-type mismatches.
+    ///
+    /// On error the table is unchanged *logically*: the row counter does not
+    /// advance and any partially pushed cells are rolled back, so a corrupt
+    /// source row never desynchronizes the columns.
+    pub fn try_push(&mut self, row: Vec<Value>) -> Result<(), BqError> {
+        if row.len() != self.cols.len() {
+            return Err(BqError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.cols.len(),
+                got: row.len(),
+            });
+        }
+        let mut pushed = 0usize;
+        let mut failure = None;
         for ((col, name), v) in self.cols.iter_mut().zip(&self.names).zip(row) {
-            col.push(v, name);
+            match col.try_push(v, name, &self.name) {
+                Ok(()) => pushed += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            for col in self.cols.iter_mut().take(pushed) {
+                match col {
+                    Column::Int(c) => drop(c.pop()),
+                    Column::Float(c) => drop(c.pop()),
+                    Column::Str(c) => drop(c.pop()),
+                    Column::Bool(c) => drop(c.pop()),
+                }
+            }
+            return Err(e);
         }
         self.rows += 1;
+        Ok(())
     }
 
     /// Number of rows.
@@ -137,17 +184,35 @@ impl Table {
     /// Index of a column.
     ///
     /// # Panics
-    /// Panics if the column does not exist.
+    /// Panics if the column does not exist. Data paths resolving columns
+    /// from untrusted input use [`Table::try_col_index`] instead.
     pub fn col_index(&self, name: &str) -> usize {
-        self.names
-            .iter()
-            .position(|n| n == name)
-            .unwrap_or_else(|| panic!("no column '{name}' in '{}' (have: {:?})", self.name, self.names))
+        match self.try_col_index(name) {
+            Ok(i) => i,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Index of a column, or a typed error naming the available columns.
+    pub fn try_col_index(&self, name: &str) -> Result<usize, BqError> {
+        self.names.iter().position(|n| n == name).ok_or_else(|| BqError::NoSuchColumn {
+            table: self.name.clone(),
+            column: name.to_string(),
+            available: self.names.clone(),
+        })
     }
 
     /// Column storage by name.
+    ///
+    /// # Panics
+    /// Panics if the column does not exist; see [`Table::try_column`].
     pub fn column(&self, name: &str) -> &Column {
         &self.cols[self.col_index(name)]
+    }
+
+    /// Column storage by name, or a typed error.
+    pub fn try_column(&self, name: &str) -> Result<&Column, BqError> {
+        Ok(&self.cols[self.try_col_index(name)?])
     }
 
     /// Cell value.

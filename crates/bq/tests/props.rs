@@ -91,3 +91,85 @@ proptest! {
         prop_assert!(top.windows(2).all(|w| w[0].1.count() >= w[1].1.count()));
     }
 }
+
+/// A "dirty" table whose float column mixes nulls, NaNs, infinities and
+/// finite values — the shape fault injection produces.
+fn arb_dirty_table() -> impl Strategy<Value = Table> {
+    // A selector byte picks the cell kind: null, NaN, ±infinity or finite.
+    prop::collection::vec((0i64..5, 0u8..10, -100.0..100.0f64), 0..100).prop_map(|rows| {
+        let mut t = Table::new("dirty", &[("k", ColType::Int), ("x", ColType::Float)]);
+        for (k, kind, finite) in rows {
+            let x = match kind {
+                0 | 1 => Value::Null,
+                2 => Value::Float(f64::NAN),
+                3 => Value::Float(f64::INFINITY),
+                4 => Value::Float(f64::NEG_INFINITY),
+                _ => Value::Float(finite),
+            };
+            t.push(vec![Value::Int(k), x]);
+        }
+        t
+    })
+}
+
+proptest! {
+    /// The fallible aggregates never panic and never leak NaN: on empty,
+    /// all-null or corrupt-bearing columns they return a typed empty
+    /// (`Ok(None)`) or a finite value — never `Err`, never a poisoned
+    /// number.
+    #[test]
+    fn try_aggregates_are_panic_free_and_nan_free(t in arb_dirty_table()) {
+        let q = t.query();
+        let (finite, dropped) = q.finite_floats("x").unwrap();
+        let non_null = q.try_floats("x").unwrap().len();
+        prop_assert_eq!(finite.len() + dropped, non_null, "finite/dropped split loses rows");
+        prop_assert!(finite.iter().all(|v| v.is_finite()));
+
+        for (val, needs) in [
+            (q.try_mean("x").unwrap(), 1),
+            (q.try_median("x").unwrap(), 1),
+            (q.try_std_dev("x").unwrap(), 2),
+            (q.try_min("x").unwrap(), 1),
+            (q.try_max("x").unwrap(), 1),
+        ] {
+            if finite.len() >= needs {
+                let v = val.expect("enough finite values for an aggregate");
+                prop_assert!(v.is_finite(), "aggregate leaked non-finite {v}");
+            } else {
+                prop_assert!(val.is_none(), "typed empty expected, got {val:?}");
+            }
+        }
+        let s = q.try_sum("x").unwrap();
+        prop_assert!(s.is_finite(), "sum leaked non-finite {s}");
+    }
+
+    /// Schema drift is an error value, not a panic: every fallible entry
+    /// point rejects an unknown column with `Err`.
+    #[test]
+    fn unknown_columns_error_instead_of_panicking(t in arb_dirty_table()) {
+        let q = t.query();
+        prop_assert!(q.try_floats("nope").is_err());
+        prop_assert!(q.finite_floats("nope").is_err());
+        prop_assert!(q.try_mean("nope").is_err());
+        prop_assert!(q.try_median("nope").is_err());
+        prop_assert!(q.try_std_dev("nope").is_err());
+        prop_assert!(q.try_min("nope").is_err());
+        prop_assert!(q.try_max("nope").is_err());
+        prop_assert!(q.try_sum("nope").is_err());
+        prop_assert!(t.try_col_index("nope").is_err());
+        prop_assert!(t.query().try_filter_not_null("nope").is_err());
+    }
+
+    /// The infallible aggregates tolerate dirty columns too (`total_cmp`
+    /// sorting): they may return NaN but must not panic.
+    #[test]
+    fn legacy_aggregates_do_not_panic_on_dirty_columns(t in arb_dirty_table()) {
+        let q = t.query();
+        let _ = q.mean("x");
+        let _ = q.median("x");
+        let _ = q.std_dev("x");
+        let _ = q.min("x");
+        let _ = q.max("x");
+        let _ = q.sum("x");
+    }
+}

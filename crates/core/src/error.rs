@@ -1,0 +1,74 @@
+//! The analysis crate's error type.
+//!
+//! Every `compute()` in this crate returns `Result<_, AnalysisError>`:
+//! data-dependent failures (schema drift in the underlying columnar store,
+//! a slice with no usable rows where the method needs at least one) surface
+//! as typed errors instead of panics, so a degraded corpus — missing days,
+//! corrupt cells, lost sidecars — flows through the whole pipeline and
+//! comes out annotated rather than crashing it.
+
+use ndt_bq::BqError;
+use std::fmt;
+
+/// A data-dependent analysis failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The underlying columnar store rejected a query (missing column,
+    /// type mismatch) — schema drift, not data degradation.
+    Bq(BqError),
+    /// A computation's input was degenerate beyond recovery (e.g. the whole
+    /// study window is empty). Partial degradation does *not* produce this:
+    /// it yields a result with [`crate::coverage::Coverage`] annotations.
+    Degenerate {
+        /// Which computation gave up.
+        what: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Bq(e) => write!(f, "columnar store error: {e}"),
+            AnalysisError::Degenerate { what } => {
+                write!(f, "degenerate input: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Bq(e) => Some(e),
+            AnalysisError::Degenerate { .. } => None,
+        }
+    }
+}
+
+impl From<BqError> for AnalysisError {
+    fn from(e: BqError) -> Self {
+        AnalysisError::Bq(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_the_source() {
+        let e = AnalysisError::from(BqError::NoSuchColumn {
+            table: "t".into(),
+            column: "c".into(),
+            available: vec!["a".into()],
+        });
+        assert!(e.to_string().contains("no column 'c'"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn degenerate_is_descriptive() {
+        let e = AnalysisError::Degenerate { what: "empty study window".into() };
+        assert!(e.to_string().contains("empty study window"));
+    }
+}

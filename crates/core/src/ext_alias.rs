@@ -9,7 +9,9 @@
 //! Ally-style resolver — and reports how much the IP-level number
 //! overstates real forwarding-path diversity.
 
+use crate::coverage::{num_cell, Coverage};
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::text_table;
 use ndt_conflict::Period;
 use serde::{Deserialize, Serialize};
@@ -34,12 +36,16 @@ pub struct AliasRow {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AliasComparison {
     pub rows: Vec<AliasRow>,
+    /// Degradation accounting: periods whose connection pool runs thin are
+    /// daggered.
+    pub coverage: Coverage,
 }
 
 /// Computes the comparison over the top-`top_n` connections per period
 /// (same selection as Table 2).
-pub fn compute(data: &StudyData, top_n: usize) -> AliasComparison {
-    let rows = Period::ALL
+pub fn compute(data: &StudyData, top_n: usize) -> Result<AliasComparison, AnalysisError> {
+    let mut cov = Coverage::new();
+    let rows: Vec<AliasRow> = Period::ALL
         .iter()
         .map(|&period| {
             /// Per-connection aggregate: test count, interface-level,
@@ -53,16 +59,27 @@ pub fn compute(data: &StudyData, top_n: usize) -> AliasComparison {
                 e.2.insert(r.resolved_fingerprint);
                 e.3.insert(r.router_fingerprint);
             }
-            let mut by_tests: Vec<(usize, usize, usize, usize)> = conns
-                .values()
-                .map(|(n, ip, res, router)| (*n, ip.len(), res.len(), router.len()))
+            // Deterministic top-N: break test-count ties by connection
+            // identity so the selection never depends on HashMap order.
+            /// Deterministically sortable summary: test count, connection
+            /// identity, then the three path-set sizes.
+            type ConnSummary = (usize, (u32, u32), usize, usize, usize);
+            let mut by_tests: Vec<ConnSummary> = conns
+                .iter()
+                .map(|(conn, (n, ip, res, router))| {
+                    (*n, *conn, ip.len(), res.len(), router.len())
+                })
                 .collect();
-            by_tests.sort_by_key(|t| std::cmp::Reverse(t.0));
+            by_tests.sort_by_key(|&(n, conn, ..)| (std::cmp::Reverse(n), conn));
             by_tests.truncate(top_n);
             let n = by_tests.len().max(1) as f64;
-            let ip_level = by_tests.iter().map(|(_, p, _, _)| *p as f64).sum::<f64>() / n;
-            let resolved_level = by_tests.iter().map(|(_, _, r, _)| *r as f64).sum::<f64>() / n;
-            let router_level = by_tests.iter().map(|(_, _, _, r)| *r as f64).sum::<f64>() / n;
+            // `0.0 +` normalizes the empty sum, which is -0.0 and would
+            // render a starved period as "-0.000".
+            let ip_level = 0.0 + by_tests.iter().map(|(_, _, p, _, _)| *p as f64).sum::<f64>() / n;
+            let resolved_level =
+                0.0 + by_tests.iter().map(|(_, _, _, r, _)| *r as f64).sum::<f64>() / n;
+            let router_level =
+                0.0 + by_tests.iter().map(|(_, _, _, _, r)| *r as f64).sum::<f64>() / n;
             AliasRow {
                 period,
                 ip_level,
@@ -73,7 +90,11 @@ pub fn compute(data: &StudyData, top_n: usize) -> AliasComparison {
             }
         })
         .collect();
-    AliasComparison { rows }
+    for r in &rows {
+        cov.see(r.connections);
+        cov.note_sample(r.period.label(), r.connections);
+    }
+    Ok(AliasComparison { rows, coverage: cov })
 }
 
 impl AliasComparison {
@@ -90,17 +111,20 @@ impl AliasComparison {
             .map(|r| {
                 vec![
                     r.period.label().to_string(),
-                    format!("{:.3}", r.ip_level),
-                    format!("{:.3}", r.resolved_level),
-                    format!("{:.3}", r.router_level),
-                    format!("{:.3}", r.overcount),
+                    num_cell(r.ip_level, 3),
+                    num_cell(r.resolved_level, 3),
+                    num_cell(r.router_level, 3),
+                    // 0/0 connections (total sidecar loss) has no overcount.
+                    num_cell(r.overcount, 3),
                 ]
             })
             .collect();
-        text_table(
+        let mut out = text_table(
             &["Period", "IP-level paths/conn", "Resolved (70% recall)", "Router-level", "Overcount"],
             &rows,
-        )
+        );
+        out.push_str(&self.coverage.footer());
+        out
     }
 }
 
@@ -112,7 +136,7 @@ mod tests {
 
     fn cmp() -> &'static AliasComparison {
         static C: OnceLock<AliasComparison> = OnceLock::new();
-        C.get_or_init(|| compute(shared_medium(), 1000))
+        C.get_or_init(|| compute(shared_medium(), 1000).expect("clean corpus computes"))
     }
 
     #[test]

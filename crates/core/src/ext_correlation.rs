@@ -7,7 +7,9 @@
 //! between each oblast's mean wartime conflict intensity and its metric
 //! changes.
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::fig3_oblast;
 use crate::render::text_table;
 use ndt_conflict::intensity::wartime_mean_intensity;
@@ -28,23 +30,26 @@ pub struct IntensityCorrelation {
     /// Spearman ρ of intensity vs Δtest-counts (expected negative:
     /// displacement empties the hot regions).
     pub rho_counts: f64,
+    /// Degradation accounting inherited from the underlying Figure 3 pass.
+    pub coverage: Coverage,
 }
 
 /// Computes the correlations from Figure 3's per-oblast changes.
-pub fn compute(data: &StudyData) -> IntensityCorrelation {
-    let fig3 = fig3_oblast::compute(data);
+pub fn compute(data: &StudyData) -> Result<IntensityCorrelation, AnalysisError> {
+    let fig3 = fig3_oblast::compute(data)?;
     let intensity: Vec<f64> =
         fig3.rows.iter().map(|r| wartime_mean_intensity(r.oblast)).collect();
     let pick = |f: fn(&fig3_oblast::OblastChange) -> f64| -> Vec<f64> {
         fig3.rows.iter().map(f).collect()
     };
-    IntensityCorrelation {
+    Ok(IntensityCorrelation {
         n: fig3.rows.len(),
         rho_loss: spearman(&intensity, &pick(|r| r.d_loss)),
         rho_tput: spearman(&intensity, &pick(|r| r.d_tput)),
         rho_rtt: spearman(&intensity, &pick(|r| r.d_min_rtt)),
         rho_counts: spearman(&intensity, &pick(|r| r.d_tests)),
-    }
+        coverage: fig3.coverage,
+    })
 }
 
 impl IntensityCorrelation {
@@ -70,7 +75,7 @@ mod tests {
 
     fn corr() -> &'static IntensityCorrelation {
         static C: OnceLock<IntensityCorrelation> = OnceLock::new();
-        C.get_or_init(|| compute(shared_medium()))
+        C.get_or_init(|| compute(shared_medium()).expect("clean corpus computes"))
     }
 
     #[test]

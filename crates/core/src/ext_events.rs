@@ -8,7 +8,9 @@
 //! single-day test-count spikes, then aligns detections with the §2 event
 //! timeline.
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::fig2_national;
 use crate::render::text_table;
 use ndt_conflict::calendar::Date;
@@ -109,11 +111,14 @@ pub struct EventStudy {
     pub rtt_changes: Vec<ChangePoint>,
     pub count_spikes: Vec<Spike>,
     pub matches: Vec<EventMatch>,
+    /// Degradation accounting inherited from the underlying Figure 2 pass
+    /// (corrupt rows excluded from the scanned series).
+    pub coverage: Coverage,
 }
 
 /// Runs the date-level analysis over the 2022 national series.
-pub fn compute(data: &StudyData) -> EventStudy {
-    let fig2 = fig2_national::compute(data);
+pub fn compute(data: &StudyData) -> Result<EventStudy, AnalysisError> {
+    let fig2 = fig2_national::compute(data)?;
     let loss: Vec<(i64, f64)> = fig2.y2022.days.iter().map(|p| (p.day, p.mean_loss)).collect();
     let rtt: Vec<(i64, f64)> =
         fig2.y2022.days.iter().map(|p| (p.day, p.mean_min_rtt_ms)).collect();
@@ -141,7 +146,7 @@ pub fn compute(data: &StudyData) -> EventStudy {
         })
         .collect();
 
-    EventStudy { loss_changes, rtt_changes, count_spikes, matches }
+    Ok(EventStudy { loss_changes, rtt_changes, count_spikes, matches, coverage: fig2.coverage })
 }
 
 impl EventStudy {
@@ -175,7 +180,7 @@ mod tests {
 
     fn study() -> &'static EventStudy {
         static S: OnceLock<EventStudy> = OnceLock::new();
-        S.get_or_init(|| compute(shared_medium()))
+        S.get_or_init(|| compute(shared_medium()).expect("clean corpus computes"))
     }
 
     #[test]

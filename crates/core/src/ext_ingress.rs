@@ -8,7 +8,9 @@
 //! paper's own criterion rather than cherry-picked, and surfacing any other
 //! ASes whose ingress mix moved.
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::text_table;
 use ndt_conflict::Period;
 use ndt_topology::Asn;
@@ -37,10 +39,12 @@ pub struct IngressScan {
     /// Ranked by tests (the paper's "most commonly occurring" criterion),
     /// restricted to ASes with ≥ 2 foreign ingresses.
     pub rows: Vec<IngressShift>,
+    /// Degradation accounting: thinly-observed ASes are daggered.
+    pub coverage: Coverage,
 }
 
 /// Computes the scan over the 2022 window.
-pub fn compute(data: &StudyData) -> IngressScan {
+pub fn compute(data: &StudyData) -> Result<IngressScan, AnalysisError> {
     // (ua_asn) → (border_asn → (prewar count, wartime count))
     let mut counts: BTreeMap<Asn, BTreeMap<Asn, (usize, usize)>> = BTreeMap::new();
     for (period, war) in [(Period::Prewar2022, false), (Period::Wartime2022, true)] {
@@ -81,7 +85,12 @@ pub fn compute(data: &StudyData) -> IngressScan {
         })
         .collect();
     rows.sort_by_key(|r| std::cmp::Reverse(r.tests));
-    IngressScan { rows }
+    let mut cov = Coverage::new();
+    for r in &rows {
+        cov.see(r.tests);
+        cov.note_sample(r.ua_asn.to_string(), r.tests);
+    }
+    Ok(IngressScan { rows, coverage: cov })
 }
 
 impl IngressScan {
@@ -111,7 +120,9 @@ impl IngressScan {
                 ]
             })
             .collect();
-        text_table(&["UA AS", "#ingresses", "tests", "TV shift", "biggest gainer"], &rows)
+        let mut out = text_table(&["UA AS", "#ingresses", "tests", "TV shift", "biggest gainer"], &rows);
+        out.push_str(&self.coverage.footer());
+        out
     }
 }
 
@@ -124,7 +135,7 @@ mod tests {
 
     fn scan() -> &'static IngressScan {
         static S: OnceLock<IngressScan> = OnceLock::new();
-        S.get_or_init(|| compute(shared_medium()))
+        S.get_or_init(|| compute(shared_medium()).expect("clean corpus computes"))
     }
 
     #[test]

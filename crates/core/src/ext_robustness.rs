@@ -8,7 +8,9 @@
 //! all. Where the two tests agree, the paper's conclusion did not hinge on
 //! normality.
 
+use crate::coverage::{metric_samples, Coverage};
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::text_table;
 use ndt_bq::Query;
 use ndt_conflict::Period;
@@ -47,36 +49,53 @@ pub struct RobustnessRow {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Robustness {
     pub rows: Vec<RobustnessRow>,
+    /// Degradation accounting: corrupt metric values are excluded from both
+    /// tests' samples and tallied here.
+    pub coverage: Coverage,
 }
 
-fn pair(pre: &Query<'_>, war: &Query<'_>, col: &str) -> TestPair {
-    let a = pre.floats(col);
-    let b = war.floats(col);
+fn pair(
+    pre: &Query<'_>,
+    war: &Query<'_>,
+    col: &str,
+    cov: &mut Coverage,
+) -> Result<TestPair, AnalysisError> {
+    let a = metric_samples(pre, col, true, cov)?;
+    let b = metric_samples(war, col, true, cov)?;
     let mut pooled = a.clone();
     pooled.extend_from_slice(&b);
-    TestPair {
+    Ok(TestPair {
         welch: welch_t_test(&a, &b),
         mann_whitney: mann_whitney_u(&a, &b),
         normality: jarque_bera(&pooled),
-    }
+    })
 }
 
 /// Runs both tests on every Table 1 slice.
-pub fn compute(data: &StudyData) -> Robustness {
+pub fn compute(data: &StudyData) -> Result<Robustness, AnalysisError> {
+    let mut cov = Coverage::new();
     let mut rows = Vec::new();
-    let mut push = |name: &str, pre: Query<'_>, war: Query<'_>| {
+    let mut push = |name: &str, pre: Query<'_>, war: Query<'_>, cov: &mut Coverage| {
+        cov.see(pre.count() + war.count());
+        cov.note_sample(name, pre.count().min(war.count()));
         rows.push(RobustnessRow {
             name: name.to_string(),
-            min_rtt: pair(&pre, &war, "min_rtt"),
-            tput: pair(&pre, &war, "tput"),
-            loss: pair(&pre, &war, "loss"),
+            min_rtt: pair(&pre, &war, "min_rtt", cov)?,
+            tput: pair(&pre, &war, "tput", cov)?,
+            loss: pair(&pre, &war, "loss", cov)?,
         });
+        Ok::<(), AnalysisError>(())
     };
     for city in KEY_CITIES {
-        push(city, data.city_period(city, Period::Prewar2022), data.city_period(city, Period::Wartime2022));
+        push(
+            city,
+            data.city_period(city, Period::Prewar2022),
+            data.city_period(city, Period::Wartime2022),
+            &mut cov,
+        )?;
     }
-    push("National", data.period(Period::Prewar2022), data.period(Period::Wartime2022));
-    Robustness { rows }
+    push("National", data.period(Period::Prewar2022), data.period(Period::Wartime2022), &mut cov)?;
+    Ok(Robustness { rows, coverage: cov })
 }
 
 impl Robustness {
@@ -115,6 +134,7 @@ impl Robustness {
         let mut out =
             text_table(&["", "RTT W/MW", "Tput W/MW", "Loss W/MW", "TputSkew", "LossSkew"], &rows);
         out.push_str(&format!("\nagreement: {:.0}%\n", self.agreement() * 100.0));
+        out.push_str(&self.coverage.footer());
         out
     }
 }
@@ -127,7 +147,7 @@ mod tests {
 
     fn rb() -> &'static Robustness {
         static R: OnceLock<Robustness> = OnceLock::new();
-        R.get_or_init(|| compute(shared_medium()))
+        R.get_or_init(|| compute(shared_medium()).expect("clean corpus computes"))
     }
 
     #[test]

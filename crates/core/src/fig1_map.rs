@@ -77,7 +77,7 @@ impl ActivityMap {
         }
         // Legend table, ordered by intensity.
         let mut cells = self.cells.clone();
-        cells.sort_by(|a, b| b.intensity.partial_cmp(&a.intensity).unwrap());
+        cells.sort_by(|a, b| b.intensity.total_cmp(&a.intensity));
         let rows: Vec<Vec<String>> = cells
             .iter()
             .take(10)

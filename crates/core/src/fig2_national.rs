@@ -6,7 +6,9 @@
 //! (2b) … Mean download speed (2c) sees a 50% decrease with a corresponding
 //! spike in test counts (2a) near March 10."
 
+use crate::coverage::{Coverage, DropReason};
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::csv;
 use ndt_conflict::calendar::Date;
 use ndt_stats::DailySeries;
@@ -35,45 +37,77 @@ pub struct YearSeries {
 pub struct NationalTimeline {
     pub y2022: YearSeries,
     pub y2021: YearSeries,
+    /// Degradation accounting across both windows.
+    pub coverage: Coverage,
 }
 
 /// Computes the figure from all NDT download tests originating in Ukraine
 /// (the paper's national aggregate uses every row, located or not).
-pub fn compute(data: &StudyData) -> NationalTimeline {
-    NationalTimeline { y2022: year_series(data, 2022), y2021: year_series(data, 2021) }
+pub fn compute(data: &StudyData) -> Result<NationalTimeline, AnalysisError> {
+    let mut cov = Coverage::new();
+    let y2022 = year_series(data, 2022, &mut cov)?;
+    let y2021 = year_series(data, 2021, &mut cov)?;
+    Ok(NationalTimeline { y2022, y2021, coverage: cov })
 }
 
-fn year_series(data: &StudyData, year: i32) -> YearSeries {
+fn year_series(
+    data: &StudyData,
+    year: i32,
+    cov: &mut Coverage,
+) -> Result<YearSeries, AnalysisError> {
     let start = Date::new(year, 1, 1).day_index();
     let end = start + 108;
     let q = data.unified.query().filter_int_range("day", start, end);
     let mut rtt = DailySeries::new();
     let mut tput = DailySeries::new();
     let mut loss = DailySeries::new();
-    let days_col = q.ints("day");
-    let rtt_col = q.floats("min_rtt");
-    let tput_col = q.floats("tput");
-    let loss_col = q.floats("loss");
+    let days_col = q.try_ints("day")?;
+    let rtt_col = q.try_floats("min_rtt")?;
+    let tput_col = q.try_floats("tput")?;
+    let loss_col = q.try_floats("loss")?;
+    cov.see(days_col.len());
+    let mut counts: std::collections::BTreeMap<i64, usize> = Default::default();
     for (((d, r), t), l) in days_col.iter().zip(&rtt_col).zip(&tput_col).zip(&loss_col) {
-        rtt.push(*d, *r);
-        tput.push(*d, *t);
-        loss.push(*d, *l);
+        // Every test counts toward the day's volume (panel 2a), but only
+        // clean metric values feed the mean panels: corrupt cells would
+        // otherwise poison a whole day's average.
+        *counts.entry(*d).or_default() += 1;
+        for (series, v, nonneg) in
+            [(&mut rtt, *r, true), (&mut tput, *t, true), (&mut loss, *l, true)]
+        {
+            if !v.is_finite() {
+                cov.drop_rows(DropReason::NonFinite, 1);
+            } else if nonneg && v < 0.0 {
+                cov.drop_rows(DropReason::Negative, 1);
+            } else {
+                series.push(*d, v);
+            }
+        }
     }
-    let counts: std::collections::BTreeMap<i64, usize> = rtt.daily_counts().into_iter().collect();
     let rtt_means: std::collections::BTreeMap<i64, f64> = rtt.daily_means().into_iter().collect();
     let tput_means: std::collections::BTreeMap<i64, f64> = tput.daily_means().into_iter().collect();
     let loss_means: std::collections::BTreeMap<i64, f64> = loss.daily_means().into_iter().collect();
-    let days = (start..end)
-        .filter(|d| counts.contains_key(d))
-        .map(|d| DayPoint {
+    let mut days = Vec::new();
+    for d in start..end {
+        let Some(&tests) = counts.get(&d) else { continue };
+        let (r, t, l) =
+            (rtt_means.get(&d).copied(), tput_means.get(&d).copied(), loss_means.get(&d).copied());
+        let (Some(r), Some(t), Some(l)) = (r, t, l) else {
+            // All of the day's values for some metric were corrupt; the
+            // point is omitted and the day flagged rather than plotted as a
+            // hole-ridden average.
+            cov.note_sample(format!("{year}/day {d}"), 0);
+            continue;
+        };
+        days.push(DayPoint {
             day: d,
-            tests: counts[&d],
-            mean_min_rtt_ms: rtt_means[&d],
-            mean_tput_mbps: tput_means[&d],
-            mean_loss: loss_means[&d],
-        })
-        .collect();
-    YearSeries { year, days }
+            tests,
+            mean_min_rtt_ms: r,
+            mean_tput_mbps: t,
+            mean_loss: l,
+        });
+    }
+    Ok(YearSeries { year, days })
 }
 
 impl NationalTimeline {
@@ -113,7 +147,7 @@ mod tests {
 
     #[test]
     fn wartime_degradation_visible_in_series() {
-        let fig = compute(shared_small());
+        let fig = compute(shared_small()).expect("clean corpus computes");
         let invasion = dates::INVASION.day_index();
         let pre_loss = fig.mean_2022(invasion - 30, invasion, |p| p.mean_loss);
         let war_loss = fig.mean_2022(invasion + 5, invasion + 40, |p| p.mean_loss);
@@ -128,7 +162,7 @@ mod tests {
 
     #[test]
     fn baseline_2021_shows_no_invasion_effect() {
-        let fig = compute(shared_small());
+        let fig = compute(shared_small()).expect("clean corpus computes");
         // Compare the same calendar offsets in 2021.
         let split = 54; // 2021-02-24 offset within the window
         let s = &fig.y2021.days;
@@ -143,7 +177,7 @@ mod tests {
 
     #[test]
     fn march_10_test_count_spike() {
-        let fig = compute(shared_small());
+        let fig = compute(shared_small()).expect("clean corpus computes");
         let mar10 = dates::NATIONAL_OUTAGES.day_index();
         let spike = fig.y2022.days.iter().find(|p| p.day == mar10).unwrap().tests as f64;
         let around: Vec<f64> = fig
@@ -159,7 +193,7 @@ mod tests {
 
     #[test]
     fn csv_has_both_years() {
-        let fig = compute(shared_small());
+        let fig = compute(shared_small()).expect("clean corpus computes");
         let c = fig.to_csv();
         assert!(c.starts_with("year,date,"));
         assert!(c.contains("\n2021,2021-01-01,"));

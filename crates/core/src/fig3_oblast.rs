@@ -4,7 +4,9 @@
 //! The paper: "oblasts in the North and Southeast are directly correlated
 //! with worsening metrics — the same regions with active conflict."
 
+use crate::coverage::{mean_or_nan, metric_samples, Coverage, DropReason};
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::{csv, pct};
 use ndt_conflict::Period;
 use ndt_geo::{Front, Oblast};
@@ -26,29 +28,50 @@ pub struct OblastChange {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OblastChanges {
     pub rows: Vec<OblastChange>,
+    /// Degradation accounting; regions skipped for having no usable rows in
+    /// a period are flagged as low-sample cells.
+    pub coverage: Coverage,
 }
 
 /// Computes the per-oblast relative changes from region-labeled rows.
-pub fn compute(data: &StudyData) -> OblastChanges {
-    let rows = Oblast::all()
-        .filter_map(|oblast| {
-            let pre = data.oblast_period(oblast.name(), Period::Prewar2022);
-            let war = data.oblast_period(oblast.name(), Period::Wartime2022);
-            if pre.is_empty() || war.is_empty() {
-                return None;
-            }
-            let rel = |a: f64, b: f64| (b - a) / a;
-            Some(OblastChange {
-                oblast,
-                front: oblast.front(),
-                d_tests: rel(pre.count() as f64, war.count() as f64),
-                d_min_rtt: rel(pre.mean("min_rtt"), war.mean("min_rtt")),
-                d_tput: rel(pre.mean("tput"), war.mean("tput")),
-                d_loss: rel(pre.mean("loss"), war.mean("loss")),
-            })
-        })
-        .collect();
-    OblastChanges { rows }
+pub fn compute(data: &StudyData) -> Result<OblastChanges, AnalysisError> {
+    let mut cov = Coverage::new();
+    for p in [Period::Prewar2022, Period::Wartime2022] {
+        let all = data.period(p);
+        cov.see(all.count());
+        let unlocated = all.count() - all.try_filter_not_null("oblast")?.count();
+        cov.drop_rows(DropReason::Unlocated, unlocated);
+    }
+    let mut rows = Vec::new();
+    for oblast in Oblast::all() {
+        let pre = data.oblast_period(oblast.name(), Period::Prewar2022);
+        let war = data.oblast_period(oblast.name(), Period::Wartime2022);
+        if pre.is_empty() || war.is_empty() {
+            cov.note_sample(oblast.name(), pre.count().min(war.count()));
+            continue;
+        }
+        let m = |q: &ndt_bq::Query<'_>, col: &str, cov: &mut Coverage| {
+            metric_samples(q, col, true, cov).map(|v| mean_or_nan(&v))
+        };
+        let rel = |a: f64, b: f64| (b - a) / a;
+        let row = OblastChange {
+            oblast,
+            front: oblast.front(),
+            d_tests: rel(pre.count() as f64, war.count() as f64),
+            d_min_rtt: rel(m(&pre, "min_rtt", &mut cov)?, m(&war, "min_rtt", &mut cov)?),
+            d_tput: rel(m(&pre, "tput", &mut cov)?, m(&war, "tput", &mut cov)?),
+            d_loss: rel(m(&pre, "loss", &mut cov)?, m(&war, "loss", &mut cov)?),
+        };
+        // A region whose every metric value in a period was corrupt cannot
+        // report a change; flag it instead of emitting NaN panels.
+        if ![row.d_min_rtt, row.d_tput, row.d_loss].iter().all(|v| v.is_finite()) {
+            cov.note_sample(oblast.name(), 0);
+            continue;
+        }
+        cov.note_sample(oblast.name(), pre.count().min(war.count()));
+        rows.push(row);
+    }
+    Ok(OblastChanges { rows, coverage: cov })
 }
 
 impl OblastChanges {
@@ -86,7 +109,7 @@ mod tests {
 
     #[test]
     fn covers_most_regions() {
-        let fig = compute(shared_small());
+        let fig = compute(shared_small()).expect("clean corpus computes");
         assert!(fig.rows.len() >= 25, "only {} regions present", fig.rows.len());
     }
 
@@ -97,7 +120,7 @@ mod tests {
         // (Zaporizhzhya 6x, Kherson 4.1x, Sumy 4.6x, Kyiv Oblast 4x), the
         // West stays mildest. (The East's *relative* loss change is modest
         // in the paper too — its prewar baseline was already poor.)
-        let fig = compute(shared_small());
+        let fig = compute(shared_small()).expect("clean corpus computes");
         let south = fig.mean_loss_change(Front::South);
         let north = fig.mean_loss_change(Front::North);
         let west = fig.mean_loss_change(Front::West);
@@ -111,14 +134,14 @@ mod tests {
 
     #[test]
     fn rtt_rises_broadly() {
-        let fig = compute(shared_small());
+        let fig = compute(shared_small()).expect("clean corpus computes");
         let rising = fig.rows.iter().filter(|r| r.d_min_rtt > 0.0).count();
         assert!(rising as f64 > 0.7 * fig.rows.len() as f64, "{rising}/{} rising", fig.rows.len());
     }
 
     #[test]
     fn csv_includes_fronts() {
-        let fig = compute(shared_small());
+        let fig = compute(shared_small()).expect("clean corpus computes");
         let c = fig.to_csv();
         assert!(c.contains("Kiev City,North"));
         assert!(c.contains("L'viv,West"));

@@ -7,7 +7,9 @@
 //! pair between the wartime period and prewar period." The paper's
 //! headline: Hurricane Electric gains, Cogent loses.
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::text_table;
 use ndt_conflict::Period;
 use ndt_topology::Asn;
@@ -34,13 +36,18 @@ impl BorderCell {
 pub struct BorderMatrix {
     /// (border AS, Ukrainian AS) → cell. BTreeMap keeps rendering stable.
     pub cells: BTreeMap<(Asn, Asn), BorderCell>,
+    /// Degradation accounting: thin cells (sidecar loss starves the heat
+    /// map) are daggered.
+    pub coverage: Coverage,
 }
 
 /// Computes the matrix from the border crossing of every 2022 traceroute.
-pub fn compute(data: &StudyData) -> BorderMatrix {
+pub fn compute(data: &StudyData) -> Result<BorderMatrix, AnalysisError> {
+    let mut cov = Coverage::new();
     let mut cells: BTreeMap<(Asn, Asn), BorderCell> = BTreeMap::new();
     for (period, wartime) in [(Period::Prewar2022, false), (Period::Wartime2022, true)] {
         for r in data.traces_in(period) {
+            cov.see(1);
             if let Some(pair) = r.border {
                 let cell = cells.entry(pair).or_insert(BorderCell { prewar: 0, wartime: 0 });
                 if wartime {
@@ -51,7 +58,10 @@ pub fn compute(data: &StudyData) -> BorderMatrix {
             }
         }
     }
-    BorderMatrix { cells }
+    for ((b, u), c) in &cells {
+        cov.note_sample(format!("AS{}->AS{}", b.0, u.0), c.prewar + c.wartime);
+    }
+    Ok(BorderMatrix { cells, coverage: cov })
 }
 
 impl BorderMatrix {
@@ -96,7 +106,9 @@ impl BorderMatrix {
                 row
             })
             .collect();
-        text_table(&header_refs, &rows)
+        let mut out = text_table(&header_refs, &rows);
+        out.push_str(&self.coverage.footer());
+        out
     }
 }
 
@@ -109,7 +121,7 @@ mod tests {
 
     fn matrix() -> &'static BorderMatrix {
         static M: OnceLock<BorderMatrix> = OnceLock::new();
-        M.get_or_init(|| compute(shared_small()))
+        M.get_or_init(|| compute(shared_small()).expect("clean corpus computes"))
     }
 
     #[test]

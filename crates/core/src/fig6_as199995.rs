@@ -5,7 +5,9 @@
 //! connections going through AS 199995 arrive from AS 6939, whose
 //! connections have far better performance."
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::csv;
 use ndt_conflict::calendar::Date;
 use ndt_stats::DailySeries;
@@ -42,11 +44,14 @@ impl WeekPoint {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct As199995CaseStudy {
     pub weeks: Vec<WeekPoint>,
+    /// Degradation accounting: weeks resting on a trickle of traces are
+    /// daggered in the CSV consumers.
+    pub coverage: Coverage,
 }
 
 /// Computes the case study from traceroutes whose border crossing lands in
 /// AS199995.
-pub fn compute(data: &StudyData) -> As199995CaseStudy {
+pub fn compute(data: &StudyData) -> Result<As199995CaseStudy, AnalysisError> {
     let start = Date::new(2022, 1, 1).day_index();
     let end = start + 108;
     let mut ingress: BTreeMap<i64, BTreeMap<Asn, usize>> = BTreeMap::new();
@@ -68,7 +73,7 @@ pub fn compute(data: &StudyData) -> As199995CaseStudy {
         loss_6663.weekly_medians(start).into_iter().map(|w| (w.week_start, w.value)).collect();
     let rtt_by_week: BTreeMap<i64, f64> =
         rtt_6663.weekly_medians(start).into_iter().map(|w| (w.week_start, w.value)).collect();
-    let weeks = ingress
+    let weeks: Vec<WeekPoint> = ingress
         .into_iter()
         .map(|(week_start, ingress_counts)| WeekPoint {
             week_start,
@@ -77,7 +82,13 @@ pub fn compute(data: &StudyData) -> As199995CaseStudy {
             median_rtt_6663: rtt_by_week.get(&week_start).copied(),
         })
         .collect();
-    As199995CaseStudy { weeks }
+    let mut cov = Coverage::new();
+    for w in &weeks {
+        let n: usize = w.ingress_counts.values().sum();
+        cov.see(n);
+        cov.note_sample(format!("week {}", Date::from_day_index(w.week_start)), n);
+    }
+    Ok(As199995CaseStudy { weeks, coverage: cov })
 }
 
 impl As199995CaseStudy {
@@ -125,7 +136,7 @@ mod tests {
 
     fn study() -> &'static As199995CaseStudy {
         static S: OnceLock<As199995CaseStudy> = OnceLock::new();
-        S.get_or_init(|| compute(shared_small()))
+        S.get_or_init(|| compute(shared_small()).expect("clean corpus computes"))
     }
 
     #[test]

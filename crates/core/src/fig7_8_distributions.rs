@@ -5,7 +5,9 @@
 //! t-test: "Minimum RTT appears to be normally distributed (aside for the
 //! spike near 0), but the other metrics are slightly skewed."
 
+use crate::coverage::{metric_samples, Coverage};
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::csv;
 use ndt_conflict::Period;
 use ndt_stats::{ks_two_sample, Histogram, KsTest};
@@ -30,30 +32,50 @@ pub struct Distributions {
     pub ks_min_rtt: KsTest,
     pub ks_tput: KsTest,
     pub ks_loss: KsTest,
+    /// Degradation accounting: corrupt metric values are excluded from both
+    /// the histograms and the KS samples.
+    pub coverage: Coverage,
 }
 
-fn distributions(data: &StudyData, period: Period) -> MetricDistributions {
+fn distributions(
+    data: &StudyData,
+    period: Period,
+    cov: &mut Coverage,
+) -> Result<(MetricDistributions, [Vec<f64>; 3]), AnalysisError> {
     let q = data.period(period);
+    cov.see(q.count());
     let mut min_rtt = Histogram::new(0.0, 100.0, 50);
     let mut tput = Histogram::new(0.0, 200.0, 50);
     let mut loss = Histogram::new(0.0, 0.25, 50);
-    min_rtt.extend(&q.floats("min_rtt"));
-    tput.extend(&q.floats("tput"));
-    loss.extend(&q.floats("loss"));
-    MetricDistributions { period, min_rtt, tput, loss }
+    let rtt_v = metric_samples(&q, "min_rtt", true, cov)?;
+    let tput_v = metric_samples(&q, "tput", true, cov)?;
+    let loss_v = metric_samples(&q, "loss", true, cov)?;
+    min_rtt.extend(&rtt_v);
+    tput.extend(&tput_v);
+    loss.extend(&loss_v);
+    let label = match period {
+        Period::Prewar2022 => "prewar",
+        _ => "wartime",
+    };
+    cov.note_sample(label, rtt_v.len().min(tput_v.len()).min(loss_v.len()));
+    Ok((MetricDistributions { period, min_rtt, tput, loss }, [rtt_v, tput_v, loss_v]))
 }
 
 /// Computes both periods' distributions and the per-metric KS shift.
-pub fn compute(data: &StudyData) -> Distributions {
-    let pre = data.period(Period::Prewar2022);
-    let war = data.period(Period::Wartime2022);
-    Distributions {
-        prewar: distributions(data, Period::Prewar2022),
-        wartime: distributions(data, Period::Wartime2022),
-        ks_min_rtt: ks_two_sample(&pre.floats("min_rtt"), &war.floats("min_rtt")),
-        ks_tput: ks_two_sample(&pre.floats("tput"), &war.floats("tput")),
-        ks_loss: ks_two_sample(&pre.floats("loss"), &war.floats("loss")),
-    }
+pub fn compute(data: &StudyData) -> Result<Distributions, AnalysisError> {
+    let mut cov = Coverage::new();
+    let (prewar, [pre_rtt, pre_tput, pre_loss]) =
+        distributions(data, Period::Prewar2022, &mut cov)?;
+    let (wartime, [war_rtt, war_tput, war_loss]) =
+        distributions(data, Period::Wartime2022, &mut cov)?;
+    Ok(Distributions {
+        prewar,
+        wartime,
+        ks_min_rtt: ks_two_sample(&pre_rtt, &war_rtt),
+        ks_tput: ks_two_sample(&pre_tput, &war_tput),
+        ks_loss: ks_two_sample(&pre_loss, &war_loss),
+        coverage: cov,
+    })
 }
 
 impl Distributions {
@@ -86,7 +108,7 @@ mod tests {
 
     fn dist() -> &'static Distributions {
         static D: OnceLock<Distributions> = OnceLock::new();
-        D.get_or_init(|| compute(shared_small()))
+        D.get_or_init(|| compute(shared_small()).expect("clean corpus computes"))
     }
 
     #[test]

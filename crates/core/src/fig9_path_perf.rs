@@ -6,7 +6,9 @@
 //! increases in loss rates … we only consider connections that had at least
 //! ten tests both prewar and during wartime."
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::csv;
 use ndt_conflict::Period;
 use ndt_stats::{pearson, welch_t_test, WelchTTest};
@@ -45,6 +47,8 @@ pub struct PathPerformance {
     /// Welch's test between the Δtput of stable (Δpaths ≤ 0) and churned
     /// (Δpaths ≥ 2) connections.
     pub stable_vs_churned_tput: WelchTTest,
+    /// Degradation accounting: thin Δpaths buckets are daggered.
+    pub coverage: Coverage,
 }
 
 #[derive(Default)]
@@ -68,12 +72,18 @@ fn aggregate(data: &StudyData, period: Period) -> HashMap<(u32, u32), ConnAgg> {
 }
 
 /// Computes the figure. `min_tests` is 10 in the paper.
-pub fn compute(data: &StudyData, min_tests: usize) -> PathPerformance {
+pub fn compute(data: &StudyData, min_tests: usize) -> Result<PathPerformance, AnalysisError> {
+    let mut cov = Coverage::new();
     let pre = aggregate(data, Period::Prewar2022);
     let war = aggregate(data, Period::Wartime2022);
     let mut connections = Vec::new();
-    for (conn, p) in &pre {
-        let Some(w) = war.get(conn) else { continue };
+    // Walk connections in identity order: the float accumulations below
+    // (means, correlations) must not inherit HashMap iteration order.
+    let mut conn_keys: Vec<(u32, u32)> = pre.keys().copied().collect();
+    conn_keys.sort_unstable();
+    for conn in conn_keys {
+        let p = &pre[&conn];
+        let Some(w) = war.get(&conn) else { continue };
         if p.tests < min_tests || w.tests < min_tests {
             continue;
         }
@@ -90,7 +100,7 @@ pub fn compute(data: &StudyData, min_tests: usize) -> PathPerformance {
     for c in &connections {
         grouped.entry(c.d_paths.clamp(-3, 5)).or_default().push(c);
     }
-    let buckets = grouped
+    let buckets: Vec<PathBucket> = grouped
         .into_iter()
         .map(|(d_paths, v)| PathBucket {
             d_paths,
@@ -99,6 +109,10 @@ pub fn compute(data: &StudyData, min_tests: usize) -> PathPerformance {
             mean_d_loss: v.iter().map(|c| c.d_loss).sum::<f64>() / v.len() as f64,
         })
         .collect();
+    cov.see(connections.len());
+    for b in &buckets {
+        cov.note_sample(format!("Δpaths {:+}", b.d_paths), b.connections);
+    }
     let xs: Vec<f64> = connections.iter().map(|c| c.d_paths as f64).collect();
     let tputs: Vec<f64> = connections.iter().map(|c| c.d_tput).collect();
     let losses: Vec<f64> = connections.iter().map(|c| c.d_loss).collect();
@@ -106,13 +120,14 @@ pub fn compute(data: &StudyData, min_tests: usize) -> PathPerformance {
         connections.iter().filter(|c| c.d_paths <= 0).map(|c| c.d_tput).collect();
     let churned: Vec<f64> =
         connections.iter().filter(|c| c.d_paths >= 2).map(|c| c.d_tput).collect();
-    PathPerformance {
+    Ok(PathPerformance {
         corr_tput: pearson(&xs, &tputs),
         corr_loss: pearson(&xs, &losses),
         stable_vs_churned_tput: welch_t_test(&stable, &churned),
         connections,
         buckets,
-    }
+        coverage: cov,
+    })
 }
 
 impl PathPerformance {
@@ -142,7 +157,7 @@ mod tests {
 
     fn fig() -> &'static PathPerformance {
         static F: OnceLock<PathPerformance> = OnceLock::new();
-        F.get_or_init(|| compute(shared_medium(), 10))
+        F.get_or_init(|| compute(shared_medium(), 10).expect("clean corpus computes"))
     }
 
     #[test]

@@ -38,8 +38,17 @@
 //! [`report`] runs everything and renders a plain-text reproduction report;
 //! every result struct also serializes with `serde` and renders CSV series
 //! for external plotting.
+//!
+//! The pipeline is panic-free on degraded data: every `compute()` returns
+//! `Result<_, `[`AnalysisError`]`>`, and data-driven results carry a
+//! [`coverage::Coverage`] accounting for rows dropped (unlocated,
+//! non-finite, negative) and cells resting on fewer than
+//! [`coverage::LOW_SAMPLE_N`] samples — the paper's daggered low-n entries.
+//! Renderers annotate degraded cells and append a coverage footer.
 
+pub mod coverage;
 pub mod dataset;
+pub mod error;
 pub mod ext_alias;
 pub mod ext_correlation;
 pub mod ext_events;
@@ -62,5 +71,7 @@ pub mod table3_as;
 pub mod table4_oblast;
 pub mod table5_6_as_detail;
 
+pub use coverage::{Coverage, DropReason, LOW_SAMPLE_N};
 pub use dataset::StudyData;
+pub use error::AnalysisError;
 pub use report::{full_report, ReproReport};

@@ -1,7 +1,9 @@
 //! The full reproduction report: run every experiment, render every table
 //! and figure.
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::{
     ext_alias, ext_correlation, ext_events, ext_ingress, ext_robustness, fig2_national, fig3_oblast, fig4_city_counts, fig5_border,
     fig6_as199995, fig7_8_distributions, fig9_path_perf, table1_cities, table2_paths, table3_as,
@@ -37,31 +39,61 @@ pub struct ReproReport {
     pub ext_correlation: ext_correlation::IntensityCorrelation,
 }
 
-/// Runs the complete pipeline.
-pub fn full_report(data: &StudyData) -> ReproReport {
-    ReproReport {
+/// Runs the complete pipeline. Degraded data never fails the run — each
+/// module accounts for what it dropped in its `coverage` — but schema
+/// drift (a missing or mistyped column) is surfaced as an error.
+pub fn full_report(data: &StudyData) -> Result<ReproReport, AnalysisError> {
+    Ok(ReproReport {
         fig1: crate::fig1_map::compute(ndt_conflict::calendar::dates::MAX_OCCUPATION.day_index()),
-        fig2: fig2_national::compute(data),
-        fig3: fig3_oblast::compute(data),
-        fig4: fig4_city_counts::compute(data),
-        table1: table1_cities::compute(data),
-        table2: table2_paths::compute(data, 1000),
-        table3: table3_as::compute(data, 10),
-        table4: table4_oblast::compute(data),
-        tables5_6: table5_6_as_detail::compute(data, 10),
-        fig5: fig5_border::compute(data),
-        fig6: fig6_as199995::compute(data),
-        fig7_8: fig7_8_distributions::compute(data),
-        fig9: fig9_path_perf::compute(data, 10),
-        ext_alias: ext_alias::compute(data, 1000),
-        ext_events: ext_events::compute(data),
-        ext_robustness: ext_robustness::compute(data),
-        ext_ingress: ext_ingress::compute(data),
-        ext_correlation: ext_correlation::compute(data),
-    }
+        fig2: fig2_national::compute(data)?,
+        fig3: fig3_oblast::compute(data)?,
+        fig4: fig4_city_counts::compute(data)?,
+        table1: table1_cities::compute(data)?,
+        table2: table2_paths::compute(data, 1000)?,
+        table3: table3_as::compute(data, 10)?,
+        table4: table4_oblast::compute(data)?,
+        tables5_6: table5_6_as_detail::compute(data, 10)?,
+        fig5: fig5_border::compute(data)?,
+        fig6: fig6_as199995::compute(data)?,
+        fig7_8: fig7_8_distributions::compute(data)?,
+        fig9: fig9_path_perf::compute(data, 10)?,
+        ext_alias: ext_alias::compute(data, 1000)?,
+        ext_events: ext_events::compute(data)?,
+        ext_robustness: ext_robustness::compute(data)?,
+        ext_ingress: ext_ingress::compute(data)?,
+        ext_correlation: ext_correlation::compute(data)?,
+    })
 }
 
 impl ReproReport {
+    /// The whole run's degradation accounting: every experiment's coverage
+    /// merged into one.
+    pub fn coverage(&self) -> Coverage {
+        let mut c = Coverage::new();
+        for part in [
+            &self.fig2.coverage,
+            &self.fig3.coverage,
+            &self.fig4.coverage,
+            &self.table1.coverage,
+            &self.table2.coverage,
+            &self.table3.coverage,
+            &self.table4.coverage,
+            &self.tables5_6.coverage,
+            &self.fig5.coverage,
+            &self.fig6.coverage,
+            &self.fig7_8.coverage,
+            &self.fig9.coverage,
+            &self.ext_alias.coverage,
+            &self.ext_events.coverage,
+            &self.ext_robustness.coverage,
+            &self.ext_ingress.coverage,
+            &self.ext_correlation.coverage,
+        ] {
+            c.merge(part);
+        }
+        c
+    }
+
     /// Plain-text rendering of every table and a summary line per figure.
     pub fn render(&self) -> String {
         use ndt_topology::asn::well_known as wk;
@@ -124,6 +156,15 @@ impl ReproReport {
                 self.fig9.connections.len()
             ),
         );
+        let total = self.coverage();
+        section(
+            "Coverage (degraded-data accounting)",
+            if total.is_degraded() {
+                total.footer()
+            } else {
+                "all experiments ran on clean data; nothing dropped\n".to_string()
+            },
+        );
         out
     }
 }
@@ -135,7 +176,7 @@ mod tests {
 
     #[test]
     fn full_report_runs_and_renders() {
-        let r = full_report(shared_medium());
+        let r = full_report(shared_medium()).expect("clean corpus computes");
         let s = r.render();
         for needle in [
             "alias-resolved",
@@ -151,6 +192,7 @@ mod tests {
             "Figure 9",
             "Kyivstar",
             "Baseline Fluctuations",
+            "Coverage (degraded-data accounting)",
         ] {
             assert!(s.contains(needle), "report missing {needle}");
         }

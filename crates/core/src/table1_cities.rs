@@ -6,7 +6,9 @@
 //! statistically significant ("degradation … does not have an immediate
 //! cascading effect on the entire country").
 
+use crate::coverage::{mean_or_nan, metric_samples, num_cell, Coverage, DropReason};
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::text_table;
 use ndt_bq::Query;
 use ndt_conflict::Period;
@@ -36,46 +38,62 @@ pub struct CityRow {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CityTable {
     pub rows: Vec<CityRow>,
+    /// Degradation accounting across every slice of the table.
+    pub coverage: Coverage,
 }
 
-fn row_from_queries(name: &str, pre: &Query<'_>, war: &Query<'_>) -> CityRow {
-    let metric = |q: &Query<'_>, col: &str| q.floats(col);
-    let rtt_pre = metric(pre, "min_rtt");
-    let rtt_war = metric(war, "min_rtt");
-    let tput_pre = metric(pre, "tput");
-    let tput_war = metric(war, "tput");
-    let loss_pre = metric(pre, "loss");
-    let loss_war = metric(war, "loss");
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    CityRow {
+fn row_from_queries(
+    name: &str,
+    pre: &Query<'_>,
+    war: &Query<'_>,
+    cov: &mut Coverage,
+) -> Result<CityRow, AnalysisError> {
+    let rtt_pre = metric_samples(pre, "min_rtt", true, cov)?;
+    let rtt_war = metric_samples(war, "min_rtt", true, cov)?;
+    let tput_pre = metric_samples(pre, "tput", true, cov)?;
+    let tput_war = metric_samples(war, "tput", true, cov)?;
+    let loss_pre = metric_samples(pre, "loss", true, cov)?;
+    let loss_war = metric_samples(war, "loss", true, cov)?;
+    let n_pre = rtt_pre.len().min(tput_pre.len()).min(loss_pre.len());
+    let n_war = rtt_war.len().min(tput_war.len()).min(loss_war.len());
+    cov.note_sample(format!("{name}/pre"), n_pre);
+    cov.note_sample(format!("{name}/war"), n_war);
+    Ok(CityRow {
         name: name.to_string(),
         tests_prewar: pre.count(),
         tests_wartime: war.count(),
-        min_rtt_prewar: mean(&rtt_pre),
-        min_rtt_wartime: mean(&rtt_war),
+        min_rtt_prewar: mean_or_nan(&rtt_pre),
+        min_rtt_wartime: mean_or_nan(&rtt_war),
         rtt_test: welch_t_test(&rtt_pre, &rtt_war),
-        tput_prewar: mean(&tput_pre),
-        tput_wartime: mean(&tput_war),
+        tput_prewar: mean_or_nan(&tput_pre),
+        tput_wartime: mean_or_nan(&tput_war),
         tput_test: welch_t_test(&tput_pre, &tput_war),
-        loss_prewar: mean(&loss_pre),
-        loss_wartime: mean(&loss_war),
+        loss_prewar: mean_or_nan(&loss_pre),
+        loss_wartime: mean_or_nan(&loss_war),
         loss_test: welch_t_test(&loss_pre, &loss_war),
-    }
+    })
 }
 
 /// Computes the table: the paper's four key cities plus the national
 /// aggregate (all rows, located or not).
-pub fn compute(data: &StudyData) -> CityTable {
+pub fn compute(data: &StudyData) -> Result<CityTable, AnalysisError> {
+    let mut cov = Coverage::new();
     let mut rows = Vec::new();
+    for p in [Period::Prewar2022, Period::Wartime2022] {
+        let all = data.period(p);
+        cov.see(all.count());
+        let unlocated = all.count() - all.try_filter_not_null("city")?.count();
+        cov.drop_rows(DropReason::Unlocated, unlocated);
+    }
     for city in KEY_CITIES {
         let pre = data.city_period(city, Period::Prewar2022);
         let war = data.city_period(city, Period::Wartime2022);
-        rows.push(row_from_queries(city, &pre, &war));
+        rows.push(row_from_queries(city, &pre, &war, &mut cov)?);
     }
     let pre = data.period(Period::Prewar2022);
     let war = data.period(Period::Wartime2022);
-    rows.push(row_from_queries("National", &pre, &war));
-    CityTable { rows }
+    rows.push(row_from_queries("National", &pre, &war, &mut cov)?);
+    Ok(CityTable { rows, coverage: cov })
 }
 
 impl CityTable {
@@ -92,27 +110,37 @@ impl CityTable {
             .map(|r| {
                 vec![
                     r.name.clone(),
-                    r.tests_prewar.to_string(),
-                    r.tests_wartime.to_string(),
-                    format!("{:.3}", r.min_rtt_prewar),
-                    format!("{:.3}", r.min_rtt_wartime),
+                    format!(
+                        "{}{}",
+                        r.tests_prewar,
+                        self.coverage.dagger(&format!("{}/pre", r.name))
+                    ),
+                    format!(
+                        "{}{}",
+                        r.tests_wartime,
+                        self.coverage.dagger(&format!("{}/war", r.name))
+                    ),
+                    num_cell(r.min_rtt_prewar, 3),
+                    num_cell(r.min_rtt_wartime, 3),
                     r.rtt_test.starred(),
-                    format!("{:.2}", r.tput_prewar),
-                    format!("{:.2}", r.tput_wartime),
+                    num_cell(r.tput_prewar, 2),
+                    num_cell(r.tput_wartime, 2),
                     r.tput_test.starred(),
-                    format!("{:.2}", r.loss_prewar * 100.0),
-                    format!("{:.2}", r.loss_wartime * 100.0),
+                    num_cell(r.loss_prewar * 100.0, 2),
+                    num_cell(r.loss_wartime * 100.0, 2),
                     r.loss_test.starred(),
                 ]
             })
             .collect();
-        text_table(
+        let mut out = text_table(
             &[
                 "", "#pre", "#war", "RTTpre", "RTTwar", "p", "TputPre", "TputWar", "p",
                 "Loss%Pre", "Loss%War", "p",
             ],
             &rows,
-        )
+        );
+        out.push_str(&self.coverage.footer());
+        out
     }
 }
 
@@ -120,10 +148,16 @@ impl CityTable {
 mod tests {
     use super::*;
     use crate::dataset::test_support::shared_medium;
+    use std::sync::OnceLock;
+
+    fn table() -> &'static CityTable {
+        static T: OnceLock<CityTable> = OnceLock::new();
+        T.get_or_init(|| compute(shared_medium()).expect("clean corpus computes"))
+    }
 
     #[test]
     fn besieged_cities_degrade_significantly() {
-        let t = compute(shared_medium());
+        let t = table();
         for city in ["Kyiv", "Kharkiv"] {
             let r = t.row(city).unwrap();
             assert!(r.rtt_test.significant(), "{city} RTT p = {}", r.rtt_test.p);
@@ -138,7 +172,7 @@ mod tests {
 
     #[test]
     fn mariupol_loses_its_tests_and_its_throughput() {
-        let t = compute(shared_medium());
+        let t = table();
         let m = t.row("Mariupol").unwrap();
         assert!(
             (m.tests_wartime as f64) < 0.35 * m.tests_prewar as f64,
@@ -151,7 +185,7 @@ mod tests {
 
     #[test]
     fn lviv_throughput_not_significant_but_loss_is() {
-        let t = compute(shared_medium());
+        let t = table();
         let l = t.row("Lviv").unwrap();
         // The paper's Lviv row: RTT and loss starred, throughput not
         // (p = 0.19 there). Direction: tput mildly *improves*.
@@ -162,7 +196,7 @@ mod tests {
 
     #[test]
     fn national_row_degrades_significantly() {
-        let t = compute(shared_medium());
+        let t = table();
         let n = t.row("National").unwrap();
         assert!(n.rtt_test.significant() && n.tput_test.significant() && n.loss_test.significant());
         assert!(n.min_rtt_wartime > n.min_rtt_prewar);
@@ -176,7 +210,7 @@ mod tests {
 
     #[test]
     fn render_contains_stars() {
-        let t = compute(shared_medium());
+        let t = table();
         let s = t.render();
         assert!(s.contains('*'));
         assert!(s.contains("National"));

@@ -7,7 +7,9 @@
 //! the period." The paper finds diversity jumps only in wartime (2.17 →
 //! 2.17 baselines; 3.28 prewar → 4.28 wartime).
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::text_table;
 use ndt_conflict::Period;
 use serde::{Deserialize, Serialize};
@@ -29,34 +31,49 @@ pub struct PathDiversityRow {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PathDiversity {
     pub rows: Vec<PathDiversityRow>,
+    /// Degradation accounting: a period left with too few qualifying
+    /// connections (e.g. wholesale sidecar loss) is flagged.
+    pub coverage: Coverage,
 }
 
 /// Computes the table over the scamper corpus. `top_n` is 1000 in the
 /// paper; reduced corpora may use fewer.
-pub fn compute(data: &StudyData, top_n: usize) -> PathDiversity {
+pub fn compute(data: &StudyData, top_n: usize) -> Result<PathDiversity, AnalysisError> {
+    let mut cov = Coverage::new();
     let rows = Period::ALL
         .iter()
         .map(|&period| {
             // connection → (test count, distinct fingerprints)
             let mut conns: HashMap<(u32, u32), (usize, HashSet<u64>)> = HashMap::new();
+            let mut traces = 0usize;
             for r in data.traces_in(period) {
+                traces += 1;
                 let e = conns.entry((r.client_ip.0, r.server_ip.0)).or_default();
                 e.0 += 1;
                 e.1.insert(r.path_fingerprint);
             }
-            let mut by_tests: Vec<(usize, usize)> =
-                conns.values().map(|(n, fps)| (*n, fps.len())).collect();
-            by_tests.sort_by_key(|t| std::cmp::Reverse(t.0));
+            cov.see(traces);
+            // Ties at the top-N cutoff are broken by connection identity,
+            // never by HashMap iteration order — the selection (and the
+            // float accumulation below) must be bit-for-bit reproducible.
+            let mut by_tests: Vec<(usize, (u32, u32), usize)> =
+                conns.iter().map(|(conn, (n, fps))| (*n, *conn, fps.len())).collect();
+            by_tests.sort_by_key(|&(n, conn, _)| (std::cmp::Reverse(n), conn));
             by_tests.truncate(top_n);
             let connections = by_tests.len();
-            let tests_per_conn =
-                by_tests.iter().map(|(n, _)| *n as f64).sum::<f64>() / connections.max(1) as f64;
-            let paths_per_conn =
-                by_tests.iter().map(|(_, p)| *p as f64).sum::<f64>() / connections.max(1) as f64;
+            // `0.0 +` normalizes the empty sum, which is -0.0 and would
+            // render a starved period as "-0.000".
+            let tests_per_conn = 0.0
+                + by_tests.iter().map(|(n, _, _)| *n as f64).sum::<f64>()
+                    / connections.max(1) as f64;
+            let paths_per_conn = 0.0
+                + by_tests.iter().map(|(_, _, p)| *p as f64).sum::<f64>()
+                    / connections.max(1) as f64;
+            cov.note_sample(period.label(), connections);
             PathDiversityRow { period, paths_per_conn, tests_per_conn, connections }
         })
         .collect();
-    PathDiversity { rows }
+    Ok(PathDiversity { rows, coverage: cov })
 }
 
 impl PathDiversity {
@@ -72,13 +89,15 @@ impl PathDiversity {
             .iter()
             .map(|r| {
                 vec![
-                    r.period.label().to_string(),
+                    format!("{}{}", r.period.label(), self.coverage.dagger(r.period.label())),
                     format!("{:.3}", r.paths_per_conn),
                     format!("{:.3}", r.tests_per_conn),
                 ]
             })
             .collect();
-        text_table(&["Period", "# Paths/Conn.", "# Tests/Conn."], &rows)
+        let mut out = text_table(&["Period", "# Paths/Conn.", "# Tests/Conn."], &rows);
+        out.push_str(&self.coverage.footer());
+        out
     }
 }
 
@@ -88,7 +107,7 @@ mod tests {
     use crate::dataset::test_support::shared_medium;
 
     fn table() -> PathDiversity {
-        compute(shared_medium(), 1000)
+        compute(shared_medium(), 1000).expect("clean corpus computes")
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! throughput, UARNet/Kyiv Telecom gain RTT, Emplot nearly vanishes, while
 //! TeNeT and SKIF ride out the war at baseline.
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::{pct, text_table, times};
 use ndt_conflict::Period;
 use ndt_mlab::Scamper1Row;
@@ -54,6 +56,9 @@ pub struct AsTable {
     /// Share of all considered tests routed through the top-10 (the paper:
     /// 25.6% of 852,738).
     pub top10_share: f64,
+    /// Degradation accounting: AS rows resting on thin period samples are
+    /// flagged, as is a ranking that could not fill all `n` slots.
+    pub coverage: Coverage,
 }
 
 /// Tests traversing each AS within a period.
@@ -124,9 +129,16 @@ fn change_row(data: &StudyData, asn: Asn) -> AsChangeRow {
 }
 
 /// Computes the table. `n` is 10 in the paper.
-pub fn compute(data: &StudyData, n: usize) -> AsTable {
+pub fn compute(data: &StudyData, n: usize) -> Result<AsTable, AnalysisError> {
+    let mut cov = Coverage::new();
     let top = top_ases(data, n);
+    if top.len() < n {
+        cov.note_sample(format!("top-{n} ranking ({} found)", top.len()), top.len());
+    }
     let rows: Vec<AsChangeRow> = top.iter().map(|&asn| change_row(data, asn)).collect();
+    for r in &rows {
+        cov.note_sample(format!("AS{}", r.asn.0), r.tests_prewar.min(r.tests_wartime));
+    }
 
     // Baseline fluctuations: the same computation over the two 2021
     // baselines; the paper keeps the worst (most extreme) value per metric.
@@ -166,8 +178,9 @@ pub fn compute(data: &StudyData, n: usize) -> AsTable {
     // Top-10 share of all 2022 tests.
     let total: usize = data.traces_in(Period::Prewar2022).count()
         + data.traces_in(Period::Wartime2022).count();
+    cov.see(total);
     let through_top: usize = rows.iter().map(|r| r.tests_prewar + r.tests_wartime).sum();
-    AsTable { rows, baseline, top10_share: through_top as f64 / total.max(1) as f64 }
+    Ok(AsTable { rows, baseline, top10_share: through_top as f64 / total.max(1) as f64, coverage: cov })
 }
 
 impl StudyData {
@@ -242,7 +255,9 @@ impl AsTable {
             pct(self.baseline.d_rtt),
             times(self.baseline.loss_ratio),
         ]);
-        text_table(&["ASN", "Name", "dCounts", "dTPut", "dRTT", "dLoss"], &rows)
+        let mut out = text_table(&["ASN", "Name", "dCounts", "dTPut", "dRTT", "dLoss"], &rows);
+        out.push_str(&self.coverage.footer());
+        out
     }
 }
 
@@ -255,7 +270,7 @@ mod tests {
 
     fn table() -> &'static AsTable {
         static T: OnceLock<AsTable> = OnceLock::new();
-        T.get_or_init(|| compute(shared_medium(), 10))
+        T.get_or_init(|| compute(shared_medium(), 10).expect("clean corpus computes"))
     }
 
     #[test]

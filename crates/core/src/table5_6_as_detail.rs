@@ -1,7 +1,9 @@
 //! Tables 5 & 6 (Appendix): AS-level mean/median/std detail and the
 //! p-values behind Table 3's stars.
 
+use crate::coverage::Coverage;
 use crate::dataset::StudyData;
+use crate::error::AnalysisError;
 use crate::render::text_table;
 use crate::table3_as;
 use ndt_conflict::Period;
@@ -49,11 +51,14 @@ pub struct AsPValues {
 pub struct AsDetail {
     pub detail: Vec<AsPeriodDetail>,
     pub p_values: Vec<AsPValues>,
+    /// Degradation accounting (inherits Table 3's, plus thin half-rows).
+    pub coverage: Coverage,
 }
 
 /// Computes the appendix tables for the same top-`n` ASes as Table 3.
-pub fn compute(data: &StudyData, n: usize) -> AsDetail {
-    let table3 = table3_as::compute(data, n);
+pub fn compute(data: &StudyData, n: usize) -> Result<AsDetail, AnalysisError> {
+    let table3 = table3_as::compute(data, n)?;
+    let mut cov = table3.coverage.clone();
     let mut detail = Vec::new();
     let mut p_values = Vec::new();
     for row in &table3.rows {
@@ -70,6 +75,7 @@ pub fn compute(data: &StudyData, n: usize) -> AsDetail {
         }
         for period in [Period::Prewar2022, Period::Wartime2022] {
             let (tput, rtt, loss) = &samples[&period];
+            cov.note_sample(format!("AS{}/{:?}", row.asn.0, period), tput.len());
             detail.push(AsPeriodDetail {
                 asn: row.asn,
                 period,
@@ -88,7 +94,7 @@ pub fn compute(data: &StudyData, n: usize) -> AsDetail {
             p_loss: welch_t_test(&pre.2, &war.2).p,
         });
     }
-    AsDetail { detail, p_values }
+    Ok(AsDetail { detail, p_values, coverage: cov })
 }
 
 impl AsDetail {
@@ -128,13 +134,15 @@ impl AsDetail {
                 ]
             })
             .collect();
-        text_table(
+        let mut out = text_table(
             &[
                 "ASN", "Period", "TputMean", "TputMed", "TputStd", "RTTMean", "RTTMed", "RTTStd",
                 "LossMean", "LossMed", "LossStd", "Count",
             ],
             &rows,
-        )
+        );
+        out.push_str(&self.coverage.footer());
+        out
     }
 
     /// Table 6 rendering.
@@ -164,7 +172,7 @@ mod tests {
 
     fn detail() -> &'static AsDetail {
         static D: OnceLock<AsDetail> = OnceLock::new();
-        D.get_or_init(|| compute(shared_medium(), 10))
+        D.get_or_init(|| compute(shared_medium(), 10).expect("clean corpus computes"))
     }
 
     #[test]
@@ -189,7 +197,7 @@ mod tests {
     #[test]
     fn p_values_match_table3_stars() {
         let d = detail();
-        let t3 = crate::table3_as::compute(shared_medium(), 10);
+        let t3 = crate::table3_as::compute(shared_medium(), 10).expect("clean corpus computes");
         for p in &d.p_values {
             let row = t3.row(p.asn).unwrap();
             assert_eq!(p.p_loss < 0.05, row.loss_test.significant(), "{}", p.asn);

@@ -34,11 +34,13 @@
 //! a reduced [`SimConfig::scale`].
 
 pub mod client;
+pub mod fault;
 pub mod schema;
 pub mod sim;
 pub mod site;
 
 pub use client::{Client, ClientPool};
+pub use fault::{Corruption, FaultPlan};
 pub use schema::{Dataset, Scamper1Row, UnifiedDownloadRow};
 pub use sim::{Scenario, SimConfig, Simulator};
 pub use site::{LoadBalancer, Site, SiteId};

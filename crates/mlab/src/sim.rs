@@ -1,6 +1,7 @@
 //! The dataset simulator: days × clients × tests → published rows.
 
 use crate::client::{ClientPool, ClientPoolConfig};
+use crate::fault::{splitmix64, truncate_as_path, Corruption, FaultPlan};
 use crate::schema::{Dataset, Scamper1Row, UnifiedDownloadRow};
 use crate::site::LoadBalancer;
 use ndt_conflict::calendar::Period;
@@ -76,6 +77,11 @@ pub struct SimConfig {
     pub simulate_2022: bool,
     /// Counterfactual selector (Historical reproduces the paper).
     pub scenario: Scenario,
+    /// Platform fault injection (default [`FaultPlan::NONE`]). Faults are
+    /// decided by keyed hashes, never by the simulation's RNG streams, so
+    /// any plan degrades the *same* underlying dataset the clean run
+    /// publishes.
+    pub faults: FaultPlan,
     /// Worker threads for dataset generation (0 = all available cores).
     /// The output is bit-identical for every thread count: each
     /// (client, day) has its own derived RNG stream and results merge in
@@ -94,6 +100,7 @@ impl Default for SimConfig {
             simulate_2021: true,
             simulate_2022: true,
             scenario: Scenario::Historical,
+            faults: FaultPlan::NONE,
             threads: 0,
         }
     }
@@ -222,6 +229,12 @@ impl Simulator {
         engines: &mut [RoutingEngine],
     ) {
         for day in days {
+            if self.config.faults.day_lost(day) {
+                // Whole ingestion partition lost: nothing from this day
+                // reaches either table. Per-(client, day) RNG streams mean
+                // skipping a day cannot shift any other day's rows.
+                continue;
+            }
             self.apply_day_damage(day);
             self.simulate_day(day, ds, engines);
         }
@@ -288,14 +301,6 @@ impl Simulator {
     }
 
     }
-
-/// SplitMix64 finalizer — deterministic per-(link, day) coin flips.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
 
 impl Simulator {
     /// Expected-volume multiplier for a client on a day.
@@ -435,20 +440,52 @@ impl Simulator {
             &PathCharacteristics::new(base_rtt.max(0.2), bottleneck, loss.min(0.95)),
             rng,
         );
-        ds.traces.push(Scamper1Row {
-            day,
-            client_ip: client.ip,
-            server_ip: site.server_ip,
-            path_fingerprint: path.fingerprint(),
-            router_fingerprint: path.router_fingerprint(),
-            resolved_fingerprint: self.resolved_fingerprint(&path),
-            as_path: path.as_seq.clone(),
-            border: path.border_crossing(&self.bt.topology.catalog),
-            mean_tput_mbps: stats.mean_tput_mbps,
-            min_rtt_ms: stats.min_rtt_ms,
-            loss_rate: stats.loss_rate,
-        });
+        // Platform faults are decided by keyed hashes (never `rng` draws),
+        // and they only gate/mangle *publication*: the simulation below this
+        // point consumes the same stream under every plan, so a faulted
+        // dataset is a strict degradation of the clean one.
+        let faults = &self.config.faults;
+        let site_down = faults.site_down(site.server_ip.0, day);
+        if !site_down && !faults.sidecar_dropped(client.ip.0, day, test_index) {
+            let full_border = path.border_crossing(&self.bt.topology.catalog);
+            let (as_path, border, truncated) = match faults.sidecar_truncated_len(
+                client.ip.0,
+                day,
+                test_index,
+                path.as_seq.len(),
+            ) {
+                Some(keep) => {
+                    let prefix = truncate_as_path(&path.as_seq, keep);
+                    // The border crossing survives only if both its ASes are
+                    // still consecutive in the surviving prefix.
+                    let border = full_border
+                        .filter(|&(a, b)| prefix.windows(2).any(|w| w[0] == a && w[1] == b));
+                    (prefix, border, true)
+                }
+                None => (path.as_seq.clone(), full_border, false),
+            };
+            // A truncated trace observes a different (shorter) path, so its
+            // fingerprints must differ from the intact trace's.
+            let fp_mix =
+                if truncated { splitmix64(as_path.len() as u64 | 1 << 40) } else { 0 };
+            ds.traces.push(Scamper1Row {
+                day,
+                client_ip: client.ip,
+                server_ip: site.server_ip,
+                path_fingerprint: path.fingerprint() ^ fp_mix,
+                router_fingerprint: path.router_fingerprint() ^ fp_mix,
+                resolved_fingerprint: self.resolved_fingerprint(&path) ^ fp_mix,
+                as_path,
+                border,
+                mean_tput_mbps: stats.mean_tput_mbps,
+                min_rtt_ms: stats.min_rtt_ms,
+                loss_rate: stats.loss_rate,
+            });
+        }
         if rng.random::<f64>() < self.config.unified_fraction {
+            if site_down {
+                return;
+            }
             // Geolocation noise draws from its own derived stream so that
             // changing the geo error model never perturbs the rest of the
             // simulation (exercised by the geolocation ablation tests).
@@ -456,7 +493,7 @@ impl Simulator {
                 (client.ip.0 as u64) ^ ((day as u64) << 32) ^ (test_index << 1),
             ));
             let geo = self.geodb.lookup(client.city, &mut geo_rng);
-            ds.ndt.push(UnifiedDownloadRow {
+            let mut row = UnifiedDownloadRow {
                 day,
                 client_ip: client.ip,
                 server_ip: site.server_ip,
@@ -466,7 +503,23 @@ impl Simulator {
                 mean_tput_mbps: stats.mean_tput_mbps,
                 min_rtt_ms: stats.min_rtt_ms,
                 loss_rate: stats.loss_rate,
-            });
+            };
+            if faults.geo_failed(client.ip.0, day, test_index) {
+                row.oblast = None;
+                row.city = None;
+            }
+            match faults.row_corruption(client.ip.0, day, test_index) {
+                Some(Corruption::NanThroughput) => row.mean_tput_mbps = f64::NAN,
+                Some(Corruption::NegativeThroughput) => row.mean_tput_mbps = -row.mean_tput_mbps,
+                Some(Corruption::NanRtt) => row.min_rtt_ms = f64::NAN,
+                Some(Corruption::NanLoss) => row.loss_rate = f64::NAN,
+                Some(Corruption::NullGeo) => {
+                    row.oblast = None;
+                    row.city = None;
+                }
+                None => {}
+            }
+            ds.ndt.push(row);
         }
     }
 }

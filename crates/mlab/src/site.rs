@@ -66,7 +66,7 @@ impl LoadBalancer {
         let nearest_metro = self
             .sites
             .iter()
-            .min_by(|a, b| haversine_km(a.loc, loc).partial_cmp(&haversine_km(b.loc, loc)).unwrap())
+            .min_by(|a, b| haversine_km(a.loc, loc).total_cmp(&haversine_km(b.loc, loc)))
             .expect("platform has sites")
             .metro;
         let metro_sites: Vec<&Site> = self.sites.iter().filter(|s| s.metro == nearest_metro).collect();

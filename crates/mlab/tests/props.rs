@@ -88,3 +88,37 @@ fn simulated_rows_are_consistent() {
         }
     }
 }
+
+proptest! {
+    /// Truncated sidecar traces are strict, loop-free hop prefixes: the
+    /// fault layer can shorten an AS path but can never fabricate a loop
+    /// or reorder hops.
+    #[test]
+    fn truncated_traces_are_loop_free_prefixes(
+        path_len in 2usize..12,
+        seed in 0u64..200,
+        client_ip in 0u32..50_000,
+        day in 0i64..108,
+        test_index in 0u64..40,
+    ) {
+        use ndt_mlab::fault::{truncate_as_path, FaultPlan};
+        use ndt_topology::Asn;
+
+        // A loop-free path: strictly increasing ASNs.
+        let path: Vec<Asn> = (0..path_len as u32).map(|i| Asn(64_000 + i)).collect();
+        let plan = FaultPlan { fault_seed: seed, sidecar_truncation: 1.0, ..FaultPlan::NONE };
+        let keep = plan
+            .sidecar_truncated_len(client_ip, day, test_index, path.len())
+            .expect("probability 1 must truncate");
+        prop_assert!((1..path.len()).contains(&keep), "keep = {keep} of {}", path.len());
+        let truncated = truncate_as_path(&path, keep);
+        prop_assert_eq!(&truncated[..], &path[..keep], "not a prefix");
+        let mut seen = std::collections::HashSet::new();
+        prop_assert!(truncated.iter().all(|a| seen.insert(a.0)), "loop fabricated");
+        // Determinism: the same key always truncates at the same hop.
+        prop_assert_eq!(
+            plan.sidecar_truncated_len(client_ip, day, test_index, path.len()),
+            Some(keep)
+        );
+    }
+}

@@ -48,7 +48,7 @@ pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
 /// Mid-ranks of a slice (1-based; ties share the average rank).
 pub fn ranks_of(v: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..v.len()).collect();
-    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite values"));
+    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
     let mut out = vec![0.0; v.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -154,7 +154,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     if v.is_empty() {
         return f64::NAN;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    v.sort_by(f64::total_cmp);
     let h = (v.len() as f64 - 1.0) * q;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;

@@ -31,8 +31,10 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsTest {
     }
     let mut xa: Vec<f64> = a.to_vec();
     let mut xb: Vec<f64> = b.to_vec();
-    xa.sort_by(|x, y| x.partial_cmp(y).expect("finite values"));
-    xb.sort_by(|x, y| x.partial_cmp(y).expect("finite values"));
+    // total_cmp keeps the sort lawful even if a caller passes NaN-bearing
+    // samples (degraded-data pipelines filter first, but must never panic).
+    xa.sort_by(f64::total_cmp);
+    xb.sort_by(f64::total_cmp);
     let (na, nb) = (xa.len(), xb.len());
     let mut i = 0usize;
     let mut j = 0usize;

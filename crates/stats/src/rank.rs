@@ -51,7 +51,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
 
     // Tie correction for the variance.
     let mut sorted = all.clone();
-    sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let n = n1 + n2;
     let mut tie_term = 0.0;
     let mut i = 0;

@@ -174,7 +174,7 @@ impl Builder {
             .get(&asn)
             .and_then(|rs| {
                 rs.iter().min_by(|a, b| {
-                    haversine_km(a.1, to).partial_cmp(&haversine_km(b.1, to)).unwrap()
+                    haversine_km(a.1, to).total_cmp(&haversine_km(b.1, to))
                 })
             })
             .unwrap_or_else(|| panic!("{asn} has no routers"))
@@ -242,7 +242,7 @@ pub fn build_topology(config: &TopologyConfig) -> BuiltTopology {
             .iter()
             .map(|(fa, ..)| (*fa, haversine_km(b.nearest_router(*fa, metro.loc).1, metro.loc)))
             .collect();
-        by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        by_dist.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (fa, _) in by_dist.iter().take(2) {
             b.connect(asn, *fa, Relationship::CustomerToProvider, 20_000.0, 0.0001);
         }

@@ -162,8 +162,10 @@ impl RoutingEngine {
                 .into_iter()
                 .filter(|id| topo.link(*id).state.up)
                 .collect();
+            // total_cmp: a NaN latency (degraded link metadata) must not
+            // panic the sort — it just ranks last.
             parallels.sort_by(|a, b| {
-                topo.link(*a).latency_ms.partial_cmp(&topo.link(*b).latency_ms).unwrap()
+                topo.link(*a).latency_ms.total_cmp(&topo.link(*b).latency_ms)
             });
             let pick = if parallels.len() <= 1 {
                 lid
@@ -221,7 +223,7 @@ impl RoutingEngine {
                 }
             }
         }
-        out.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+        out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         out.truncate(self.config.k_alternatives.max(1));
         out
     }
@@ -245,11 +247,11 @@ impl RoutingEngine {
         impl Eq for Entry {}
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                // Min-heap on cost; tie-break deterministically.
+                // Min-heap on cost; tie-break deterministically. total_cmp
+                // keeps Ord lawful even if a cost goes NaN.
                 other
                     .cost
-                    .partial_cmp(&self.cost)
-                    .unwrap()
+                    .total_cmp(&self.cost)
                     .then_with(|| self.asn.cmp(&other.asn))
                     .then_with(|| self.phase.cmp(&other.phase))
             }

@@ -14,7 +14,7 @@ fn main() {
 
     println!("Figure 5 — change in tests per (border AS, Ukrainian AS) pair");
     println!("(wartime − prewar; '.' = no routes seen, the paper's black squares)\n");
-    let fig5 = fig5_border::compute(&data);
+    let fig5 = fig5_border::compute(&data).expect("clean corpus computes");
     println!("{}", fig5.render());
     println!(
         "Hurricane Electric net change: {:+}; Cogent net change: {:+}\n",
@@ -23,7 +23,7 @@ fn main() {
     );
 
     println!("Figure 6 — AS199995 ingress shares by week (share via AS6663 / AS6939 / AS9002):");
-    let fig6 = fig6_as199995::compute(&data);
+    let fig6 = fig6_as199995::compute(&data).expect("clean corpus computes");
     for w in &fig6.weeks {
         let bar = |share: f64| "#".repeat((share * 30.0).round() as usize);
         println!(

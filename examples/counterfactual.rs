@@ -28,9 +28,9 @@ fn main() {
             simulate_2021: false,
             ..SimConfig::default()
         });
-        let t1 = table1_cities::compute(&data);
+        let t1 = table1_cities::compute(&data).expect("clean corpus computes");
         let n = t1.row("National").expect("national row");
-        let t2 = table2_paths::compute(&data, 1000);
+        let t2 = table2_paths::compute(&data, 1000).expect("clean corpus computes");
         let d_paths = t2.row(Period::Wartime2022).paths_per_conn
             - t2.row(Period::Prewar2022).paths_per_conn;
         println!(

@@ -16,7 +16,7 @@ fn main() -> std::io::Result<()> {
     eprintln!("generating corpus ...");
     let data = StudyData::generate(SimConfig { scale: 0.25, seed: 2022, ..SimConfig::default() });
     eprintln!("running the pipeline ...");
-    let r = full_report(&data);
+    let r = full_report(&data).expect("clean corpus computes");
 
     let write = |name: &str, content: String| -> std::io::Result<()> {
         let path = out.join(name);

@@ -10,7 +10,7 @@ use ukraine_ndt::prelude::*;
 
 fn main() {
     let data = StudyData::generate(SimConfig { scale: 0.15, seed: 7, ..SimConfig::default() });
-    let fig2 = fig2_national::compute(&data);
+    let fig2 = fig2_national::compute(&data).expect("clean corpus computes");
 
     // The CSV goes to stdout; a human-readable summary goes to stderr so
     // `> fig2.csv` captures a clean file.

@@ -12,7 +12,7 @@ fn main() {
     let data = StudyData::generate(SimConfig { scale: 0.2, seed: 3, ..SimConfig::default() });
 
     println!("Table 2 — top-1000 connections: unique paths and tests per connection:\n");
-    let table2 = table2_paths::compute(&data, 1000);
+    let table2 = table2_paths::compute(&data, 1000).expect("clean corpus computes");
     println!("{}", table2.render());
     let wt = table2.row(Period::Wartime2022).paths_per_conn;
     let pw = table2.row(Period::Prewar2022).paths_per_conn;
@@ -20,7 +20,7 @@ fn main() {
 
     println!("Figure 9 — performance change vs change in paths per connection");
     println!("(connections with ≥10 tests in both 2022 periods):\n");
-    let fig9 = fig9_path_perf::compute(&data, 10);
+    let fig9 = fig9_path_perf::compute(&data, 10).expect("clean corpus computes");
     println!("{}", fig9.to_csv());
     println!(
         "corr(Δpaths, Δtput) = {:+.3}   corr(Δpaths, Δloss) = {:+.3}   (paper: mild, same signs)",

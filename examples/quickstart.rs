@@ -20,7 +20,7 @@ fn main() {
     );
 
     println!("Table 1 — city-level metrics, prewar vs wartime (Welch's t-test):\n");
-    let table1 = ukraine_ndt::analysis::table1_cities::compute(&data);
+    let table1 = ukraine_ndt::analysis::table1_cities::compute(&data).expect("clean corpus computes");
     println!("{}", table1.render());
 
     let kyiv = table1.row("Kyiv").expect("Kyiv row");

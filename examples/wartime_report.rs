@@ -19,6 +19,6 @@ fn main() {
         data.raw.traces.len(),
         t0.elapsed()
     );
-    let report = full_report(&data);
+    let report = full_report(&data).expect("clean corpus computes");
     println!("{}", report.render());
 }

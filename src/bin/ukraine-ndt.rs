@@ -1,14 +1,17 @@
 //! `ukraine-ndt` — command-line driver for the reproduction.
 //!
 //! ```text
-//! ukraine-ndt report   [--scale S] [--seed N] [--scenario NAME]
-//! ukraine-ndt export   [--scale S] [--seed N] [--scenario NAME] [--out DIR]
-//! ukraine-ndt generate [--scale S] [--seed N] [--scenario NAME] [--out DIR]
+//! ukraine-ndt report   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN]
+//! ukraine-ndt export   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR]
+//! ukraine-ndt generate [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR]
 //! ukraine-ndt map      [--date YYYY-MM-DD]
 //! ukraine-ndt topo     [--out DIR]          # Graphviz dot of the AS graph
 //! ```
 //!
 //! Scenarios: `historical` (default), `no-war`, `edge-only`, `core-only`.
+//! Fault plans: `none` (default), `light`, `moderate`, `severe`,
+//! `sidecar-blackout` — deterministic platform-fault injection; degraded
+//! results carry coverage annotations instead of failing.
 
 use std::fs;
 use std::path::PathBuf;
@@ -22,6 +25,7 @@ struct Options {
     scale: f64,
     seed: u64,
     scenario: Scenario,
+    faults: FaultPlan,
     out: PathBuf,
     date: Date,
 }
@@ -32,6 +36,7 @@ impl Default for Options {
             scale: 0.15,
             seed: 2022,
             scenario: Scenario::Historical,
+            faults: FaultPlan::NONE,
             out: PathBuf::from("out"),
             date: dates::MAX_OCCUPATION,
         }
@@ -42,6 +47,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ukraine-ndt <report|export|generate|map> \
          [--scale S] [--seed N] [--scenario historical|no-war|edge-only|core-only] \
+         [--faults none|light|moderate|severe|sidecar-blackout] \
          [--out DIR] [--date YYYY-MM-DD]; commands: report export generate map topo"
     );
     ExitCode::FAILURE
@@ -70,6 +76,7 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
         match flag {
             "--scale" => opts.scale = value.parse().ok().filter(|v| *v > 0.0)?,
             "--seed" => opts.seed = value.parse().ok()?,
+            "--faults" => opts.faults = FaultPlan::by_name(value)?,
             "--out" => opts.out = PathBuf::from(value),
             "--date" => opts.date = parse_date(value)?,
             "--scenario" => {
@@ -90,25 +97,30 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
 
 fn generate(opts: &Options) -> StudyData {
     eprintln!(
-        "generating corpus: scale {}, seed {}, scenario {:?} ...",
-        opts.scale, opts.seed, opts.scenario
+        "generating corpus: scale {}, seed {}, scenario {:?}, faults {} ...",
+        opts.scale,
+        opts.seed,
+        opts.scenario,
+        if opts.faults.is_none() { "none" } else { "injected" }
     );
     StudyData::generate(SimConfig {
         scale: opts.scale,
         seed: opts.seed,
         scenario: opts.scenario,
+        faults: opts.faults,
         ..SimConfig::default()
     })
 }
 
-fn cmd_report(opts: &Options) {
+fn cmd_report(opts: &Options) -> Result<(), NdtError> {
     let data = generate(opts);
-    println!("{}", full_report(&data).render());
+    println!("{}", full_report(&data)?.render());
+    Ok(())
 }
 
-fn cmd_export(opts: &Options) -> std::io::Result<()> {
+fn cmd_export(opts: &Options) -> Result<(), NdtError> {
     let data = generate(opts);
-    let r = full_report(&data);
+    let r = full_report(&data)?;
     fs::create_dir_all(&opts.out)?;
     let write = |name: &str, content: String| -> std::io::Result<()> {
         fs::write(opts.out.join(name), content)
@@ -211,19 +223,21 @@ mod tests {
         assert_eq!(cmd, "report");
         assert_eq!(o.scale, 0.15);
         assert_eq!(o.scenario, Scenario::Historical);
+        assert!(o.faults.is_none());
     }
 
     #[test]
     fn parses_all_flags() {
         let (cmd, o) = parse(&args(&[
-            "export", "--scale", "0.5", "--seed", "9", "--scenario", "edge-only", "--out",
-            "/tmp/x", "--date", "2022-03-10",
+            "export", "--scale", "0.5", "--seed", "9", "--scenario", "edge-only", "--faults",
+            "moderate", "--out", "/tmp/x", "--date", "2022-03-10",
         ]))
         .expect("parses");
         assert_eq!(cmd, "export");
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.seed, 9);
         assert_eq!(o.scenario, Scenario::EdgeDamageOnly);
+        assert_eq!(o.faults, FaultPlan::MODERATE);
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
         assert_eq!(o.date, Date::new(2022, 3, 10));
     }
@@ -234,6 +248,7 @@ mod tests {
         assert!(parse(&args(&["report", "--scale"])).is_none(), "missing value");
         assert!(parse(&args(&["report", "--scale", "-1"])).is_none(), "negative scale");
         assert!(parse(&args(&["report", "--scenario", "apocalypse"])).is_none());
+        assert!(parse(&args(&["report", "--faults", "apocalypse"])).is_none());
         assert!(parse(&args(&["report", "--date", "2022-13-01"])).is_none());
         assert!(parse(&args(&["report", "--date", "2022-02-30"])).is_none());
         assert!(parse(&args(&["report", "--bogus", "x"])).is_none());
@@ -253,18 +268,15 @@ fn main() -> ExitCode {
     let Some((command, opts)) = parse(&args) else {
         return usage();
     };
-    let result = match command.as_str() {
-        "report" => {
-            cmd_report(&opts);
-            Ok(())
-        }
+    let result: Result<(), NdtError> = match command.as_str() {
+        "report" => cmd_report(&opts),
         "export" => cmd_export(&opts),
-        "generate" => cmd_generate(&opts),
+        "generate" => cmd_generate(&opts).map_err(NdtError::from),
         "map" => {
             cmd_map(&opts);
             Ok(())
         }
-        "topo" => cmd_topo(&opts),
+        "topo" => cmd_topo(&opts).map_err(NdtError::from),
         _ => return usage(),
     };
     match result {

@@ -39,9 +39,14 @@
 //! // Generate a reduced corpus (scale 1.0 reproduces the paper's ~850k
 //! // wartime-window tests) and run the full pipeline.
 //! let data = StudyData::generate(SimConfig { scale: 0.1, ..SimConfig::default() });
-//! let report = full_report(&data);
+//! let report = full_report(&data).expect("schema is intact");
 //! println!("{}", report.render());
 //! ```
+//!
+//! The pipeline is panic-free on degraded data: inject platform faults
+//! with [`mlab::FaultPlan`] (`SimConfig { faults, .. }`) and every
+//! table/figure still computes, carrying a `coverage` accounting of what
+//! was dropped. Only schema drift surfaces as an [`NdtError`].
 //!
 //! See `examples/` for runnable scenarios and `EXPERIMENTS.md` for the
 //! paper-vs-measured comparison of every table and figure.
@@ -55,12 +60,55 @@ pub use ndt_stats as stats;
 pub use ndt_tcp as tcp;
 pub use ndt_topology as topology;
 
+/// Workspace-level error facade: every way the reproduction can fail,
+/// under one type. Degraded *data* never lands here — the analysis layer
+/// absorbs it into per-result `Coverage` accounting; this surfaces schema
+/// drift and I/O failures.
+#[derive(Debug)]
+pub enum NdtError {
+    /// An analysis failed (missing/mistyped column, degenerate input).
+    Analysis(ndt_analysis::AnalysisError),
+    /// Writing or reading artifacts failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for NdtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NdtError::Analysis(e) => write!(f, "analysis error: {e}"),
+            NdtError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NdtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NdtError::Analysis(e) => Some(e),
+            NdtError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ndt_analysis::AnalysisError> for NdtError {
+    fn from(e: ndt_analysis::AnalysisError) -> Self {
+        NdtError::Analysis(e)
+    }
+}
+
+impl From<std::io::Error> for NdtError {
+    fn from(e: std::io::Error) -> Self {
+        NdtError::Io(e)
+    }
+}
+
 /// The most common imports for driving the reproduction.
 pub mod prelude {
-    pub use ndt_analysis::{full_report, ReproReport, StudyData};
+    pub use crate::NdtError;
+    pub use ndt_analysis::{full_report, AnalysisError, Coverage, ReproReport, StudyData};
     pub use ndt_conflict::{Date, Period};
     pub use ndt_geo::Oblast;
-    pub use ndt_mlab::{Dataset, SimConfig, Simulator};
+    pub use ndt_mlab::{Dataset, FaultPlan, SimConfig, Simulator};
     pub use ndt_stats::{welch_t_test, WelchTTest};
     pub use ndt_topology::{build_topology, Asn, TopologyConfig};
 }

@@ -45,8 +45,8 @@ fn perfect_geo() -> &'static StudyData {
 /// deterioration is at least as strong as with the noisy database.
 #[test]
 fn geolocation_noise_weakens_not_strengthens_effects() {
-    let t_noisy = table1_cities::compute(noisy());
-    let t_oracle = table1_cities::compute(perfect_geo());
+    let t_noisy = table1_cities::compute(noisy()).expect("clean corpus computes");
+    let t_oracle = table1_cities::compute(perfect_geo()).expect("clean corpus computes");
     let ratio = |t: &ukraine_ndt::analysis::table1_cities::CityTable, city: &str| {
         let r = t.row(city).unwrap();
         r.loss_wartime / r.loss_prewar
@@ -81,9 +81,9 @@ fn perfect_geo_recovers_unlabeled_rows() {
 /// the period … studied".
 #[test]
 fn cubic_fleet_overstates_throughput_degradation() {
-    let bbr = table1_cities::compute(noisy());
+    let bbr = table1_cities::compute(noisy()).expect("clean corpus computes");
     let cubic_data = sim_with(GeoDbConfig::default(), CongestionControl::Cubic, 77);
-    let cubic = table1_cities::compute(&cubic_data);
+    let cubic = table1_cities::compute(&cubic_data).expect("clean corpus computes");
     let drop = |t: &ukraine_ndt::analysis::table1_cities::CityTable| {
         let n = t.row("National").unwrap();
         1.0 - n.tput_wartime / n.tput_prewar
@@ -104,8 +104,8 @@ fn cubic_fleet_overstates_throughput_degradation() {
 /// computed from traceroutes and IPs, not geo labels.
 #[test]
 fn path_churn_coupling_is_geo_independent() {
-    let a = fig9_path_perf::compute(noisy(), 10);
-    let b = fig9_path_perf::compute(perfect_geo(), 10);
+    let a = fig9_path_perf::compute(noisy(), 10).expect("clean corpus computes");
+    let b = fig9_path_perf::compute(perfect_geo(), 10).expect("clean corpus computes");
     assert_eq!(a.connections.len(), b.connections.len());
     assert!((a.corr_loss - b.corr_loss).abs() < 1e-9);
 }

@@ -40,7 +40,7 @@ fn core_only() -> &'static StudyData {
 }
 
 fn national_loss_ratio(data: &StudyData) -> f64 {
-    let t = table1_cities::compute(data);
+    let t = table1_cities::compute(data).expect("clean corpus computes");
     let n = t.row("National").unwrap();
     n.loss_wartime / n.loss_prewar
 }
@@ -49,7 +49,7 @@ fn national_loss_ratio(data: &StudyData) -> f64 {
 fn no_war_shows_no_degradation() {
     let ratio = national_loss_ratio(no_war());
     assert!((0.8..1.2).contains(&ratio), "NoWar loss ratio = {ratio}");
-    let t = table1_cities::compute(no_war());
+    let t = table1_cities::compute(no_war()).expect("clean corpus computes");
     let n = t.row("National").unwrap();
     assert!(
         !n.loss_test.significant() || (n.loss_wartime / n.loss_prewar - 1.0).abs() < 0.1,
@@ -79,7 +79,7 @@ fn path_churn_needs_the_core_damage() {
     // Conversely, Table 2's wartime path-diversity jump is a *core*
     // phenomenon: it survives in core-only and shrinks without it.
     let paths = |data: &StudyData| {
-        let t = table2_paths::compute(data, 1000);
+        let t = table2_paths::compute(data, 1000).expect("clean corpus computes");
         t.row(Period::Wartime2022).paths_per_conn - t.row(Period::Prewar2022).paths_per_conn
     };
     let hist = paths(historical());

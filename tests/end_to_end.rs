@@ -21,7 +21,7 @@ fn data() -> &'static StudyData {
 fn finding_1_performance_degrades_after_the_invasion() {
     // §4.1: higher loss, higher RTT, lower throughput after February 24,
     // none of which appears in the 2021 baseline.
-    let fig2 = fig2_national::compute(data());
+    let fig2 = fig2_national::compute(data()).expect("clean corpus computes");
     let invasion = Date::new(2022, 2, 24).day_index();
     let pre = |f: fn(&fig2_national::DayPoint) -> f64| fig2.mean_2022(invasion - 54, invasion, f);
     let war = |f: fn(&fig2_national::DayPoint) -> f64| fig2.mean_2022(invasion, invasion + 54, f);
@@ -44,7 +44,7 @@ fn finding_2_degradation_correlates_with_military_activity() {
     // §4.2/§4.3: the assaulted fronts degrade hardest; the paper's loss
     // champions (Zaporizhzhya, Kherson, Sumy) show multi-x loss increases
     // while the far west stays mild.
-    let fig3 = fig3_oblast::compute(data());
+    let fig3 = fig3_oblast::compute(data()).expect("clean corpus computes");
     let loss_of = |o: Oblast| fig3.rows.iter().find(|r| r.oblast == o).map(|r| r.d_loss).unwrap();
     for hot in [Oblast::Zaporizhzhya, Oblast::Kherson, Oblast::Sumy] {
         assert!(loss_of(hot) > 1.5, "{hot}: loss change {}", loss_of(hot));
@@ -59,7 +59,7 @@ fn finding_3_test_counts_stay_roughly_stable_nationally() {
     // §3 Limitations: "test counts are relatively stable, and we see at
     // most a 2% decrease … indicating that this form of bias is limited."
     // (The paper's Table 1 actually shows a 6.6% *increase*.)
-    let t1 = table1_cities::compute(data());
+    let t1 = table1_cities::compute(data()).expect("clean corpus computes");
     let n = t1.row("National").unwrap();
     let drift = n.tests_wartime as f64 / n.tests_prewar as f64;
     assert!((0.9..1.2).contains(&drift), "national count drift = {drift}");
@@ -70,7 +70,7 @@ fn finding_4_path_diversity_rises_only_in_wartime() {
     // §5.1/Table 2: "the level of path diversity greatly increased after
     // the start of the war, while during our baseline period in 2021,
     // there was no corresponding change."
-    let t2 = table2_paths::compute(data(), 1000);
+    let t2 = table2_paths::compute(data(), 1000).expect("clean corpus computes");
     let b1 = t2.row(Period::BaselineJanFeb2021).paths_per_conn;
     let b2 = t2.row(Period::BaselineFebApr2021).paths_per_conn;
     let pw = t2.row(Period::Prewar2022).paths_per_conn;
@@ -84,7 +84,7 @@ fn finding_4_path_diversity_rises_only_in_wartime() {
 fn finding_5_as_damage_is_heterogeneous() {
     // §5.2/Table 3: some ASes are crushed, others — serving the same city —
     // ride it out near baseline.
-    let t3 = table3_as::compute(data(), 10);
+    let t3 = table3_as::compute(data(), 10).expect("clean corpus computes");
     let kyivstar = t3.row(wk::KYIVSTAR).expect("Kyivstar in top-10");
     let skif = t3.row(wk::SKIF).expect("SKIF in top-10");
     // Both serve Kyiv; only one degrades.
@@ -98,10 +98,10 @@ fn finding_5_as_damage_is_heterogeneous() {
 #[test]
 fn finding_6_ingress_shifts_toward_hurricane_electric() {
     // §5.2/Figures 5–6.
-    let fig5 = fig5_border::compute(data());
+    let fig5 = fig5_border::compute(data()).expect("clean corpus computes");
     assert!(fig5.row_change(wk::HURRICANE_ELECTRIC) > 0);
     assert!(fig5.row_change(wk::COGENT) < 0);
-    let fig6 = fig6_as199995::compute(data());
+    let fig6 = fig6_as199995::compute(data()).expect("clean corpus computes");
     let invasion = Date::new(2022, 2, 24).day_index();
     let he_pre = fig6.mean_share(wk::HURRICANE_ELECTRIC, invasion - 54, invasion);
     let he_late = fig6.mean_share(wk::HURRICANE_ELECTRIC, invasion + 21, invasion + 54);
@@ -113,7 +113,7 @@ fn finding_7_path_churn_correlates_mildly_with_degradation() {
     // Appendix D / Figure 9: negative for throughput, positive for loss,
     // mild in magnitude ("only a mild correlation of route updates with
     // performance degradation").
-    let fig9 = fig9_path_perf::compute(data(), 10);
+    let fig9 = fig9_path_perf::compute(data(), 10).expect("clean corpus computes");
     assert!(fig9.corr_tput < -0.02, "corr tput = {}", fig9.corr_tput);
     assert!(fig9.corr_loss > 0.05, "corr loss = {}", fig9.corr_loss);
     assert!(fig9.corr_tput > -0.6 && fig9.corr_loss < 0.6, "correlation should stay mild");
