@@ -22,8 +22,12 @@ impl Criterion {
     }
 
     /// Runs one benchmark outside a group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, 3, f);
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), 3, f);
         self
     }
 }
@@ -45,9 +49,18 @@ impl BenchmarkGroup {
         self
     }
 
+    /// Accepted for API compatibility; the stub does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
     /// Runs one benchmark in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, self.iters, f);
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.iters, f);
         self
     }
 

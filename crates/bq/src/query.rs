@@ -160,9 +160,14 @@ impl<'t> Query<'t> {
         self.idx.iter().map(|&i| c.get(i)).collect()
     }
 
-    /// Sum of the non-null floats in `col` (0 when empty).
+    /// Sum over the *finite* values of `col` (0 when empty); corrupt (NaN
+    /// or infinite) cells are skipped, matching [`Query::try_sum`] — the
+    /// two differ only in panic-vs-error on a bad column.
     pub fn sum(&self, col: &str) -> f64 {
-        self.floats(col).iter().sum()
+        match self.try_sum(col) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Fallible [`Query::sum`] over *finite* values only: corrupt (NaN or

@@ -196,7 +196,10 @@ impl FaultPlan {
     }
 
     fn test_key(client_ip: u32, day: i64, test_index: u64) -> u64 {
-        splitmix64((client_ip as u64) << 32 ^ (day as u64 & 0xffff) << 16 ^ test_index)
+        // Each field gets its own splitmix64 round before mixing so no
+        // field can alias into another's bits (bit-packing would let a
+        // large test_index collide with the day field).
+        splitmix64(splitmix64(client_ip as u64) ^ splitmix64(day as u64) ^ test_index)
     }
 
     /// Is this test's scamper sidecar row missing?
