@@ -19,10 +19,22 @@ pub struct Date {
 }
 
 impl Date {
+    /// Creates a date, returning `None` on an invalid month/day
+    /// combination (e.g. month 13, or Feb 29 in a common year). The
+    /// fallible counterpart of [`Date::new`] for untrusted input such as
+    /// CLI arguments.
+    pub fn try_new(year: i32, month: u8, day: u8) -> Option<Self> {
+        if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Self { year, month, day })
+    }
+
     /// Creates a date.
     ///
     /// # Panics
-    /// Panics on an invalid month/day combination.
+    /// Panics on an invalid month/day combination; use [`Date::try_new`]
+    /// for untrusted input.
     pub fn new(year: i32, month: u8, day: u8) -> Self {
         assert!((1..=12).contains(&month), "invalid month {month}");
         assert!(day >= 1 && day <= days_in_month(year, month), "invalid day {year}-{month}-{day}");
@@ -239,5 +251,16 @@ mod tests {
     #[should_panic(expected = "invalid day")]
     fn rejects_feb_29_in_common_year() {
         Date::new(2022, 2, 29);
+    }
+
+    #[test]
+    fn try_new_validates_without_panicking() {
+        assert_eq!(Date::try_new(2022, 2, 24), Some(Date::new(2022, 2, 24)));
+        assert_eq!(Date::try_new(2024, 2, 29), Some(Date::new(2024, 2, 29)));
+        assert_eq!(Date::try_new(2022, 2, 29), None);
+        assert_eq!(Date::try_new(2022, 13, 1), None);
+        assert_eq!(Date::try_new(2022, 0, 1), None);
+        assert_eq!(Date::try_new(2022, 4, 31), None);
+        assert_eq!(Date::try_new(2022, 1, 0), None);
     }
 }

@@ -74,4 +74,7 @@ pub mod table5_6_as_detail;
 pub use coverage::{Coverage, DropReason, LOW_SAMPLE_N};
 pub use dataset::StudyData;
 pub use error::AnalysisError;
-pub use report::{full_report, ReproReport};
+pub use report::{
+    assemble_staged_report, full_report, run_analysis_stage, stage_spec, ReproReport, StageFailure,
+    StageOutput, StageSpec, ANALYSIS_STAGES,
+};

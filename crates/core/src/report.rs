@@ -65,9 +65,347 @@ pub fn full_report(data: &StudyData) -> Result<ReproReport, AnalysisError> {
     })
 }
 
+/// Static description of one analysis stage: its checkpoint name, report
+/// section title and exported artifact files. Names are part of the
+/// crash-safe runner's resume contract — renaming one invalidates old
+/// checkpoints of that stage (by design: the config fingerprint also
+/// carries a stage-graph version).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Stable stage name (checkpoint key).
+    pub name: &'static str,
+    /// Report section title, exactly as [`ReproReport::render`] prints it.
+    pub title: &'static str,
+    /// Artifact files the `export` command writes for this stage.
+    pub artifacts: &'static [&'static str],
+}
+
+/// Every per-experiment compute of the pipeline, in report (render) order.
+/// One entry per [`ReproReport`] field; `report::tests` pins that
+/// correspondence.
+pub const ANALYSIS_STAGES: [StageSpec; 18] = [
+    StageSpec {
+        name: "fig1",
+        title: "Figure 1 (military activity, modeled, 2022-03-20)",
+        artifacts: &["fig1_activity_map.txt"],
+    },
+    StageSpec {
+        name: "fig2",
+        title: "Figure 2 (national daily means)",
+        artifacts: &["fig2_national_timeline.csv"],
+    },
+    StageSpec {
+        name: "fig3",
+        title: "Figure 3 (per-oblast % change)",
+        artifacts: &["fig3_oblast_changes.csv"],
+    },
+    StageSpec {
+        name: "fig4",
+        title: "Figure 4 (Kharkiv & Mariupol counts)",
+        artifacts: &["fig4_city_counts.csv"],
+    },
+    StageSpec {
+        name: "table1",
+        title: "Table 1 (city-level metrics)",
+        artifacts: &["table1_cities.txt"],
+    },
+    StageSpec {
+        name: "table2",
+        title: "Table 2 (path diversity)",
+        artifacts: &["table2_path_diversity.txt"],
+    },
+    StageSpec {
+        name: "table3",
+        title: "Table 3 (top-10 AS changes)",
+        artifacts: &["table3_as_changes.txt"],
+    },
+    StageSpec {
+        name: "table4",
+        title: "Table 4 (oblast-level raw metrics)",
+        artifacts: &["table4_oblast.txt"],
+    },
+    StageSpec {
+        name: "table5_6",
+        title: "Table 5 (AS detail)",
+        artifacts: &["table5_as_detail.txt", "table6_as_pvalues.txt"],
+    },
+    StageSpec {
+        name: "fig5",
+        title: "Figure 5 (border-AS heat map)",
+        artifacts: &["fig5_border_heatmap.txt"],
+    },
+    StageSpec {
+        name: "fig6",
+        title: "Figure 6 (AS199995 ingress)",
+        artifacts: &["fig6_as199995.csv"],
+    },
+    StageSpec {
+        name: "fig7_8",
+        title: "Figures 7/8 (distributions)",
+        artifacts: &["fig7_8_distributions.csv"],
+    },
+    StageSpec {
+        name: "ext_alias",
+        title: "Extension: alias-resolved path diversity",
+        artifacts: &["ext_alias_resolution.txt"],
+    },
+    StageSpec {
+        name: "ext_events",
+        title: "Extension: date-level event alignment",
+        artifacts: &["ext_event_alignment.txt"],
+    },
+    StageSpec {
+        name: "ext_robustness",
+        title: "Extension: Welch vs Mann-Whitney robustness",
+        artifacts: &["ext_robustness.txt"],
+    },
+    StageSpec {
+        name: "ext_ingress",
+        title: "Extension: ingress shifts across all multi-ingress ASes",
+        artifacts: &["ext_ingress_scan.txt"],
+    },
+    StageSpec {
+        name: "ext_correlation",
+        title: "Extension: intensity vs degradation correlation",
+        artifacts: &["ext_correlation.txt"],
+    },
+    StageSpec {
+        name: "fig9",
+        title: "Figure 9 (path churn vs performance)",
+        artifacts: &["fig9_path_performance.csv"],
+    },
+];
+
+/// Section title of the coverage footer that closes every report.
+pub const COVERAGE_TITLE: &str = "Coverage (degraded-data accounting)";
+
+/// Section title listing stages that failed to *execute* (panic, deadline,
+/// I/O); only present when at least one did.
+pub const FAILED_STAGES_TITLE: &str = "Failed stages (execution faults)";
+
+/// Looks an analysis stage up by name.
+pub fn stage_spec(name: &str) -> Option<&'static StageSpec> {
+    ANALYSIS_STAGES.iter().find(|s| s.name == name)
+}
+
+/// One analysis stage's run result: the report section body, the exported
+/// artifacts, and the stage's own degradation accounting. This is what the
+/// crash-safe runner checkpoints — everything downstream (report text,
+/// exported files, merged coverage) derives from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageOutput {
+    /// The [`StageSpec::name`] this output belongs to.
+    pub name: &'static str,
+    /// Rendered report section body (without the `== title ==` header).
+    pub section: String,
+    /// `(file name, content)` pairs for the `export` command, matching
+    /// [`StageSpec::artifacts`].
+    pub artifacts: Vec<(&'static str, String)>,
+    /// Degraded-data accounting for this stage.
+    pub coverage: Coverage,
+}
+
+/// An execution-level stage failure (panic, deadline, exhausted retries) —
+/// distinct from degraded *data*, which flows through [`Coverage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageFailure {
+    /// Stage name (analysis stage, corpus shard, or topology).
+    pub name: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+// Shared section-body renderers: `ReproReport::render` (monolithic path)
+// and `run_analysis_stage` (staged path) both go through these, so the two
+// paths cannot drift apart.
+
+fn fig2_body(p: &fig2_national::NationalTimeline) -> String {
+    format!(
+        "{} days in 2022 series, {} days in 2021 baseline (CSV available)\n",
+        p.y2022.days.len(),
+        p.y2021.days.len()
+    )
+}
+
+fn fig4_body() -> String {
+    "108-day daily count series (CSV available)\n".to_string()
+}
+
+fn fig6_body(p: &fig6_as199995::As199995CaseStudy) -> String {
+    use ndt_topology::asn::well_known as wk;
+    format!(
+        "HE share change over war: {:+.2} (weekly series in CSV)\n",
+        p.mean_share(wk::HURRICANE_ELECTRIC, 440, 473) - p.mean_share(wk::HURRICANE_ELECTRIC, 365, 419)
+    )
+}
+
+fn fig7_8_body(p: &fig7_8_distributions::Distributions) -> String {
+    format!(
+        "prewar n = {}, wartime n = {} (CSV available)\n",
+        p.prewar.min_rtt.total(),
+        p.wartime.min_rtt.total()
+    )
+}
+
+fn fig9_body(p: &fig9_path_perf::PathPerformance) -> String {
+    format!(
+        "corr(dPaths, dTput) = {:.3}, corr(dPaths, dLoss) = {:.3}, {} connections\n",
+        p.corr_tput,
+        p.corr_loss,
+        p.connections.len()
+    )
+}
+
+fn coverage_body(total: &Coverage) -> String {
+    if total.is_degraded() {
+        total.footer()
+    } else {
+        "all experiments ran on clean data; nothing dropped\n".to_string()
+    }
+}
+
+fn push_section(out: &mut String, title: &str, body: &str) {
+    out.push_str("== ");
+    out.push_str(title);
+    out.push_str(" ==\n");
+    out.push_str(body);
+    out.push('\n');
+}
+
+/// Runs a single analysis stage by [`StageSpec::name`]. Each stage is an
+/// independent compute over the corpus — the crash-safe runner executes
+/// them one at a time under panic isolation and checkpoints each
+/// [`StageOutput`].
+pub fn run_analysis_stage(name: &str, data: &StudyData) -> Result<StageOutput, AnalysisError> {
+    let spec = stage_spec(name).ok_or_else(|| AnalysisError::Degenerate {
+        what: format!("unknown analysis stage '{name}'"),
+    })?;
+    let out = |section: String, contents: Vec<String>, coverage: Coverage| StageOutput {
+        name: spec.name,
+        section,
+        artifacts: spec.artifacts.iter().copied().zip(contents).collect(),
+        coverage,
+    };
+    Ok(match name {
+        "fig1" => {
+            let p =
+                crate::fig1_map::compute(ndt_conflict::calendar::dates::MAX_OCCUPATION.day_index());
+            let r = p.render();
+            out(r.clone(), vec![r], Coverage::new())
+        }
+        "fig2" => {
+            let p = fig2_national::compute(data)?;
+            out(fig2_body(&p), vec![p.to_csv()], p.coverage)
+        }
+        "fig3" => {
+            let p = fig3_oblast::compute(data)?;
+            out(p.to_csv(), vec![p.to_csv()], p.coverage)
+        }
+        "fig4" => {
+            let p = fig4_city_counts::compute(data)?;
+            out(fig4_body(), vec![p.to_csv()], p.coverage)
+        }
+        "table1" => {
+            let p = table1_cities::compute(data)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "table2" => {
+            let p = table2_paths::compute(data, 1000)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "table3" => {
+            let p = table3_as::compute(data, 10)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "table4" => {
+            let p = table4_oblast::compute(data)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "table5_6" => {
+            let p = table5_6_as_detail::compute(data, 10)?;
+            out(
+                format!("{}\n== Table 6 (AS p-values) ==\n{}", p.render_table5(), p.render_table6()),
+                vec![p.render_table5(), p.render_table6()],
+                p.coverage,
+            )
+        }
+        "fig5" => {
+            let p = fig5_border::compute(data)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "fig6" => {
+            let p = fig6_as199995::compute(data)?;
+            out(fig6_body(&p), vec![p.to_csv()], p.coverage)
+        }
+        "fig7_8" => {
+            let p = fig7_8_distributions::compute(data)?;
+            out(fig7_8_body(&p), vec![p.to_csv()], p.coverage)
+        }
+        "ext_alias" => {
+            let p = ext_alias::compute(data, 1000)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "ext_events" => {
+            let p = ext_events::compute(data)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "ext_robustness" => {
+            let p = ext_robustness::compute(data)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "ext_ingress" => {
+            let p = ext_ingress::compute(data)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "ext_correlation" => {
+            let p = ext_correlation::compute(data)?;
+            out(p.render(), vec![p.render()], p.coverage)
+        }
+        "fig9" => {
+            let p = fig9_path_perf::compute(data, 10)?;
+            out(fig9_body(&p), vec![p.to_csv()], p.coverage)
+        }
+        _ => unreachable!("stage_spec() already validated the name"),
+    })
+}
+
+/// Assembles a full report text from staged outputs. With every stage
+/// present and no failures this is byte-identical to
+/// [`ReproReport::render`] on the same corpus (pinned by a test); failed
+/// stages render as an annotated placeholder section plus a closing
+/// "failed stages" section, mirroring how degraded *data* surfaces in
+/// coverage footers.
+pub fn assemble_staged_report(outputs: &[StageOutput], failures: &[StageFailure]) -> String {
+    let mut out = String::new();
+    let mut total = Coverage::new();
+    for spec in &ANALYSIS_STAGES {
+        match outputs.iter().find(|o| o.name == spec.name) {
+            Some(o) => {
+                push_section(&mut out, spec.title, &o.section);
+                total.merge(&o.coverage);
+            }
+            None => {
+                let reason = failures
+                    .iter()
+                    .find(|f| f.name == spec.name)
+                    .map(|f| f.reason.as_str())
+                    .unwrap_or("stage did not run");
+                push_section(&mut out, spec.title, &format!("[stage failed: {reason}]\n"));
+            }
+        }
+    }
+    push_section(&mut out, COVERAGE_TITLE, &coverage_body(&total));
+    if !failures.is_empty() {
+        let body: String =
+            failures.iter().map(|f| format!("{}: {}\n", f.name, f.reason)).collect();
+        push_section(&mut out, FAILED_STAGES_TITLE, &body);
+    }
+    out
+}
+
 impl ReproReport {
     /// The whole run's degradation accounting: every experiment's coverage
-    /// merged into one.
+    /// merged into one, in [`ANALYSIS_STAGES`] (render) order.
     pub fn coverage(&self) -> Coverage {
         let mut c = Coverage::new();
         for part in [
@@ -82,89 +420,55 @@ impl ReproReport {
             &self.fig5.coverage,
             &self.fig6.coverage,
             &self.fig7_8.coverage,
-            &self.fig9.coverage,
             &self.ext_alias.coverage,
             &self.ext_events.coverage,
             &self.ext_robustness.coverage,
             &self.ext_ingress.coverage,
             &self.ext_correlation.coverage,
+            &self.fig9.coverage,
         ] {
             c.merge(part);
         }
         c
     }
 
+    /// Section body for one [`ANALYSIS_STAGES`] entry, from the already
+    /// computed parts (shared with the staged path's renderers).
+    fn section_body(&self, name: &str) -> String {
+        match name {
+            "fig1" => self.fig1.render(),
+            "fig2" => fig2_body(&self.fig2),
+            "fig3" => self.fig3.to_csv(),
+            "fig4" => fig4_body(),
+            "table1" => self.table1.render(),
+            "table2" => self.table2.render(),
+            "table3" => self.table3.render(),
+            "table4" => self.table4.render(),
+            "table5_6" => format!(
+                "{}\n== Table 6 (AS p-values) ==\n{}",
+                self.tables5_6.render_table5(),
+                self.tables5_6.render_table6()
+            ),
+            "fig5" => self.fig5.render(),
+            "fig6" => fig6_body(&self.fig6),
+            "fig7_8" => fig7_8_body(&self.fig7_8),
+            "ext_alias" => self.ext_alias.render(),
+            "ext_events" => self.ext_events.render(),
+            "ext_robustness" => self.ext_robustness.render(),
+            "ext_ingress" => self.ext_ingress.render(),
+            "ext_correlation" => self.ext_correlation.render(),
+            "fig9" => fig9_body(&self.fig9),
+            other => format!("[unknown stage {other}]\n"),
+        }
+    }
+
     /// Plain-text rendering of every table and a summary line per figure.
     pub fn render(&self) -> String {
-        use ndt_topology::asn::well_known as wk;
         let mut out = String::new();
-        let mut section = |title: &str, body: String| {
-            out.push_str("== ");
-            out.push_str(title);
-            out.push_str(" ==\n");
-            out.push_str(&body);
-            out.push('\n');
-        };
-        section("Figure 1 (military activity, modeled, 2022-03-20)", self.fig1.render());
-        section(
-            "Figure 2 (national daily means)",
-            format!(
-                "{} days in 2022 series, {} days in 2021 baseline (CSV available)\n",
-                self.fig2.y2022.days.len(),
-                self.fig2.y2021.days.len()
-            ),
-        );
-        section("Figure 3 (per-oblast % change)", self.fig3.to_csv());
-        section(
-            "Figure 4 (Kharkiv & Mariupol counts)",
-            "108-day daily count series (CSV available)\n".to_string(),
-        );
-        section("Table 1 (city-level metrics)", self.table1.render());
-        section("Table 2 (path diversity)", self.table2.render());
-        section("Table 3 (top-10 AS changes)", self.table3.render());
-        section("Table 4 (oblast-level raw metrics)", self.table4.render());
-        section("Table 5 (AS detail)", self.tables5_6.render_table5());
-        section("Table 6 (AS p-values)", self.tables5_6.render_table6());
-        section("Figure 5 (border-AS heat map)", self.fig5.render());
-        section(
-            "Figure 6 (AS199995 ingress)",
-            format!(
-                "HE share change over war: {:+.2} (weekly series in CSV)\n",
-                self.fig6.mean_share(wk::HURRICANE_ELECTRIC, 440, 473)
-                    - self.fig6.mean_share(wk::HURRICANE_ELECTRIC, 365, 419)
-            ),
-        );
-        section(
-            "Figures 7/8 (distributions)",
-            format!(
-                "prewar n = {}, wartime n = {} (CSV available)\n",
-                self.fig7_8.prewar.min_rtt.total(),
-                self.fig7_8.wartime.min_rtt.total()
-            ),
-        );
-        section("Extension: alias-resolved path diversity", self.ext_alias.render());
-        section("Extension: date-level event alignment", self.ext_events.render());
-        section("Extension: Welch vs Mann-Whitney robustness", self.ext_robustness.render());
-        section("Extension: ingress shifts across all multi-ingress ASes", self.ext_ingress.render());
-        section("Extension: intensity vs degradation correlation", self.ext_correlation.render());
-        section(
-            "Figure 9 (path churn vs performance)",
-            format!(
-                "corr(dPaths, dTput) = {:.3}, corr(dPaths, dLoss) = {:.3}, {} connections\n",
-                self.fig9.corr_tput,
-                self.fig9.corr_loss,
-                self.fig9.connections.len()
-            ),
-        );
-        let total = self.coverage();
-        section(
-            "Coverage (degraded-data accounting)",
-            if total.is_degraded() {
-                total.footer()
-            } else {
-                "all experiments ran on clean data; nothing dropped\n".to_string()
-            },
-        );
+        for spec in &ANALYSIS_STAGES {
+            push_section(&mut out, spec.title, &self.section_body(spec.name));
+        }
+        push_section(&mut out, COVERAGE_TITLE, &coverage_body(&self.coverage()));
         out
     }
 }
@@ -173,6 +477,67 @@ impl ReproReport {
 mod tests {
     use super::*;
     use crate::dataset::test_support::shared_medium;
+
+    #[test]
+    fn staged_pipeline_matches_monolithic_report() {
+        // The crash-safe runner computes the report one stage at a time and
+        // assembles the sections; that path must be byte-identical to
+        // `full_report(..).render()` — it is the determinism contract that
+        // makes checkpointed resume safe.
+        let data = shared_medium();
+        let outputs: Vec<StageOutput> = ANALYSIS_STAGES
+            .iter()
+            .map(|s| run_analysis_stage(s.name, data).expect("stage computes"))
+            .collect();
+        let staged = assemble_staged_report(&outputs, &[]);
+        let monolithic = full_report(data).expect("clean corpus computes").render();
+        assert_eq!(staged, monolithic);
+    }
+
+    #[test]
+    fn every_stage_exports_its_declared_artifacts() {
+        let data = shared_medium();
+        let mut seen = std::collections::HashSet::new();
+        for spec in &ANALYSIS_STAGES {
+            let out = run_analysis_stage(spec.name, data).expect("stage computes");
+            assert_eq!(out.name, spec.name);
+            let names: Vec<&str> = out.artifacts.iter().map(|(n, _)| *n).collect();
+            assert_eq!(names, spec.artifacts.to_vec(), "stage {}", spec.name);
+            for (n, content) in &out.artifacts {
+                assert!(!content.is_empty(), "stage {} artifact {n} is empty", spec.name);
+                assert!(seen.insert(*n), "artifact {n} exported by two stages");
+            }
+        }
+        // The export file set is derived from these specs; any new report
+        // field must add a stage (and so an artifact) or this count drifts.
+        assert_eq!(seen.len(), 19, "artifact file set changed — update export docs/tests");
+    }
+
+    #[test]
+    fn failed_stages_render_annotated_placeholders() {
+        let data = shared_medium();
+        let outputs: Vec<StageOutput> = ANALYSIS_STAGES
+            .iter()
+            .filter(|s| s.name != "fig5")
+            .map(|s| run_analysis_stage(s.name, data).expect("stage computes"))
+            .collect();
+        let failures = vec![
+            StageFailure { name: "fig5".into(), reason: "stage panicked: boom".into() },
+            StageFailure { name: "corpus:365-392".into(), reason: "deadline exceeded".into() },
+        ];
+        let text = assemble_staged_report(&outputs, &failures);
+        assert!(text.contains("== Figure 5 (border-AS heat map) ==\n[stage failed: stage panicked: boom]"));
+        assert!(text.contains(FAILED_STAGES_TITLE));
+        assert!(text.contains("corpus:365-392: deadline exceeded"));
+        // Completed sections still render normally.
+        assert!(text.contains("== Table 1 (city-level metrics) =="));
+    }
+
+    #[test]
+    fn unknown_stage_name_is_an_error() {
+        let err = run_analysis_stage("fig99", shared_medium()).expect_err("must reject");
+        assert!(err.to_string().contains("fig99"));
+    }
 
     #[test]
     fn full_report_runs_and_renders() {

@@ -1,0 +1,434 @@
+//! Binary serialization for generated datasets.
+//!
+//! The crash-safe runner checkpoints corpus shards to disk and reloads
+//! them on resume; a resumed run must be **bit-for-bit** identical to an
+//! uninterrupted one, so this codec round-trips every row exactly:
+//! floats travel as their IEEE-754 bit patterns (`f64::to_le_bytes`),
+//! never through text formatting. The format is little-endian,
+//! length-prefixed, and versioned; decoding is panic-free — torn or
+//! corrupt input surfaces as a [`CodecError`], which the runner treats as
+//! "checkpoint invalid, recompute".
+//!
+//! The [`wire`] primitives are shared with the runner's own checkpoint
+//! container so the workspace has exactly one binary-encoding idiom.
+
+use crate::schema::{Dataset, Scamper1Row, UnifiedDownloadRow};
+use ndt_geo::{CityId, Oblast};
+use ndt_topology::{Asn, Ipv4Addr};
+
+/// Magic prefix of a serialized [`Dataset`] (`NDT corpus, v1`).
+pub const DATASET_MAGIC: [u8; 4] = *b"NDC1";
+
+/// Why a byte buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the field named here was complete.
+    Truncated(&'static str),
+    /// The buffer does not start with [`DATASET_MAGIC`].
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// A decoded discriminant or length was out of range.
+    InvalidValue { what: &'static str, value: u64 },
+    /// Bytes were left over after the last declared row.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated(what) => write!(f, "truncated input at {what}"),
+            CodecError::BadMagic => write!(f, "not a serialized dataset (bad magic)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported dataset version {v}"),
+            CodecError::InvalidValue { what, value } => {
+                write!(f, "invalid {what} value {value}")
+            }
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after last row"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Little-endian wire primitives shared by the dataset codec and the
+/// runner's checkpoint container.
+pub mod wire {
+    use super::CodecError;
+
+    /// A bounds-checked cursor over an input buffer.
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// Wraps a buffer.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Self { buf, pos: 0 }
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        /// Takes `n` raw bytes.
+        pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+            if self.remaining() < n {
+                return Err(CodecError::Truncated(what));
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        /// Reads a `u8`.
+        pub fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+            Ok(self.bytes(1, what)?[0])
+        }
+
+        /// Reads a little-endian `u16`.
+        pub fn u16(&mut self, what: &'static str) -> Result<u16, CodecError> {
+            let b = self.bytes(2, what)?;
+            Ok(u16::from_le_bytes([b[0], b[1]]))
+        }
+
+        /// Reads a little-endian `u32`.
+        pub fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+            let b = self.bytes(4, what)?;
+            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        }
+
+        /// Reads a little-endian `u64`.
+        pub fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+            let b = self.bytes(8, what)?;
+            Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        }
+
+        /// Reads a little-endian `i64`.
+        pub fn i64(&mut self, what: &'static str) -> Result<i64, CodecError> {
+            Ok(self.u64(what)? as i64)
+        }
+
+        /// Reads an `f64` as its exact bit pattern.
+        pub fn f64(&mut self, what: &'static str) -> Result<f64, CodecError> {
+            Ok(f64::from_bits(self.u64(what)?))
+        }
+
+        /// Reads a length-prefixed UTF-8 string.
+        pub fn str(&mut self, what: &'static str) -> Result<String, CodecError> {
+            let len = self.u32(what)? as usize;
+            let bytes = self.bytes(len, what)?;
+            String::from_utf8(bytes.to_vec())
+                .map_err(|_| CodecError::InvalidValue { what, value: len as u64 })
+        }
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+        put_u64(out, v as u64);
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+        put_u64(out, v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(out: &mut Vec<u8>, s: &str) {
+        put_u32(out, s.len() as u32);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    /// FNV-1a over a byte buffer — the workspace's checksum for
+    /// checkpoint payloads.
+    pub fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+use wire::Reader;
+
+const VERSION: u16 = 1;
+
+/// `Oblast → u8` index in the stable Table 4 order ([`Oblast::all`]).
+fn oblast_index(o: Oblast) -> u8 {
+    Oblast::all().position(|x| x == o).unwrap_or(0) as u8
+}
+
+fn oblast_from_index(i: u8) -> Result<Oblast, CodecError> {
+    Oblast::all()
+        .nth(i as usize)
+        .ok_or(CodecError::InvalidValue { what: "oblast index", value: i as u64 })
+}
+
+fn put_unified(out: &mut Vec<u8>, r: &UnifiedDownloadRow) {
+    wire::put_i64(out, r.day);
+    wire::put_u32(out, r.client_ip.0);
+    wire::put_u32(out, r.server_ip.0);
+    wire::put_u32(out, r.client_asn.0);
+    match r.oblast {
+        Some(o) => {
+            out.push(1);
+            out.push(oblast_index(o));
+        }
+        None => out.extend_from_slice(&[0, 0]),
+    }
+    match r.city {
+        Some(c) => {
+            out.push(1);
+            wire::put_u16(out, c.0);
+        }
+        None => out.extend_from_slice(&[0, 0, 0]),
+    }
+    wire::put_f64(out, r.mean_tput_mbps);
+    wire::put_f64(out, r.min_rtt_ms);
+    wire::put_f64(out, r.loss_rate);
+}
+
+fn read_unified(r: &mut Reader<'_>) -> Result<UnifiedDownloadRow, CodecError> {
+    let day = r.i64("unified.day")?;
+    let client_ip = Ipv4Addr(r.u32("unified.client_ip")?);
+    let server_ip = Ipv4Addr(r.u32("unified.server_ip")?);
+    let client_asn = Asn(r.u32("unified.client_asn")?);
+    let oblast = match r.u8("unified.oblast_tag")? {
+        0 => {
+            r.u8("unified.oblast")?;
+            None
+        }
+        1 => Some(oblast_from_index(r.u8("unified.oblast")?)?),
+        t => return Err(CodecError::InvalidValue { what: "oblast tag", value: t as u64 }),
+    };
+    let city = match r.u8("unified.city_tag")? {
+        0 => {
+            r.u16("unified.city")?;
+            None
+        }
+        1 => Some(CityId(r.u16("unified.city")?)),
+        t => return Err(CodecError::InvalidValue { what: "city tag", value: t as u64 }),
+    };
+    Ok(UnifiedDownloadRow {
+        day,
+        client_ip,
+        server_ip,
+        client_asn,
+        oblast,
+        city,
+        mean_tput_mbps: r.f64("unified.tput")?,
+        min_rtt_ms: r.f64("unified.min_rtt")?,
+        loss_rate: r.f64("unified.loss")?,
+    })
+}
+
+fn put_trace(out: &mut Vec<u8>, r: &Scamper1Row) {
+    wire::put_i64(out, r.day);
+    wire::put_u32(out, r.client_ip.0);
+    wire::put_u32(out, r.server_ip.0);
+    wire::put_u64(out, r.path_fingerprint);
+    wire::put_u64(out, r.router_fingerprint);
+    wire::put_u64(out, r.resolved_fingerprint);
+    wire::put_u16(out, r.as_path.len() as u16);
+    for a in &r.as_path {
+        wire::put_u32(out, a.0);
+    }
+    match r.border {
+        Some((a, b)) => {
+            out.push(1);
+            wire::put_u32(out, a.0);
+            wire::put_u32(out, b.0);
+        }
+        None => {
+            out.push(0);
+            wire::put_u32(out, 0);
+            wire::put_u32(out, 0);
+        }
+    }
+    wire::put_f64(out, r.mean_tput_mbps);
+    wire::put_f64(out, r.min_rtt_ms);
+    wire::put_f64(out, r.loss_rate);
+}
+
+fn read_trace(r: &mut Reader<'_>) -> Result<Scamper1Row, CodecError> {
+    let day = r.i64("trace.day")?;
+    let client_ip = Ipv4Addr(r.u32("trace.client_ip")?);
+    let server_ip = Ipv4Addr(r.u32("trace.server_ip")?);
+    let path_fingerprint = r.u64("trace.path_fp")?;
+    let router_fingerprint = r.u64("trace.router_fp")?;
+    let resolved_fingerprint = r.u64("trace.resolved_fp")?;
+    let n = r.u16("trace.as_path_len")? as usize;
+    let mut as_path = Vec::with_capacity(n);
+    for _ in 0..n {
+        as_path.push(Asn(r.u32("trace.as_path")?));
+    }
+    let border = match r.u8("trace.border_tag")? {
+        0 => {
+            r.u32("trace.border_a")?;
+            r.u32("trace.border_b")?;
+            None
+        }
+        1 => Some((Asn(r.u32("trace.border_a")?), Asn(r.u32("trace.border_b")?))),
+        t => return Err(CodecError::InvalidValue { what: "border tag", value: t as u64 }),
+    };
+    Ok(Scamper1Row {
+        day,
+        client_ip,
+        server_ip,
+        path_fingerprint,
+        router_fingerprint,
+        resolved_fingerprint,
+        as_path,
+        border,
+        mean_tput_mbps: r.f64("trace.tput")?,
+        min_rtt_ms: r.f64("trace.min_rtt")?,
+        loss_rate: r.f64("trace.loss")?,
+    })
+}
+
+impl Dataset {
+    /// Serializes the dataset into the versioned binary wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // Rough per-row sizes keep reallocation off the hot path.
+        let mut out = Vec::with_capacity(16 + self.ndt.len() * 46 + self.traces.len() * 80);
+        out.extend_from_slice(&DATASET_MAGIC);
+        wire::put_u16(&mut out, VERSION);
+        wire::put_u64(&mut out, self.ndt.len() as u64);
+        wire::put_u64(&mut out, self.traces.len() as u64);
+        for r in &self.ndt {
+            put_unified(&mut out, r);
+        }
+        for r in &self.traces {
+            put_trace(&mut out, r);
+        }
+        out
+    }
+
+    /// Decodes a dataset serialized by [`Dataset::to_bytes`]. Exact
+    /// inverse: `Dataset::from_bytes(&d.to_bytes()) == Ok(d)` for every
+    /// dataset, including NaN metric cells (bit-pattern float transport).
+    pub fn from_bytes(buf: &[u8]) -> Result<Dataset, CodecError> {
+        let mut r = Reader::new(buf);
+        if r.bytes(4, "magic")? != DATASET_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let v = r.u16("version")?;
+        if v != VERSION {
+            return Err(CodecError::UnsupportedVersion(v));
+        }
+        let n_ndt = r.u64("ndt count")?;
+        let n_traces = r.u64("trace count")?;
+        // A row is ≥ 30 bytes; reject counts the buffer cannot possibly
+        // hold before allocating for them.
+        let implausible = |n: u64| n > (buf.len() as u64) / 30 + 1;
+        if implausible(n_ndt) {
+            return Err(CodecError::InvalidValue { what: "ndt count", value: n_ndt });
+        }
+        if implausible(n_traces) {
+            return Err(CodecError::InvalidValue { what: "trace count", value: n_traces });
+        }
+        let mut ds = Dataset {
+            ndt: Vec::with_capacity(n_ndt as usize),
+            traces: Vec::with_capacity(n_traces as usize),
+        };
+        for _ in 0..n_ndt {
+            ds.ndt.push(read_unified(&mut r)?);
+        }
+        for _ in 0..n_traces {
+            ds.traces.push(read_trace(&mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes(r.remaining()));
+        }
+        Ok(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, Simulator};
+
+    fn sample() -> Dataset {
+        Simulator::new(SimConfig { scale: 0.01, seed: 11, ..SimConfig::default() }).run()
+    }
+
+    #[test]
+    fn roundtrips_a_generated_dataset_exactly() {
+        let ds = sample();
+        assert!(ds.ndt.len() > 100 && ds.traces.len() > 1000, "sample too small to be meaningful");
+        let bytes = ds.to_bytes();
+        let back = Dataset::from_bytes(&bytes).expect("decodes");
+        assert_eq!(ds, back);
+        // And the encoding itself is deterministic.
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn roundtrips_nan_and_none_cells() {
+        let mut ds = sample();
+        // Mirror the fault layer's corruptions: NaN metrics, missing geo.
+        ds.ndt[0].mean_tput_mbps = f64::NAN;
+        ds.ndt[0].oblast = None;
+        ds.ndt[0].city = None;
+        ds.ndt[1].min_rtt_ms = f64::NEG_INFINITY;
+        ds.traces[0].border = None;
+        ds.traces[1].as_path.clear();
+        let back = Dataset::from_bytes(&ds.to_bytes()).expect("decodes");
+        assert!(back.ndt[0].mean_tput_mbps.is_nan());
+        assert_eq!(back.ndt[0].mean_tput_mbps.to_bits(), ds.ndt[0].mean_tput_mbps.to_bits());
+        // NaN cells defeat `PartialEq`; byte-level equality is the real
+        // round-trip claim anyway.
+        assert_eq!(ds.to_bytes(), back.to_bytes());
+    }
+
+    #[test]
+    fn rejects_corrupt_input_without_panicking() {
+        let ds = sample();
+        let bytes = ds.to_bytes();
+        assert_eq!(Dataset::from_bytes(b""), Err(CodecError::Truncated("magic")));
+        assert_eq!(Dataset::from_bytes(b"WAT1aaaaaaaaaaaaaaaaaa"), Err(CodecError::BadMagic));
+        // Truncation anywhere must error, never panic.
+        for cut in [5, 12, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Dataset::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} decoded");
+        }
+        // Trailing garbage is detected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(Dataset::from_bytes(&padded), Err(CodecError::TrailingBytes(1)));
+        // A flipped declared count is caught by the plausibility bound.
+        let mut huge = bytes;
+        huge[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Dataset::from_bytes(&huge),
+            Err(CodecError::InvalidValue { what: "ndt count", .. })
+        ));
+    }
+
+    #[test]
+    fn oblast_indices_are_stable_and_total() {
+        for (i, o) in ndt_geo::Oblast::all().enumerate() {
+            assert_eq!(oblast_index(o), i as u8);
+            assert_eq!(oblast_from_index(i as u8), Ok(o));
+        }
+        assert!(oblast_from_index(200).is_err());
+    }
+}

@@ -34,12 +34,14 @@
 //! a reduced [`SimConfig::scale`].
 
 pub mod client;
+pub mod codec;
 pub mod fault;
 pub mod schema;
 pub mod sim;
 pub mod site;
 
 pub use client::{Client, ClientPool};
+pub use codec::CodecError;
 pub use fault::{Corruption, FaultPlan};
 pub use schema::{Dataset, Scamper1Row, UnifiedDownloadRow};
 pub use sim::{Scenario, SimConfig, Simulator};

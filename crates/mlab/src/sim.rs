@@ -111,6 +111,43 @@ impl SimConfig {
     pub fn small(seed: u64) -> Self {
         Self { seed, scale: 0.06, ..Default::default() }
     }
+
+    /// The contiguous simulated day windows this configuration covers, in
+    /// chronological order (the 2021 baseline, then the 2022 study year).
+    pub fn windows(&self) -> Vec<std::ops::Range<i64>> {
+        let mut w = Vec::new();
+        if self.simulate_2021 {
+            let (s, _) = Period::BaselineJanFeb2021.day_range();
+            let (_, e) = Period::BaselineFebApr2021.day_range();
+            w.push(s..e);
+        }
+        if self.simulate_2022 {
+            let (s, _) = Period::Prewar2022.day_range();
+            let (_, e) = Period::Wartime2022.day_range();
+            w.push(s..e);
+        }
+        w
+    }
+
+    /// Splits [`SimConfig::windows`] into day-range shards of at most
+    /// `days_per_shard` days. Shard boundaries never change the generated
+    /// rows: each simulated day derives its RNG streams and damage state
+    /// from the day index alone, so concatenating the shards in order
+    /// reproduces an unsharded run bit-for-bit. This is the unit of corpus
+    /// checkpointing — a killed run resumes at the first missing shard.
+    pub fn shards(&self, days_per_shard: i64) -> Vec<std::ops::Range<i64>> {
+        let step = days_per_shard.max(1);
+        let mut shards = Vec::new();
+        for w in self.windows() {
+            let mut lo = w.start;
+            while lo < w.end {
+                let hi = (lo + step).min(w.end);
+                shards.push(lo..hi);
+                lo = hi;
+            }
+        }
+        shards
+    }
 }
 
 /// The platform simulator. Owns the topology, client population, routing
@@ -197,26 +234,36 @@ impl Simulator {
         &self.lb
     }
 
-    /// Runs the configured windows and returns the published dataset.
-    pub fn run(&mut self) -> Dataset {
+    /// Fresh per-worker routing engines sized to the configured thread
+    /// count, as used by [`Simulator::run`].
+    pub fn worker_engines(&self) -> Vec<RoutingEngine> {
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             self.config.threads
         };
-        let mut engines: Vec<RoutingEngine> =
-            (0..threads).map(|_| RoutingEngine::with_config(*self.engine.config())).collect();
+        (0..threads).map(|_| RoutingEngine::with_config(*self.engine.config())).collect()
+    }
+
+    /// Runs the configured windows and returns the published dataset.
+    pub fn run(&mut self) -> Dataset {
+        let mut engines = self.worker_engines();
         let mut ds = Dataset::default();
-        if self.config.simulate_2021 {
-            let (s, _) = Period::BaselineJanFeb2021.day_range();
-            let (_, e) = Period::BaselineFebApr2021.day_range();
-            self.run_days(s..e, &mut ds, &mut engines);
+        for w in self.config.windows() {
+            self.run_days(w, &mut ds, &mut engines);
         }
-        if self.config.simulate_2022 {
-            let (s, _) = Period::Prewar2022.day_range();
-            let (_, e) = Period::Wartime2022.day_range();
-            self.run_days(s..e, &mut ds, &mut engines);
-        }
+        ds
+    }
+
+    /// Runs one contiguous day range into a fresh dataset — the sharded
+    /// entry point for checkpointed generation. Equivalent to the matching
+    /// slice of a full [`Simulator::run`]: per-(client, day) RNG streams
+    /// and per-day damage application make every day independent of what
+    /// was (or was not) simulated before it.
+    pub fn run_range(&mut self, days: std::ops::Range<i64>) -> Dataset {
+        let mut engines = self.worker_engines();
+        let mut ds = Dataset::default();
+        self.run_days(days, &mut ds, &mut engines);
         ds
     }
 
@@ -557,6 +604,47 @@ mod tests {
         assert_eq!(a.traces.len(), b.traces.len());
         assert_eq!(a.ndt.len(), b.ndt.len());
         assert_eq!(a.traces[..50.min(a.traces.len())], b.traces[..50.min(b.traces.len())]);
+    }
+
+    #[test]
+    fn windows_and_shards_cover_the_study_days() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.windows(), vec![0..108, 365..473]);
+        let shards = cfg.shards(27);
+        assert_eq!(shards.len(), 8);
+        let mut days: Vec<i64> = shards.iter().flat_map(|r| r.clone()).collect();
+        let full: Vec<i64> = cfg.windows().into_iter().flatten().collect();
+        assert_eq!(days, full, "shards must partition the windows in order");
+        days.dedup();
+        assert_eq!(days.len(), 216);
+        // Uneven shard sizes still cover everything.
+        let total: i64 = cfg.shards(50).iter().map(|r| r.end - r.start).sum();
+        assert_eq!(total, 216);
+        let only_2022 = SimConfig { simulate_2021: false, ..cfg };
+        assert_eq!(only_2022.windows(), vec![365..473]);
+    }
+
+    #[test]
+    fn sharded_generation_matches_a_full_run() {
+        let cfg = SimConfig { scale: 0.02, seed: 41, ..SimConfig::default() };
+        let full = Simulator::new(cfg).run();
+        // One simulator reused across shards (the in-process path) ...
+        let mut sim = Simulator::new(cfg);
+        let mut reused = Dataset::default();
+        for shard in cfg.shards(27) {
+            let mut part = sim.run_range(shard);
+            reused.ndt.append(&mut part.ndt);
+            reused.traces.append(&mut part.traces);
+        }
+        assert_eq!(full, reused, "reused-simulator shards diverge from the full run");
+        // ... and a fresh simulator per shard (the resume-from-disk path).
+        let mut fresh = Dataset::default();
+        for shard in cfg.shards(27) {
+            let mut part = Simulator::new(cfg).run_range(shard);
+            fresh.ndt.append(&mut part.ndt);
+            fresh.traces.append(&mut part.traces);
+        }
+        assert_eq!(full, fresh, "fresh-simulator shards diverge from the full run");
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Atomic artifact writes: temp file → fsync → rename.
+//!
+//! A batch run killed mid-write must never leave a torn CSV behind: every
+//! file the pipeline produces — exported artifacts, checkpoints, the run
+//! manifest — is written to a hidden temporary in the destination
+//! directory, fsynced, and renamed over the target. POSIX `rename(2)` is
+//! atomic within a filesystem, so readers (and resumed runs) observe
+//! either the complete old file or the complete new file. The parent
+//! directory is fsynced after the rename so the new name itself survives
+//! a power loss.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A streaming writer that becomes visible at `dest` only on
+/// [`AtomicFile::commit`]. Dropping without committing removes the
+/// temporary; the destination is never touched.
+pub struct AtomicFile {
+    dest: PathBuf,
+    tmp: PathBuf,
+    writer: Option<BufWriter<File>>,
+}
+
+impl AtomicFile {
+    /// Opens a temporary alongside `dest` (same directory, so the final
+    /// rename cannot cross a filesystem boundary).
+    pub fn create(dest: impl Into<PathBuf>) -> io::Result<Self> {
+        let dest = dest.into();
+        let name = dest.file_name().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("atomic write target has no file name: {}", dest.display()),
+            )
+        })?;
+        let tmp = dest.with_file_name(format!(
+            ".{}.tmp.{}",
+            name.to_string_lossy(),
+            std::process::id()
+        ));
+        let file = File::create(&tmp)?;
+        Ok(Self { dest, tmp, writer: Some(BufWriter::new(file)) })
+    }
+
+    /// The final destination path.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Flushes, fsyncs, and renames the temporary over the destination.
+    pub fn commit(mut self) -> io::Result<()> {
+        let result = (|| {
+            let writer = self.writer.take().ok_or_else(|| {
+                io::Error::other("atomic file already committed")
+            })?;
+            let file = writer.into_inner().map_err(|e| e.into_error())?;
+            file.sync_all()?;
+            drop(file);
+            fs::rename(&self.tmp, &self.dest)?;
+            // Persist the directory entry too. Some filesystems refuse
+            // fsync on a directory handle; the rename itself is still
+            // atomic, so this is best-effort.
+            if let Some(dir) = self.dest.parent() {
+                if let Ok(d) = File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&self.tmp);
+        }
+        result
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.writer.as_mut() {
+            Some(w) => w.write(buf),
+            None => Err(io::Error::other("atomic file already committed")),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self.writer.as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.writer.take().is_some() {
+            // Abandoned before commit: discard the partial temporary.
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Writes `bytes` to `path` atomically (temp → fsync → rename).
+pub fn write_atomic(path: impl Into<PathBuf>, bytes: &[u8]) -> io::Result<()> {
+    let mut f = AtomicFile::create(path)?;
+    f.write_all(bytes)?;
+    f.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("ndt-runner-atomic-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn no_temps(dir: &Path) {
+        let leftovers: Vec<_> = fs::read_dir(dir)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let d = tmpdir("write");
+        let p = d.join("a.csv");
+        write_atomic(&p, b"one").expect("write");
+        assert_eq!(fs::read(&p).expect("read"), b"one");
+        write_atomic(&p, b"two,longer").expect("overwrite");
+        assert_eq!(fs::read(&p).expect("read"), b"two,longer");
+        no_temps(&d);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn streaming_commit_and_abandon() {
+        let d = tmpdir("stream");
+        let p = d.join("b.txt");
+        let mut f = AtomicFile::create(&p).expect("create");
+        writeln!(f, "line {}", 1).expect("write");
+        writeln!(f, "line {}", 2).expect("write");
+        f.commit().expect("commit");
+        assert_eq!(fs::read_to_string(&p).expect("read"), "line 1\nline 2\n");
+        // An abandoned writer leaves no trace and does not clobber dest.
+        let mut g = AtomicFile::create(&p).expect("create");
+        g.write_all(b"partial garbage").expect("write");
+        drop(g);
+        assert_eq!(fs::read_to_string(&p).expect("read"), "line 1\nline 2\n");
+        no_temps(&d);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn rejects_pathless_target() {
+        assert!(AtomicFile::create(PathBuf::from("/")).is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! Stage checkpoints: persisted stage outputs keyed by a config fingerprint.
+//!
+//! Completed stages serialize to `<out>/.ukraine-ndt/` so an interrupted
+//! run can resume where it stopped. Two keys guard correctness:
+//!
+//! * a **config fingerprint** — a hash of every knob that influences stage
+//!   output (seed, scale, scenario, fault plan, crate version, stage-graph
+//!   version). A manifest whose fingerprint differs from the current run's
+//!   is ignored wholesale, so changing *any* knob recomputes everything.
+//!   `threads` is deliberately excluded: generation is bit-identical for
+//!   every thread count, so a checkpoint from a 16-thread run is valid for
+//!   a 1-thread resume.
+//! * a **content checksum** per stage — FNV-1a over the serialized payload,
+//!   stored both in the checkpoint file and in the manifest. A truncated,
+//!   corrupted, or stale file fails verification and the stage is simply
+//!   recomputed; resume never trusts bytes it cannot verify.
+//!
+//! All writes go through [`crate::atomic`], so a crash mid-checkpoint
+//! leaves the previous (or no) checkpoint, never a torn one.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use ndt_analysis::{stage_spec, StageOutput};
+use ndt_mlab::codec::wire;
+use ndt_mlab::schema::Dataset;
+use ndt_mlab::sim::{Scenario, SimConfig};
+use ndt_tcp::CongestionControl;
+
+use crate::atomic::AtomicFile;
+use crate::retry::{retry_io, RetryPolicy};
+
+/// Checkpoint directory name, created under the run's output directory.
+pub const CHECKPOINT_DIR: &str = ".ukraine-ndt";
+
+/// Bumped whenever the stage decomposition changes shape, invalidating
+/// all prior checkpoints.
+const STAGE_GRAPH_VERSION: u32 = 1;
+
+const MANIFEST_NAME: &str = "manifest.txt";
+const MANIFEST_HEADER: &str = "ukraine-ndt manifest v1";
+const CKPT_MAGIC: &[u8; 8] = b"NDTCKPT1";
+
+/// Fingerprint of every configuration knob that influences stage output.
+///
+/// Includes the crate version and the stage-graph version, so upgrading
+/// the binary (whose model code may have changed) or reshaping the stage
+/// graph also invalidates old checkpoints.
+pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    let mut buf = Vec::with_capacity(128);
+    wire::put_u64(&mut buf, cfg.seed);
+    wire::put_f64(&mut buf, cfg.scale);
+    wire::put_f64(&mut buf, cfg.unified_fraction);
+    wire::put_f64(&mut buf, cfg.volume_mult_2021);
+    buf.push(match cfg.cca {
+        CongestionControl::Bbr => 0,
+        CongestionControl::Cubic => 1,
+    });
+    buf.push(cfg.simulate_2021 as u8);
+    buf.push(cfg.simulate_2022 as u8);
+    buf.push(match cfg.scenario {
+        Scenario::Historical => 0,
+        Scenario::NoWar => 1,
+        Scenario::EdgeDamageOnly => 2,
+        Scenario::CoreDamageOnly => 3,
+    });
+    wire::put_u64(&mut buf, cfg.faults.fault_seed);
+    for p in [
+        cfg.faults.site_outage,
+        cfg.faults.day_loss,
+        cfg.faults.sidecar_loss,
+        cfg.faults.sidecar_truncation,
+        cfg.faults.corrupt_row,
+        cfg.faults.geo_failure,
+    ] {
+        wire::put_f64(&mut buf, p);
+    }
+    wire::put_u32(&mut buf, STAGE_GRAPH_VERSION);
+    wire::put_str(&mut buf, env!("CARGO_PKG_VERSION"));
+    wire::fnv1a64(&buf)
+}
+
+/// A value the pipeline can checkpoint: serializes to bytes and restores
+/// from them. Errors are strings — a failed restore only means "recompute
+/// this stage", so no structured error type is warranted.
+pub trait Checkpointable: Sized {
+    /// Serialize to a self-contained byte payload.
+    fn to_checkpoint_bytes(&self) -> Vec<u8>;
+    /// Restore from a payload produced by [`Self::to_checkpoint_bytes`].
+    fn from_checkpoint_bytes(bytes: &[u8]) -> Result<Self, String>;
+}
+
+impl Checkpointable for Dataset {
+    fn to_checkpoint_bytes(&self) -> Vec<u8> {
+        self.to_bytes()
+    }
+
+    fn from_checkpoint_bytes(bytes: &[u8]) -> Result<Self, String> {
+        Dataset::from_bytes(bytes).map_err(|e| e.to_string())
+    }
+}
+
+impl Checkpointable for String {
+    fn to_checkpoint_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.len() + 8);
+        wire::put_str(&mut buf, self);
+        buf
+    }
+
+    fn from_checkpoint_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = wire::Reader::new(bytes);
+        let s = r.str("string payload").map_err(|e| e.to_string())?;
+        if r.remaining() != 0 {
+            return Err("trailing bytes after string payload".into());
+        }
+        Ok(s)
+    }
+}
+
+impl Checkpointable for StageOutput {
+    fn to_checkpoint_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_str(&mut buf, self.name);
+        wire::put_str(&mut buf, &self.section);
+        wire::put_u32(&mut buf, self.artifacts.len() as u32);
+        for (file, content) in &self.artifacts {
+            wire::put_str(&mut buf, file);
+            wire::put_str(&mut buf, content);
+        }
+        let cov = &self.coverage;
+        wire::put_u64(&mut buf, cov.rows_seen as u64);
+        wire::put_u32(&mut buf, cov.dropped.len() as u32);
+        for (reason, n) in &cov.dropped {
+            wire::put_str(&mut buf, reason.label());
+            wire::put_u64(&mut buf, *n as u64);
+        }
+        wire::put_u32(&mut buf, cov.low_sample_cells.len() as u32);
+        for cell in &cov.low_sample_cells {
+            wire::put_str(&mut buf, cell);
+        }
+        buf
+    }
+
+    fn from_checkpoint_bytes(bytes: &[u8]) -> Result<Self, String> {
+        use ndt_analysis::{Coverage, DropReason};
+        let mut r = wire::Reader::new(bytes);
+        let read = |r: &mut wire::Reader<'_>, what: &'static str| -> Result<String, String> {
+            r.str(what).map_err(|e| e.to_string())
+        };
+        let name = read(&mut r, "stage name")?;
+        // Restore the &'static identifiers from the registry — the stage
+        // registry is the single source of truth for names and artifact
+        // file names, so a checkpoint naming an unknown stage is stale.
+        let spec =
+            stage_spec(&name).ok_or_else(|| format!("checkpoint names unknown stage {name:?}"))?;
+        let section = read(&mut r, "section")?;
+        let n_artifacts = r.u32("artifact count").map_err(|e| e.to_string())? as usize;
+        if n_artifacts != spec.artifacts.len() {
+            return Err(format!(
+                "stage {name}: checkpoint has {n_artifacts} artifacts, registry declares {}",
+                spec.artifacts.len()
+            ));
+        }
+        let mut artifacts = Vec::with_capacity(n_artifacts);
+        for declared in spec.artifacts {
+            let file = read(&mut r, "artifact name")?;
+            if file != *declared {
+                return Err(format!(
+                    "stage {name}: checkpoint artifact {file:?} does not match declared {declared:?}"
+                ));
+            }
+            let content = read(&mut r, "artifact content")?;
+            artifacts.push((*declared, content));
+        }
+        let mut coverage = Coverage::new();
+        let rows = r.u64("rows_seen").map_err(|e| e.to_string())? as usize;
+        coverage.see(rows);
+        let n_drops = r.u32("drop count").map_err(|e| e.to_string())? as usize;
+        for _ in 0..n_drops {
+            let label = read(&mut r, "drop reason")?;
+            let reason = match label.as_str() {
+                "unlocated" => DropReason::Unlocated,
+                "non-finite" => DropReason::NonFinite,
+                "negative" => DropReason::Negative,
+                other => return Err(format!("unknown drop reason {other:?}")),
+            };
+            let n = r.u64("drop rows").map_err(|e| e.to_string())? as usize;
+            coverage.drop_rows(reason, n);
+        }
+        let n_cells = r.u32("low-sample cell count").map_err(|e| e.to_string())? as usize;
+        for _ in 0..n_cells {
+            coverage.low_sample_cells.push(read(&mut r, "low-sample cell")?);
+        }
+        if r.remaining() != 0 {
+            return Err(format!("stage {name}: trailing bytes in checkpoint"));
+        }
+        Ok(StageOutput { name: spec.name, section, artifacts, coverage })
+    }
+}
+
+/// The on-disk checkpoint store for one run directory.
+///
+/// Opening a store reads the manifest; if its fingerprint differs from the
+/// current configuration's, the store starts empty (stale checkpoints are
+/// never loaded, and the next successful stage rewrites the manifest).
+pub struct CheckpointStore {
+    dir: PathBuf,
+    fingerprint: u64,
+    retry: RetryPolicy,
+    entries: BTreeMap<String, u64>,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the checkpoint directory under `out`.
+    pub fn open(out: &Path, fingerprint: u64, retry: RetryPolicy) -> io::Result<Self> {
+        let dir = out.join(CHECKPOINT_DIR);
+        retry_io(&retry, || fs::create_dir_all(&dir))?;
+        let mut store = CheckpointStore { dir, fingerprint, retry, entries: BTreeMap::new() };
+        store.entries = store.read_manifest();
+        Ok(store)
+    }
+
+    /// Stage names with a manifest entry for this fingerprint.
+    pub fn known_stages(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_NAME)
+    }
+
+    fn stage_path(&self, stage: &str) -> PathBuf {
+        let sanitized: String = stage
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        self.dir.join(format!("stage-{sanitized}.ckpt"))
+    }
+
+    /// Parses the manifest; any mismatch (missing, malformed, different
+    /// fingerprint) yields an empty map — resume then recomputes all.
+    fn read_manifest(&self) -> BTreeMap<String, u64> {
+        let text = match fs::read_to_string(self.manifest_path()) {
+            Ok(t) => t,
+            Err(_) => return BTreeMap::new(),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return BTreeMap::new();
+        }
+        match lines.next().and_then(|l| l.strip_prefix("fingerprint ")) {
+            Some(hex) if u64::from_str_radix(hex, 16) == Ok(self.fingerprint) => {}
+            _ => return BTreeMap::new(),
+        }
+        let mut entries = BTreeMap::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            let (tag, checksum, name) = (parts.next(), parts.next(), parts.next());
+            match (tag, checksum.and_then(|c| u64::from_str_radix(c, 16).ok()), name) {
+                (Some("stage"), Some(sum), Some(name)) => {
+                    entries.insert(name.to_string(), sum);
+                }
+                _ => return BTreeMap::new(), // malformed ⇒ distrust the lot
+            }
+        }
+        entries
+    }
+
+    fn write_manifest(&self) -> io::Result<()> {
+        retry_io(&self.retry, || {
+            let mut f = AtomicFile::create(self.manifest_path())?;
+            writeln!(f, "{MANIFEST_HEADER}")?;
+            writeln!(f, "fingerprint {:016x}", self.fingerprint)?;
+            for (name, sum) in &self.entries {
+                writeln!(f, "stage {sum:016x} {name}")?;
+            }
+            f.commit()
+        })
+    }
+
+    /// Loads and verifies the checkpoint for `stage`. `None` means "not
+    /// resumable" for any reason — absent, corrupt, checksum or
+    /// fingerprint mismatch, undecodable — and the caller recomputes.
+    pub fn load<T: Checkpointable>(&self, stage: &str) -> Option<T> {
+        let expected = *self.entries.get(stage)?;
+        let raw = fs::read(self.stage_path(stage)).ok()?;
+        // Layout: magic(8) fingerprint(8) len(8) payload checksum(8).
+        let mut r = wire::Reader::new(&raw);
+        if r.bytes(8, "magic").ok()? != CKPT_MAGIC {
+            return None;
+        }
+        if r.u64("fingerprint").ok()? != self.fingerprint {
+            return None;
+        }
+        let len = r.u64("payload length").ok()? as usize;
+        if len > r.remaining() {
+            return None;
+        }
+        let payload = r.bytes(len, "payload").ok()?;
+        let checksum = wire::fnv1a64(payload);
+        if checksum != expected || r.u64("checksum").ok()? != checksum || r.remaining() != 0 {
+            return None;
+        }
+        T::from_checkpoint_bytes(payload).ok()
+    }
+
+    /// Persists `value` as the checkpoint for `stage` and updates the
+    /// manifest. Both writes are atomic; the manifest is written second,
+    /// so a crash between the two leaves the stage un-listed (and it is
+    /// recomputed — safe, merely unlucky).
+    pub fn store<T: Checkpointable>(&mut self, stage: &str, value: &T) -> io::Result<()> {
+        let payload = value.to_checkpoint_bytes();
+        let checksum = wire::fnv1a64(&payload);
+        let mut raw = Vec::with_capacity(payload.len() + 32);
+        raw.extend_from_slice(CKPT_MAGIC);
+        wire::put_u64(&mut raw, self.fingerprint);
+        wire::put_u64(&mut raw, payload.len() as u64);
+        raw.extend_from_slice(&payload);
+        wire::put_u64(&mut raw, checksum);
+        let path = self.stage_path(stage);
+        retry_io(&self.retry, || crate::atomic::write_atomic(&path, &raw))?;
+        self.entries.insert(stage.to_string(), checksum);
+        self.write_manifest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndt_analysis::run_analysis_stage;
+    use ndt_analysis::StudyData;
+    use ndt_mlab::Simulator;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("ndt-runner-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob_but_threads() {
+        let base = SimConfig::small(7);
+        let f0 = config_fingerprint(&base);
+        assert_eq!(f0, config_fingerprint(&base), "deterministic");
+        assert_ne!(f0, config_fingerprint(&SimConfig { seed: 8, ..base }), "seed");
+        assert_ne!(f0, config_fingerprint(&SimConfig { scale: 0.07, ..base }), "scale");
+        assert_ne!(
+            f0,
+            config_fingerprint(&SimConfig { scenario: Scenario::NoWar, ..base }),
+            "scenario"
+        );
+        let faulty = SimConfig { faults: ndt_mlab::FaultPlan::LIGHT, ..base };
+        assert_ne!(f0, config_fingerprint(&faulty), "fault plan");
+        assert_eq!(
+            f0,
+            config_fingerprint(&SimConfig { threads: 3, ..base }),
+            "threads must NOT invalidate checkpoints"
+        );
+    }
+
+    #[test]
+    fn string_and_dataset_checkpoints_roundtrip() {
+        let d = tmpdir("roundtrip");
+        let cfg = SimConfig { scale: 0.01, ..SimConfig::small(11) };
+        let mut store =
+            CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE).expect("open");
+        let text = "== stage ==\nbody\n".to_string();
+        store.store("render", &text).expect("store string");
+        assert_eq!(store.load::<String>("render").expect("load"), text);
+
+        let ds = Simulator::new(cfg).run();
+        store.store("corpus:0-108", &ds).expect("store dataset");
+        let back: Dataset = store.load("corpus:0-108").expect("load dataset");
+        assert_eq!(ds.to_bytes(), back.to_bytes(), "bit-exact dataset resume");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn stage_output_checkpoints_roundtrip() {
+        let d = tmpdir("stageout");
+        let cfg = SimConfig { scale: 0.01, ..SimConfig::small(13) };
+        let data = StudyData::from_dataset(Simulator::new(cfg).run());
+        let out = run_analysis_stage("fig2", &data).expect("fig2");
+        let mut store =
+            CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE).expect("open");
+        store.store("fig2", &out).expect("store");
+        let back: StageOutput = store.load("fig2").expect("load");
+        assert_eq!(out, back, "StageOutput resumes exactly");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_hides_checkpoints() {
+        let d = tmpdir("mismatch");
+        let cfg = SimConfig::small(7);
+        let fp = config_fingerprint(&cfg);
+        let mut store = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("open");
+        store.store("render", &"cached".to_string()).expect("store");
+        // Same fingerprint: visible.
+        let again = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("reopen");
+        assert_eq!(again.load::<String>("render").as_deref(), Some("cached"));
+        // Different fingerprint (e.g. a new seed): invisible.
+        let other_fp = config_fingerprint(&SimConfig { seed: 8, ..cfg });
+        let other = CheckpointStore::open(&d, other_fp, RetryPolicy::NONE).expect("reopen");
+        assert_eq!(other.load::<String>("render"), None);
+        assert_eq!(other.known_stages().count(), 0);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corrupted_checkpoints_are_rejected_not_trusted() {
+        let d = tmpdir("corrupt");
+        let cfg = SimConfig::small(7);
+        let fp = config_fingerprint(&cfg);
+        let mut store = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("open");
+        store.store("render", &"precious".to_string()).expect("store");
+        let path = store.stage_path("render");
+        let mut raw = fs::read(&path).expect("read");
+        let last = raw.len() - 9; // inside the payload, before the checksum
+        raw[last] ^= 0xff;
+        fs::write(&path, &raw).expect("rewrite");
+        let again = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("reopen");
+        assert_eq!(again.load::<String>("render"), None, "flipped byte must not verify");
+        // Truncation too.
+        fs::write(&path, &fs::read(&path).expect("read")[..10]).expect("truncate");
+        assert_eq!(again.load::<String>("render"), None);
+        let _ = fs::remove_dir_all(&d);
+    }
+}

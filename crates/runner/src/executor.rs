@@ -1,0 +1,232 @@
+//! Panic- and deadline-isolated stage execution.
+//!
+//! Every stage body runs on its own worker thread under `catch_unwind`,
+//! and the caller waits on a channel with a wall-clock deadline. A panic
+//! or a hang therefore becomes a [`StageError`] for *that stage* — the
+//! pipeline records it and moves on, exactly as PR 1's coverage machinery
+//! turns broken rows into footnotes rather than aborts.
+//!
+//! Faults a stage reports itself ([`StageFault`]) can be flagged
+//! transient, in which case the whole body is re-run under the executor's
+//! [`RetryPolicy`]. Panics and deadline overruns are never retried: a
+//! panic is a bug and a hang already cost the full deadline.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::retry::RetryPolicy;
+
+/// Execution limits applied to each stage body.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecPolicy {
+    /// Wall-clock budget per attempt. A stage still running at the
+    /// deadline is abandoned (its thread is detached) and reported as
+    /// [`StageError::DeadlineExceeded`].
+    pub deadline: Duration,
+    /// Retry schedule for faults the stage flags as transient.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy { deadline: Duration::from_secs(300), retry: RetryPolicy::DEFAULT }
+    }
+}
+
+/// A failure reported by a stage body itself (as opposed to a panic or
+/// timeout detected by the executor).
+#[derive(Debug, Clone)]
+pub struct StageFault {
+    /// Human-readable cause, surfaced in the run report.
+    pub message: String,
+    /// Whether re-running the body may plausibly succeed.
+    pub transient: bool,
+}
+
+impl StageFault {
+    /// A fault that will not heal by itself; fails the stage immediately.
+    pub fn permanent(message: impl Into<String>) -> Self {
+        StageFault { message: message.into(), transient: false }
+    }
+
+    /// A fault worth retrying under the executor's [`RetryPolicy`].
+    pub fn transient(message: impl Into<String>) -> Self {
+        StageFault { message: message.into(), transient: true }
+    }
+}
+
+impl From<std::io::Error> for StageFault {
+    fn from(e: std::io::Error) -> Self {
+        StageFault { message: e.to_string(), transient: crate::retry::is_transient(&e) }
+    }
+}
+
+/// Why a stage did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageError {
+    /// The body panicked; payload is the panic message when extractable.
+    Panicked(String),
+    /// The body exceeded the wall-clock deadline and was abandoned.
+    DeadlineExceeded(Duration),
+    /// The body returned a [`StageFault`] (after retries, if transient).
+    Failed(String),
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            StageError::DeadlineExceeded(d) => {
+                write!(f, "exceeded {}s deadline", d.as_secs_f64())
+            }
+            StageError::Failed(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `body` on a dedicated thread under `catch_unwind`, bounded by
+/// `policy.deadline` wall-clock time per attempt. Transient
+/// [`StageFault`]s are retried per `policy.retry`; panics and deadline
+/// overruns fail immediately.
+///
+/// `label` names the worker thread (visible in panic backtraces and
+/// debuggers). The body must be `'static`: on timeout the worker thread
+/// is abandoned, so it cannot borrow from the caller's stack.
+pub fn run_isolated<T: Send + 'static>(
+    label: &str,
+    policy: &ExecPolicy,
+    body: impl Fn() -> Result<T, StageFault> + Send + Sync + 'static,
+) -> Result<T, StageError> {
+    let body = Arc::new(body);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let (tx, rx) = mpsc::channel();
+        let task = Arc::clone(&body);
+        let worker = std::thread::Builder::new()
+            .name(format!("stage-{label}"))
+            .spawn(move || {
+                // A panic crosses back as Err(payload); the hook in the
+                // harness still prints it, which is fine — the *process*
+                // must survive, not the log.
+                let out = catch_unwind(AssertUnwindSafe(|| task()));
+                let _ = tx.send(out);
+            })
+            .map_err(|e| StageError::Failed(format!("could not spawn stage thread: {e}")))?;
+        match rx.recv_timeout(policy.deadline) {
+            Ok(Ok(Ok(value))) => {
+                let _ = worker.join();
+                return Ok(value);
+            }
+            Ok(Ok(Err(fault))) => {
+                let _ = worker.join();
+                if fault.transient && attempt < policy.retry.max_attempts {
+                    std::thread::sleep(policy.retry.backoff(attempt));
+                    continue;
+                }
+                return Err(StageError::Failed(fault.message));
+            }
+            Ok(Err(payload)) => {
+                let _ = worker.join();
+                return Err(StageError::Panicked(panic_message(payload)));
+            }
+            Err(_) => {
+                // Deadline passed: abandon the worker (it holds only an
+                // Arc of the body and a dead channel sender, so leaking
+                // it is safe) and fail the stage.
+                drop(worker);
+                return Err(StageError::DeadlineExceeded(policy.deadline));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn fast_policy() -> ExecPolicy {
+        ExecPolicy {
+            deadline: Duration::from_secs(10),
+            retry: RetryPolicy { max_attempts: 3, initial_backoff: Duration::from_millis(1) },
+        }
+    }
+
+    #[test]
+    fn returns_the_stage_value() {
+        let out = run_isolated("ok", &fast_policy(), || Ok::<_, StageFault>(41 + 1));
+        assert_eq!(out.expect("succeeds"), 42);
+    }
+
+    #[test]
+    fn a_panicking_stage_is_contained() {
+        let out = run_isolated("boom", &fast_policy(), || -> Result<(), StageFault> {
+            panic!("injected failure in stage body")
+        });
+        match out.expect_err("panics become errors") {
+            StageError::Panicked(msg) => assert!(msg.contains("injected failure"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_hung_stage_hits_the_deadline() {
+        let policy = ExecPolicy { deadline: Duration::from_millis(50), ..fast_policy() };
+        let out = run_isolated("hang", &policy, || -> Result<(), StageFault> {
+            std::thread::sleep(Duration::from_secs(30));
+            Ok(())
+        });
+        assert_eq!(
+            out.expect_err("hang detected"),
+            StageError::DeadlineExceeded(Duration::from_millis(50))
+        );
+    }
+
+    #[test]
+    fn transient_faults_are_retried_but_permanent_are_not() {
+        static TRANSIENT_CALLS: AtomicU32 = AtomicU32::new(0);
+        let out = run_isolated("flaky", &fast_policy(), || {
+            if TRANSIENT_CALLS.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(StageFault::transient("blip"))
+            } else {
+                Ok("recovered")
+            }
+        });
+        assert_eq!(out.expect("third attempt wins"), "recovered");
+        assert_eq!(TRANSIENT_CALLS.load(Ordering::SeqCst), 3);
+
+        static PERMANENT_CALLS: AtomicU32 = AtomicU32::new(0);
+        let out = run_isolated("broken", &fast_policy(), || -> Result<(), StageFault> {
+            PERMANENT_CALLS.fetch_add(1, Ordering::SeqCst);
+            Err(StageFault::permanent("bad input"))
+        });
+        assert_eq!(out.expect_err("fails"), StageError::Failed("bad input".to_string()));
+        assert_eq!(PERMANENT_CALLS.load(Ordering::SeqCst), 1, "no retry for permanent faults");
+    }
+
+    #[test]
+    fn panics_are_not_retried() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        let out = run_isolated("panic-once", &fast_policy(), || -> Result<(), StageFault> {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            panic!("should not be retried")
+        });
+        assert!(matches!(out, Err(StageError::Panicked(_))));
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! # ndt-runner
+//!
+//! Crash-safe staged execution for the `ukraine-ndt` reproduction.
+//!
+//! The paper's pipeline is a long-running batch job over ~850k tests; at
+//! `--scale 1.0` the reproduction has the same shape. PR 1 hardened the
+//! pipeline against broken *data* — this crate hardens it against broken
+//! *execution*: a kill, a panicking stage, a hung stage, or a transient
+//! I/O error must cost one stage's work, not the whole run, and must never
+//! leave a torn artifact behind.
+//!
+//! The monolithic driver is decomposed into named, checkpointable stages:
+//!
+//! * `topology` — the AS-graph build (exported as `topology.dot`);
+//! * `corpus:<lo>-<hi>` — dataset generation, sharded by day range so a
+//!   partially generated corpus is resumable at the first missing shard;
+//! * one stage per figure/table of the paper
+//!   ([`ndt_analysis::ANALYSIS_STAGES`]);
+//! * render/export — assembly of the report text and artifact files (pure
+//!   string work over checkpointed stage outputs; never checkpointed
+//!   itself).
+//!
+//! Guarantees, each carried by one module:
+//!
+//! * [`atomic`] — every artifact and checkpoint write goes through
+//!   write-temp → fsync → rename, so a crash at any instant leaves either
+//!   the old file or the new file, never a torn one;
+//! * [`executor`] — every stage body runs on an isolated worker thread
+//!   under `catch_unwind` with a wall-clock deadline; panics and hangs
+//!   become per-stage failures surfaced in the report (like PR 1's
+//!   coverage footers), not aborted runs;
+//! * [`retry`] — transient I/O errors are retried with bounded
+//!   exponential backoff;
+//! * [`checkpoint`] — completed stages persist to `<out>/.ukraine-ndt/`
+//!   under a content checksum and a run manifest keyed by a config
+//!   fingerprint (scale, seed, scenario, fault plan, crate version), so
+//!   `--resume` skips exactly the stages whose inputs are unchanged — and
+//!   recomputes everything when any config knob moved;
+//! * [`pipeline`] — the orchestration: a resumed run is **bit-for-bit
+//!   identical** to an uninterrupted one (the integration suite kills a
+//!   run mid-flight and diffs the artifacts).
+//!
+//! Test-only hooks (environment variables, used by the crash-safety
+//! integration suite): `UKRAINE_NDT_PANIC_STAGE=<prefix>` panics inside
+//! the first matching stage body; `UKRAINE_NDT_EXIT_AFTER=<prefix>` exits
+//! the process (code 42) right after the first matching stage checkpoints
+//! — a deterministic stand-in for `kill -9`.
+
+pub mod atomic;
+pub mod checkpoint;
+pub mod executor;
+pub mod pipeline;
+pub mod retry;
+
+pub use atomic::{write_atomic, AtomicFile};
+pub use checkpoint::{config_fingerprint, Checkpointable, CheckpointStore, CHECKPOINT_DIR};
+pub use executor::{run_isolated, ExecPolicy, StageError, StageFault};
+pub use pipeline::{
+    run_export, run_generate, run_report, PipelineConfig, PipelineOutcome, StageRecord,
+    StageStatus, CORPUS_SHARD_DAYS,
+};
+pub use retry::{retry_io, RetryPolicy};

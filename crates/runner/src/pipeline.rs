@@ -1,0 +1,446 @@
+//! The staged pipeline: orchestration of topology, corpus shards,
+//! analysis stages and report assembly.
+//!
+//! Every stage runs through [`crate::executor::run_isolated`] (panic +
+//! deadline isolation) and, when checkpointing is enabled, persists its
+//! output through [`crate::checkpoint::CheckpointStore`] before the next
+//! stage starts. Resume therefore restarts at the first stage whose
+//! checkpoint is missing or fails verification — and because corpus
+//! generation uses per-(client, day) RNG streams, a resumed run is
+//! bit-for-bit identical to an uninterrupted one.
+//!
+//! Report assembly itself is never checkpointed: it is pure string work
+//! over the stage outputs, cheaper to redo than to verify.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, TryLockError};
+
+use ndt_analysis::{
+    assemble_staged_report, run_analysis_stage, StageFailure, StageOutput, StudyData,
+    ANALYSIS_STAGES,
+};
+use ndt_mlab::schema::Dataset;
+use ndt_mlab::sim::SimConfig;
+use ndt_mlab::Simulator;
+use ndt_topology::{build_topology, to_dot, TopologyConfig};
+
+use crate::checkpoint::{config_fingerprint, Checkpointable, CheckpointStore};
+use crate::executor::{run_isolated, ExecPolicy, StageError, StageFault};
+
+/// Days per corpus shard. 27 divides both study windows (108 days of
+/// 2021 baseline, 108 days of 2022) into 4 shards each, so a kill during
+/// generation costs at most one shard of work.
+pub const CORPUS_SHARD_DAYS: i64 = 27;
+
+/// How one run of the pipeline should behave.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Simulation knobs; also the source of the config fingerprint.
+    pub sim: SimConfig,
+    /// Output directory (checkpoints live in `<out>/.ukraine-ndt/`).
+    pub out: PathBuf,
+    /// Persist stage checkpoints as stages complete.
+    pub checkpoints: bool,
+    /// Load matching checkpoints instead of recomputing.
+    pub resume: bool,
+    /// Per-stage execution limits.
+    pub exec: ExecPolicy,
+}
+
+impl PipelineConfig {
+    /// Checkpointing on, resume off — the defaults for `export`/`generate`.
+    pub fn new(sim: SimConfig, out: impl Into<PathBuf>) -> Self {
+        PipelineConfig {
+            sim,
+            out: out.into(),
+            checkpoints: true,
+            resume: false,
+            exec: ExecPolicy::default(),
+        }
+    }
+}
+
+/// How a stage ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Ran in this process.
+    Computed,
+    /// Loaded from a verified checkpoint.
+    Resumed,
+    /// Did not produce a value (panic, deadline, fault, or skipped
+    /// because an upstream stage failed).
+    Failed(StageError),
+}
+
+/// One stage's ledger entry for the run report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Stage name (`topology`, `corpus:<lo>-<hi>`, or an analysis stage).
+    pub name: String,
+    /// Outcome.
+    pub status: StageStatus,
+}
+
+/// The result of a pipeline run. Always produced — failed stages appear
+/// as annotated placeholders in the report and as [`StageStatus::Failed`]
+/// records, never as a process abort.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The assembled reproduction report text.
+    pub report: String,
+    /// `(file name, content)` artifact pairs, in write order.
+    pub artifacts: Vec<(String, String)>,
+    /// Per-stage ledger, in execution order.
+    pub records: Vec<StageRecord>,
+}
+
+impl PipelineOutcome {
+    /// Records of stages that failed.
+    pub fn failed(&self) -> Vec<&StageRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, StageStatus::Failed(_)))
+            .collect()
+    }
+
+    /// True when every stage produced a value (computed or resumed).
+    pub fn is_complete(&self) -> bool {
+        self.failed().is_empty()
+    }
+}
+
+fn env_prefix_matches(var: &str, stage: &str) -> bool {
+    match std::env::var(var) {
+        Ok(v) if !v.is_empty() => stage.starts_with(&v),
+        _ => false,
+    }
+}
+
+/// Test hook: `UKRAINE_NDT_PANIC_STAGE=<prefix>` panics inside the first
+/// matching stage body, exercising the panic-isolation path end to end.
+fn maybe_injected_panic(stage: &str) {
+    if env_prefix_matches("UKRAINE_NDT_PANIC_STAGE", stage) {
+        panic!("injected panic in stage {stage} (UKRAINE_NDT_PANIC_STAGE)");
+    }
+}
+
+/// Test hook: `UKRAINE_NDT_EXIT_AFTER=<prefix>` exits the process (code
+/// 42) right after the first matching stage is computed and checkpointed
+/// — a deterministic stand-in for `kill -9` mid-run. Resumed stages do
+/// not trigger it, so a resume with the variable still set makes
+/// progress past the original crash point.
+fn maybe_exit_after(stage: &str) {
+    if env_prefix_matches("UKRAINE_NDT_EXIT_AFTER", stage) {
+        eprintln!("[runner] simulated crash after stage {stage} (UKRAINE_NDT_EXIT_AFTER)");
+        std::process::exit(42);
+    }
+}
+
+struct Pipeline {
+    store: Option<CheckpointStore>,
+    resume: bool,
+    exec: ExecPolicy,
+    records: Vec<StageRecord>,
+}
+
+impl Pipeline {
+    fn open(cfg: &PipelineConfig) -> io::Result<Self> {
+        let store = if cfg.checkpoints {
+            Some(CheckpointStore::open(
+                &cfg.out,
+                config_fingerprint(&cfg.sim),
+                cfg.exec.retry,
+            )?)
+        } else {
+            None
+        };
+        Ok(Pipeline { store, resume: cfg.resume, exec: cfg.exec, records: Vec::new() })
+    }
+
+    /// Runs one stage: resume from checkpoint when allowed, else execute
+    /// `body` isolated, checkpoint the result, and record the outcome.
+    /// `None` means the stage failed; the pipeline continues.
+    fn stage<T: Checkpointable + Send + 'static>(
+        &mut self,
+        name: &str,
+        body: impl Fn() -> Result<T, StageFault> + Send + Sync + 'static,
+    ) -> Option<T> {
+        if self.resume {
+            if let Some(store) = &self.store {
+                if let Some(value) = store.load::<T>(name) {
+                    eprintln!("[runner] stage {name}: resumed from checkpoint");
+                    self.records
+                        .push(StageRecord { name: name.to_string(), status: StageStatus::Resumed });
+                    return Some(value);
+                }
+            }
+        }
+        let hook = name.to_string();
+        let wrapped = move || {
+            maybe_injected_panic(&hook);
+            body()
+        };
+        match run_isolated(name, &self.exec, wrapped) {
+            Ok(value) => {
+                if let Some(store) = &mut self.store {
+                    if let Err(e) = store.store(name, &value) {
+                        // A failed checkpoint write degrades resume, not
+                        // the run: warn and keep going.
+                        eprintln!("[runner] warning: could not checkpoint stage {name}: {e}");
+                    }
+                }
+                eprintln!("[runner] stage {name}: computed");
+                self.records
+                    .push(StageRecord { name: name.to_string(), status: StageStatus::Computed });
+                maybe_exit_after(name);
+                Some(value)
+            }
+            Err(err) => {
+                eprintln!("[runner] stage {name}: FAILED: {err}");
+                self.records
+                    .push(StageRecord { name: name.to_string(), status: StageStatus::Failed(err) });
+                None
+            }
+        }
+    }
+
+    /// Records a stage as failed without running it (upstream failure).
+    fn skip(&mut self, name: &str, reason: &str) {
+        eprintln!("[runner] stage {name}: FAILED: skipped: {reason}");
+        self.records.push(StageRecord {
+            name: name.to_string(),
+            status: StageStatus::Failed(StageError::Failed(format!("skipped: {reason}"))),
+        });
+    }
+
+    /// The Graphviz topology artifact.
+    fn topology(&mut self) -> Option<String> {
+        self.stage::<String>("topology", || {
+            let built = build_topology(&TopologyConfig::default());
+            Ok(to_dot(&built.topology, false))
+        })
+    }
+
+    /// Generates the corpus shard by shard. Each shard is its own
+    /// checkpointable stage; the simulator instance is reused across
+    /// shards when possible, but a fresh `Simulator` per shard produces
+    /// identical bytes (per-(client, day) RNG streams), which is what
+    /// makes resuming from an arbitrary shard boundary sound.
+    fn corpus(&mut self, sim_cfg: &SimConfig) -> Option<Dataset> {
+        let shared = Arc::new(Mutex::new(None::<Simulator>));
+        let mut parts = Vec::new();
+        let mut all_ok = true;
+        for range in sim_cfg.shards(CORPUS_SHARD_DAYS) {
+            let name = format!("corpus:{}-{}", range.start, range.end);
+            let cfg = *sim_cfg;
+            let shared = Arc::clone(&shared);
+            let part = self.stage::<Dataset>(&name, move || {
+                let mut guard = match shared.try_lock() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => {
+                        // A previous shard panicked mid-generation; its
+                        // simulator state is suspect. Drop it and rebuild.
+                        let mut g = p.into_inner();
+                        *g = None;
+                        g
+                    }
+                    Err(TryLockError::WouldBlock) => {
+                        // An abandoned (deadline-exceeded) attempt still
+                        // holds the lock; a fresh simulator yields the
+                        // same bytes.
+                        let mut fresh = Simulator::new(cfg);
+                        return Ok(fresh.run_range(range.clone()));
+                    }
+                };
+                let sim = guard.get_or_insert_with(|| Simulator::new(cfg));
+                Ok(sim.run_range(range.clone()))
+            });
+            match part {
+                Some(ds) => parts.push(ds),
+                None => all_ok = false,
+            }
+        }
+        if !all_ok {
+            return None;
+        }
+        let mut full = Dataset { ndt: Vec::new(), traces: Vec::new() };
+        for mut p in parts {
+            full.ndt.append(&mut p.ndt);
+            full.traces.append(&mut p.traces);
+        }
+        Some(full)
+    }
+
+    /// Runs every analysis stage of [`ANALYSIS_STAGES`] over `data`.
+    fn analyses(&mut self, data: Arc<StudyData>) -> Vec<StageOutput> {
+        let mut outputs = Vec::new();
+        for spec in &ANALYSIS_STAGES {
+            let name = spec.name;
+            let data = Arc::clone(&data);
+            let out = self.stage::<StageOutput>(name, move || {
+                run_analysis_stage(name, &data).map_err(|e| StageFault::permanent(e.to_string()))
+            });
+            if let Some(o) = out {
+                outputs.push(o);
+            }
+        }
+        outputs
+    }
+
+    fn failures(&self) -> Vec<StageFailure> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.status {
+                StageStatus::Failed(e) => {
+                    Some(StageFailure { name: r.name.clone(), reason: e.to_string() })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Shared tail of `report`/`export`: corpus → analyses → assembled report.
+fn analyse_and_assemble(
+    p: &mut Pipeline,
+    cfg: &PipelineConfig,
+) -> (Vec<StageOutput>, String) {
+    let outputs = match p.corpus(&cfg.sim) {
+        Some(corpus) => {
+            let data = Arc::new(StudyData::from_dataset(corpus));
+            p.analyses(data)
+        }
+        None => {
+            for spec in &ANALYSIS_STAGES {
+                p.skip(spec.name, "corpus incomplete");
+            }
+            Vec::new()
+        }
+    };
+    let report = assemble_staged_report(&outputs, &p.failures());
+    (outputs, report)
+}
+
+/// The `report` command: corpus + analyses + assembled report text.
+pub fn run_report(cfg: &PipelineConfig) -> io::Result<PipelineOutcome> {
+    let mut p = Pipeline::open(cfg)?;
+    let (outputs, report) = analyse_and_assemble(&mut p, cfg);
+    let artifacts = outputs
+        .iter()
+        .flat_map(|o| o.artifacts.iter().map(|(f, c)| (f.to_string(), c.clone())))
+        .collect();
+    Ok(PipelineOutcome { report, artifacts, records: p.records })
+}
+
+/// The `export` command: everything `report` does, plus the topology
+/// artifact. Artifact order: `topology.dot`, then each analysis stage's
+/// files in registry order.
+pub fn run_export(cfg: &PipelineConfig) -> io::Result<PipelineOutcome> {
+    let mut p = Pipeline::open(cfg)?;
+    let mut artifacts: Vec<(String, String)> = Vec::new();
+    if let Some(dot) = p.topology() {
+        artifacts.push(("topology.dot".to_string(), dot));
+    }
+    let (outputs, report) = analyse_and_assemble(&mut p, cfg);
+    artifacts
+        .extend(outputs.iter().flat_map(|o| {
+            o.artifacts.iter().map(|(f, c)| (f.to_string(), c.clone()))
+        }));
+    Ok(PipelineOutcome { report, artifacts, records: p.records })
+}
+
+/// The `generate` command: corpus only. `None` when any shard failed;
+/// the records say which.
+pub fn run_generate(cfg: &PipelineConfig) -> io::Result<(Option<Dataset>, Vec<StageRecord>)> {
+    let mut p = Pipeline::open(cfg)?;
+    let corpus = p.corpus(&cfg.sim);
+    Ok((corpus, p.records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("ndt-runner-pipe-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn tiny(seed: u64) -> SimConfig {
+        SimConfig { scale: 0.01, ..SimConfig::small(seed) }
+    }
+
+    #[test]
+    fn resumed_export_is_bit_identical_and_skips_every_stage() {
+        let d = tmpdir("resume");
+        let mut cfg = PipelineConfig::new(tiny(21), &d);
+        let first = run_export(&cfg).expect("first run");
+        assert!(first.is_complete(), "failures: {:?}", first.failed());
+        assert!(
+            first.records.iter().all(|r| r.status == StageStatus::Computed),
+            "fresh run computes everything"
+        );
+
+        cfg.resume = true;
+        let second = run_export(&cfg).expect("resumed run");
+        assert!(second.is_complete());
+        assert!(
+            second.records.iter().all(|r| r.status == StageStatus::Resumed),
+            "full checkpoint set resumes everything: {:?}",
+            second.records
+        );
+        assert_eq!(first.report, second.report, "report text is bit-identical");
+        assert_eq!(first.artifacts, second.artifacts, "artifacts are bit-identical");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn changing_the_seed_invalidates_resume() {
+        let d = tmpdir("invalidate");
+        let cfg = PipelineConfig::new(tiny(5), &d);
+        let (ds, records) = run_generate(&cfg).expect("generate");
+        assert!(ds.is_some());
+        assert!(records.iter().all(|r| r.status == StageStatus::Computed));
+
+        let mut other = PipelineConfig::new(tiny(6), &d);
+        other.resume = true;
+        let (ds2, records2) = run_generate(&other).expect("generate with new seed");
+        assert!(ds2.is_some());
+        assert!(
+            records2.iter().all(|r| r.status == StageStatus::Computed),
+            "stale checkpoints must not be resumed: {records2:?}"
+        );
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn report_mode_runs_without_touching_disk() {
+        let d = tmpdir("nodisk");
+        let mut cfg = PipelineConfig::new(tiny(9), d.join("never-created"));
+        cfg.checkpoints = false;
+        let out = run_report(&cfg).expect("report");
+        assert!(out.is_complete());
+        assert!(
+            out.report.contains(ndt_analysis::report::COVERAGE_TITLE),
+            "report assembled"
+        );
+        assert!(!d.join("never-created").exists(), "no checkpoint dir without checkpointing");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn generated_corpus_matches_an_unsharded_run() {
+        let d = tmpdir("corpus-eq");
+        let cfg = PipelineConfig::new(tiny(33), &d);
+        let (ds, _) = run_generate(&cfg).expect("generate");
+        let ds = ds.expect("complete corpus");
+        let full = Simulator::new(cfg.sim).run();
+        assert_eq!(ds.to_bytes(), full.to_bytes(), "sharded pipeline == monolithic simulator");
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,121 @@
+//! Bounded retry with exponential backoff for transient I/O errors.
+//!
+//! Long batch runs hit interrupted syscalls, briefly-busy files and NFS
+//! hiccups; those should cost a short sleep, not the run. Only error
+//! kinds that plausibly heal by themselves are retried — anything else
+//! (permission denied, disk full, bad path) fails immediately, because
+//! retrying it would only delay the inevitable and hide the cause.
+
+use std::io;
+use std::time::Duration;
+
+/// Retry schedule: at most `max_attempts` tries, sleeping
+/// `initial_backoff × 2^(attempt-1)` (capped at 2 s) between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles each retry.
+    pub initial_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// The pipeline default: 3 attempts, 50 ms initial backoff.
+    pub const DEFAULT: RetryPolicy =
+        RetryPolicy { max_attempts: 3, initial_backoff: Duration::from_millis(50) };
+
+    /// No retries at all (tests, or callers that handle their own).
+    pub const NONE: RetryPolicy =
+        RetryPolicy { max_attempts: 1, initial_backoff: Duration::ZERO };
+
+    /// Backoff before attempt `attempt + 1` (`attempt` is 1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(10);
+        self.initial_backoff.saturating_mul(factor).min(Duration::from_secs(2))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::DEFAULT
+    }
+}
+
+/// Whether an I/O error is plausibly transient (worth retrying).
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs `op`, retrying transient I/O errors per `policy`. The final error
+/// (transient or not) is returned unchanged.
+pub fn retry_io<T>(policy: &RetryPolicy, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt < policy.max_attempts => {
+                std::thread::sleep(policy.backoff(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    const FAST: RetryPolicy =
+        RetryPolicy { max_attempts: 3, initial_backoff: Duration::from_millis(1) };
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        let calls = Cell::new(0);
+        let out = retry_io(&FAST, || {
+            calls.set(calls.get() + 1);
+            if calls.get() < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "blip"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.expect("third attempt succeeds"), 7);
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn permanent_errors_fail_immediately() {
+        let calls = Cell::new(0);
+        let out: io::Result<()> = retry_io(&FAST, || {
+            calls.set(calls.get() + 1);
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "nope"))
+        });
+        assert_eq!(out.expect_err("permanent").kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let calls = Cell::new(0);
+        let out: io::Result<()> = retry_io(&FAST, || {
+            calls.set(calls.get() + 1);
+            Err(io::Error::new(io::ErrorKind::TimedOut, "still down"))
+        });
+        assert_eq!(out.expect_err("exhausted").kind(), io::ErrorKind::TimedOut);
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy { max_attempts: 20, initial_backoff: Duration::from_millis(100) };
+        assert_eq!(p.backoff(1), Duration::from_millis(100));
+        assert_eq!(p.backoff(2), Duration::from_millis(200));
+        assert_eq!(p.backoff(3), Duration::from_millis(400));
+        assert_eq!(p.backoff(15), Duration::from_secs(2), "capped");
+    }
+}

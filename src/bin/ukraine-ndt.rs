@@ -1,9 +1,10 @@
 //! `ukraine-ndt` — command-line driver for the reproduction.
 //!
 //! ```text
-//! ukraine-ndt report   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN]
-//! ukraine-ndt export   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR]
-//! ukraine-ndt generate [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR]
+//! ukraine-ndt report   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--resume]
+//! ukraine-ndt export   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR] [--resume]
+//! ukraine-ndt resume   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR]
+//! ukraine-ndt generate [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR] [--resume]
 //! ukraine-ndt map      [--date YYYY-MM-DD]
 //! ukraine-ndt topo     [--out DIR]          # Graphviz dot of the AS graph
 //! ```
@@ -12,14 +13,29 @@
 //! Fault plans: `none` (default), `light`, `moderate`, `severe`,
 //! `sidecar-blackout` — deterministic platform-fault injection; degraded
 //! results carry coverage annotations instead of failing.
+//!
+//! Execution is staged and crash-safe (see the `ndt-runner` crate and
+//! `DESIGN.md`): `export`/`generate` checkpoint each completed stage under
+//! `<out>/.ukraine-ndt/`, every artifact is written atomically, and
+//! `--resume` (or the `resume` command, shorthand for `export --resume`)
+//! skips stages whose checkpoint matches the current configuration. A
+//! resumed run produces bit-identical artifacts. Stages that panic, hang,
+//! or fail are reported in the output and the process exits with code 3
+//! (partial success) instead of aborting.
 
 use std::fs;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use ukraine_ndt::analysis::full_report;
 use ukraine_ndt::conflict::calendar::dates;
 use ukraine_ndt::mlab::Scenario;
 use ukraine_ndt::prelude::*;
+use ukraine_ndt::runner::{
+    run_export, run_generate, run_report, AtomicFile, StageRecord, StageStatus,
+};
+
+/// Exit code when the run completed but one or more stages failed.
+const EXIT_PARTIAL: u8 = 3;
 
 struct Options {
     scale: f64,
@@ -28,6 +44,7 @@ struct Options {
     faults: FaultPlan,
     out: PathBuf,
     date: Date,
+    resume: bool,
 }
 
 impl Default for Options {
@@ -39,16 +56,17 @@ impl Default for Options {
             faults: FaultPlan::NONE,
             out: PathBuf::from("out"),
             date: dates::MAX_OCCUPATION,
+            resume: false,
         }
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ukraine-ndt <report|export|generate|map> \
+        "usage: ukraine-ndt <report|export|resume|generate|map|topo> \
          [--scale S] [--seed N] [--scenario historical|no-war|edge-only|core-only] \
          [--faults none|light|moderate|severe|sidecar-blackout] \
-         [--out DIR] [--date YYYY-MM-DD]; commands: report export generate map topo"
+         [--out DIR] [--date YYYY-MM-DD] [--resume]"
     );
     ExitCode::FAILURE
 }
@@ -58,12 +76,10 @@ fn parse_date(s: &str) -> Option<Date> {
     let year: i32 = it.next()?.parse().ok()?;
     let month: u8 = it.next()?.parse().ok()?;
     let day: u8 = it.next()?.parse().ok()?;
-    if it.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+    if it.next().is_some() {
         return None;
     }
-    // Date::new still validates month lengths; a bad day like Feb 30 is a
-    // user error worth a clean message, not a panic.
-    std::panic::catch_unwind(|| Date::new(year, month, day)).ok()
+    Date::try_new(year, month, day)
 }
 
 fn parse(args: &[String]) -> Option<(String, Options)> {
@@ -72,9 +88,17 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
+        // Boolean flags take no value.
+        if flag == "--resume" {
+            opts.resume = true;
+            i += 1;
+            continue;
+        }
         let value = args.get(i + 1)?;
         match flag {
-            "--scale" => opts.scale = value.parse().ok().filter(|v| *v > 0.0)?,
+            "--scale" => {
+                opts.scale = value.parse().ok().filter(|v: &f64| v.is_finite() && *v > 0.0)?
+            }
             "--seed" => opts.seed = value.parse().ok()?,
             "--faults" => opts.faults = FaultPlan::by_name(value)?,
             "--out" => opts.out = PathBuf::from(value),
@@ -95,65 +119,100 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
     Some((command, opts))
 }
 
-fn generate(opts: &Options) -> StudyData {
-    eprintln!(
-        "generating corpus: scale {}, seed {}, scenario {:?}, faults {} ...",
-        opts.scale,
-        opts.seed,
-        opts.scenario,
-        if opts.faults.is_none() { "none" } else { "injected" }
-    );
-    StudyData::generate(SimConfig {
+fn sim_config(opts: &Options) -> SimConfig {
+    SimConfig {
         scale: opts.scale,
         seed: opts.seed,
         scenario: opts.scenario,
         faults: opts.faults,
         ..SimConfig::default()
-    })
+    }
 }
 
-fn cmd_report(opts: &Options) -> Result<(), NdtError> {
-    let data = generate(opts);
-    println!("{}", full_report(&data)?.render());
-    Ok(())
+/// Pipeline settings for this invocation. `checkpoints` controls whether
+/// the run touches `<out>/.ukraine-ndt/` at all.
+fn pipeline_config(opts: &Options, checkpoints: bool) -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(sim_config(opts), &opts.out);
+    cfg.checkpoints = checkpoints;
+    cfg.resume = opts.resume;
+    cfg
 }
 
-fn cmd_export(opts: &Options) -> Result<(), NdtError> {
-    let data = generate(opts);
-    let r = full_report(&data)?;
+fn announce(opts: &Options) {
+    eprintln!(
+        "generating corpus: scale {}, seed {}, scenario {:?}, faults {}{} ...",
+        opts.scale,
+        opts.seed,
+        opts.scenario,
+        if opts.faults.is_none() { "none" } else { "injected" },
+        if opts.resume { ", resuming from checkpoints" } else { "" }
+    );
+}
+
+/// Success when every stage produced a value; otherwise names the failed
+/// stages on stderr and exits with the partial-success code.
+fn run_status(records: &[StageRecord]) -> ExitCode {
+    let failed: Vec<&str> = records
+        .iter()
+        .filter(|r| matches!(r.status, StageStatus::Failed(_)))
+        .map(|r| r.name.as_str())
+        .collect();
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "run completed with {} failed stage(s): {} (exit code {EXIT_PARTIAL})",
+            failed.len(),
+            failed.join(", ")
+        );
+        ExitCode::from(EXIT_PARTIAL)
+    }
+}
+
+fn cmd_report(opts: &Options) -> Result<ExitCode, NdtError> {
+    announce(opts);
+    // A plain report never touches disk; with --resume it reads (and
+    // refreshes) the checkpoints a previous export/generate left behind.
+    let cfg = pipeline_config(opts, opts.resume);
+    let outcome = run_report(&cfg)?;
+    println!("{}", outcome.report);
+    Ok(run_status(&outcome.records))
+}
+
+fn cmd_export(opts: &Options) -> Result<ExitCode, NdtError> {
+    announce(opts);
     fs::create_dir_all(&opts.out)?;
-    let write = |name: &str, content: String| -> std::io::Result<()> {
-        fs::write(opts.out.join(name), content)
+    let cfg = pipeline_config(opts, true);
+    let outcome = run_export(&cfg)?;
+    let mut written = 0usize;
+    for (name, content) in &outcome.artifacts {
+        write_atomic(opts.out.join(name), content.as_bytes())?;
+        written += 1;
+    }
+    eprintln!("wrote {written} artifacts to {}", opts.out.display());
+    Ok(run_status(&outcome.records))
+}
+
+fn cmd_generate(opts: &Options) -> Result<ExitCode, NdtError> {
+    announce(opts);
+    fs::create_dir_all(&opts.out)?;
+    let cfg = pipeline_config(opts, true);
+    let (corpus, records) = run_generate(&cfg)?;
+    let Some(data) = corpus else {
+        eprintln!("corpus incomplete; no CSVs written to {}", opts.out.display());
+        return Ok(run_status(&records));
     };
-    write("fig1_activity_map.txt", r.fig1.render())?;
-    write("fig2_national_timeline.csv", r.fig2.to_csv())?;
-    write("fig3_oblast_changes.csv", r.fig3.to_csv())?;
-    write("fig4_city_counts.csv", r.fig4.to_csv())?;
-    write("fig5_border_heatmap.txt", r.fig5.render())?;
-    write("fig6_as199995.csv", r.fig6.to_csv())?;
-    write("fig7_8_distributions.csv", r.fig7_8.to_csv())?;
-    write("fig9_path_performance.csv", r.fig9.to_csv())?;
-    write("table1_cities.txt", r.table1.render())?;
-    write("table2_path_diversity.txt", r.table2.render())?;
-    write("table3_as_changes.txt", r.table3.render())?;
-    write("table4_oblast.txt", r.table4.render())?;
-    write("table5_as_detail.txt", r.tables5_6.render_table5())?;
-    write("table6_as_pvalues.txt", r.tables5_6.render_table6())?;
-    write("ext_alias_resolution.txt", r.ext_alias.render())?;
-    write("ext_event_alignment.txt", r.ext_events.render())?;
-    write("ext_robustness.txt", r.ext_robustness.render())?;
-    eprintln!("wrote 17 artifacts to {}", opts.out.display());
-    Ok(())
-}
-
-fn cmd_generate(opts: &Options) -> std::io::Result<()> {
-    let data = generate(opts);
-    fs::create_dir_all(&opts.out)?;
-    // unified_download as CSV.
-    let mut unified = String::from("day,client_ip,server_ip,client_asn,oblast,city,tput_mbps,min_rtt_ms,loss_rate\n");
-    for r in &data.raw.ndt {
-        unified.push_str(&format!(
-            "{},{},{},{},{},{},{:.4},{:.4},{:.6}\n",
+    // unified_download as CSV, streamed — the full corpus is hundreds of
+    // MB at scale 1.0, so rows go straight through the atomic writer's
+    // buffer instead of accumulating in a String first.
+    let mut unified = AtomicFile::create(opts.out.join("unified_download.csv"))?;
+    unified.write_all(
+        b"day,client_ip,server_ip,client_asn,oblast,city,tput_mbps,min_rtt_ms,loss_rate\n",
+    )?;
+    for r in &data.ndt {
+        writeln!(
+            unified,
+            "{},{},{},{},{},{},{:.4},{:.4},{:.6}",
             r.day,
             r.client_ip,
             r.server_ip,
@@ -163,15 +222,19 @@ fn cmd_generate(opts: &Options) -> std::io::Result<()> {
             r.mean_tput_mbps,
             r.min_rtt_ms,
             r.loss_rate
-        ));
+        )?;
     }
-    fs::write(opts.out.join("unified_download.csv"), unified)?;
+    unified.commit()?;
     // scamper rows as CSV (AS path joined with '-').
-    let mut traces = String::from("day,client_ip,server_ip,path_fingerprint,router_fingerprint,border_from,border_to,as_path,tput_mbps,min_rtt_ms,loss_rate\n");
-    for r in &data.raw.traces {
+    let mut traces = AtomicFile::create(opts.out.join("scamper1.csv"))?;
+    traces.write_all(
+        b"day,client_ip,server_ip,path_fingerprint,router_fingerprint,border_from,border_to,as_path,tput_mbps,min_rtt_ms,loss_rate\n",
+    )?;
+    for r in &data.traces {
         let as_path: Vec<String> = r.as_path.iter().map(|a| a.0.to_string()).collect();
-        traces.push_str(&format!(
-            "{},{},{},{:016x},{:016x},{},{},{},{:.4},{:.4},{:.6}\n",
+        writeln!(
+            traces,
+            "{},{},{},{:016x},{:016x},{},{},{},{:.4},{:.4},{:.6}",
             r.day,
             r.client_ip,
             r.server_ip,
@@ -183,23 +246,23 @@ fn cmd_generate(opts: &Options) -> std::io::Result<()> {
             r.mean_tput_mbps,
             r.min_rtt_ms,
             r.loss_rate
-        ));
+        )?;
     }
-    fs::write(opts.out.join("scamper1.csv"), traces)?;
+    traces.commit()?;
     eprintln!(
         "wrote {} unified rows and {} traceroute rows to {}",
-        data.raw.ndt.len(),
-        data.raw.traces.len(),
+        data.ndt.len(),
+        data.traces.len(),
         opts.out.display()
     );
-    Ok(())
+    Ok(run_status(&records))
 }
 
 fn cmd_topo(opts: &Options) -> std::io::Result<()> {
     let bt = build_topology(&TopologyConfig::default());
     fs::create_dir_all(&opts.out)?;
     let path = opts.out.join("topology.dot");
-    fs::write(&path, ukraine_ndt::topology::to_dot(&bt.topology, false))?;
+    write_atomic(&path, ukraine_ndt::topology::to_dot(&bt.topology, false).as_bytes())?;
     eprintln!("wrote {} (render with: dot -Tsvg {} -o topology.svg)", path.display(), path.display());
     Ok(())
 }
@@ -224,13 +287,14 @@ mod tests {
         assert_eq!(o.scale, 0.15);
         assert_eq!(o.scenario, Scenario::Historical);
         assert!(o.faults.is_none());
+        assert!(!o.resume);
     }
 
     #[test]
     fn parses_all_flags() {
         let (cmd, o) = parse(&args(&[
             "export", "--scale", "0.5", "--seed", "9", "--scenario", "edge-only", "--faults",
-            "moderate", "--out", "/tmp/x", "--date", "2022-03-10",
+            "moderate", "--out", "/tmp/x", "--date", "2022-03-10", "--resume",
         ]))
         .expect("parses");
         assert_eq!(cmd, "export");
@@ -240,6 +304,14 @@ mod tests {
         assert_eq!(o.faults, FaultPlan::MODERATE);
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
         assert_eq!(o.date, Date::new(2022, 3, 10));
+        assert!(o.resume);
+    }
+
+    #[test]
+    fn resume_flag_is_position_independent() {
+        let (_, o) = parse(&args(&["export", "--resume", "--seed", "4"])).expect("parses");
+        assert!(o.resume);
+        assert_eq!(o.seed, 4);
     }
 
     #[test]
@@ -247,6 +319,9 @@ mod tests {
         assert!(parse(&args(&[])).is_none());
         assert!(parse(&args(&["report", "--scale"])).is_none(), "missing value");
         assert!(parse(&args(&["report", "--scale", "-1"])).is_none(), "negative scale");
+        assert!(parse(&args(&["report", "--scale", "inf"])).is_none(), "infinite scale");
+        assert!(parse(&args(&["report", "--scale", "1e999"])).is_none(), "overflowing scale");
+        assert!(parse(&args(&["report", "--scale", "NaN"])).is_none(), "NaN scale");
         assert!(parse(&args(&["report", "--scenario", "apocalypse"])).is_none());
         assert!(parse(&args(&["report", "--faults", "apocalypse"])).is_none());
         assert!(parse(&args(&["report", "--date", "2022-13-01"])).is_none());
@@ -265,22 +340,27 @@ mod tests {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, opts)) = parse(&args) else {
+    let Some((command, mut opts)) = parse(&args) else {
         return usage();
     };
-    let result: Result<(), NdtError> = match command.as_str() {
+    let result: Result<ExitCode, NdtError> = match command.as_str() {
         "report" => cmd_report(&opts),
         "export" => cmd_export(&opts),
-        "generate" => cmd_generate(&opts).map_err(NdtError::from),
+        "resume" => {
+            // Shorthand for `export --resume`.
+            opts.resume = true;
+            cmd_export(&opts)
+        }
+        "generate" => cmd_generate(&opts),
         "map" => {
             cmd_map(&opts);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        "topo" => cmd_topo(&opts).map_err(NdtError::from),
+        "topo" => cmd_topo(&opts).map(|()| ExitCode::SUCCESS).map_err(NdtError::from),
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

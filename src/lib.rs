@@ -56,6 +56,7 @@ pub use ndt_bq as bq;
 pub use ndt_conflict as conflict;
 pub use ndt_geo as geo;
 pub use ndt_mlab as mlab;
+pub use ndt_runner as runner;
 pub use ndt_stats as stats;
 pub use ndt_tcp as tcp;
 pub use ndt_topology as topology;
@@ -109,6 +110,7 @@ pub mod prelude {
     pub use ndt_conflict::{Date, Period};
     pub use ndt_geo::Oblast;
     pub use ndt_mlab::{Dataset, FaultPlan, SimConfig, Simulator};
+    pub use ndt_runner::{write_atomic, PipelineConfig, PipelineOutcome};
     pub use ndt_stats::{welch_t_test, WelchTTest};
     pub use ndt_topology::{build_topology, Asn, TopologyConfig};
 }

@@ -1,0 +1,97 @@
+//! Binary-level CLI contract tests: exit codes and stderr for bad flags,
+//! and the degraded-but-successful paths (`--faults severe` must exit 0
+//! with coverage annotations, not crash).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ukraine-ndt"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ndt-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_nonzero() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("usage:"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn unknown_command_prints_usage_and_exits_nonzero() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn bad_flags_exit_nonzero_with_usage() {
+    for bad in [
+        vec!["report", "--scale"],             // missing value
+        vec!["report", "--scale", "0"],        // zero scale
+        vec!["report", "--scale", "-2"],       // negative scale
+        vec!["report", "--scale", "inf"],      // non-finite scale
+        vec!["report", "--scale", "1e999"],    // overflows f64 to +inf
+        vec!["report", "--scale", "NaN"],      // NaN scale
+        vec!["report", "--seed", "twelve"],    // non-numeric seed
+        vec!["report", "--scenario", "blitz"], // unknown scenario
+        vec!["report", "--faults", "mega"],    // unknown fault plan
+        vec!["map", "--date", "2022-02-30"],   // invalid calendar day
+        vec!["report", "--bogus", "1"],        // unknown flag
+    ] {
+        let out = run(&bad);
+        assert_eq!(out.status.code(), Some(1), "args {bad:?} should be rejected");
+        assert!(stderr(&out).contains("usage:"), "args {bad:?} should print usage");
+    }
+}
+
+#[test]
+fn map_prints_the_activity_snapshot() {
+    let out = run(&["map", "--date", "2022-03-15"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(!stdout(&out).is_empty());
+}
+
+#[test]
+fn report_with_severe_faults_exits_zero_with_coverage() {
+    let out = run(&["report", "--scale", "0.01", "--faults", "severe"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Coverage"), "degraded run still reports coverage");
+    assert!(!stderr(&out).contains("FAILED"), "data faults are not stage failures");
+}
+
+#[test]
+fn export_with_severe_faults_exits_zero_and_derives_artifact_count() {
+    let d = tmpdir("severe-export");
+    let out = run(&["export", "--scale", "0.01", "--faults", "severe", "--out", &d.display().to_string()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    let written = std::fs::read_dir(&d)
+        .expect("out dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_file())
+        .count();
+    assert!(
+        err.contains(&format!("wrote {written} artifacts")),
+        "reported count must match the {written} files actually written; stderr: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&d);
+}
