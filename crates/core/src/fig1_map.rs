@@ -53,6 +53,22 @@ impl ActivityMap {
         self.cells.iter().find(|c| c.oblast == oblast).expect("all regions mapped")
     }
 
+    /// Legend ordering: intensity descending, ties broken by oblast name.
+    ///
+    /// The tie-break makes the legend a total order — `sort_by` is stable,
+    /// but the *input* order (`Oblast::all()`) is an enum ordering a reader
+    /// of the table can't see, and any future reordering of the enum would
+    /// silently reshuffle tied rows (every prewar day is one big 0.0 tie).
+    pub fn legend_cells(&self) -> Vec<MapCell> {
+        let mut cells = self.cells.clone();
+        cells.sort_by(|a, b| {
+            b.intensity
+                .total_cmp(&a.intensity)
+                .then_with(|| a.oblast.name().cmp(b.oblast.name()))
+        });
+        cells
+    }
+
     /// ASCII map: regions plotted by coordinates, shaded by intensity.
     pub fn render(&self) -> String {
         const W: usize = 72;
@@ -75,10 +91,8 @@ impl ActivityMap {
             out.push_str(&row.into_iter().collect::<String>());
             out.push('\n');
         }
-        // Legend table, ordered by intensity.
-        let mut cells = self.cells.clone();
-        cells.sort_by(|a, b| b.intensity.total_cmp(&a.intensity));
-        let rows: Vec<Vec<String>> = cells
+        let rows: Vec<Vec<String>> = self
+            .legend_cells()
             .iter()
             .take(10)
             .map(|c| {
@@ -130,6 +144,27 @@ mod tests {
         assert!(r.contains("Kharkiv"));
         // The grid contains heavy shading somewhere.
         assert!(r.lines().take(19).any(|l| l.contains('#')));
+    }
+
+    #[test]
+    fn legend_ties_are_broken_alphabetically() {
+        // Prewar, every intensity is 0.0 — the whole legend is one big
+        // tie, so the rows must come out in oblast-name order regardless
+        // of the `Oblast::all()` enum ordering.
+        let map = compute(400);
+        let names: Vec<&str> = map.legend_cells().iter().map(|c| c.oblast.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "tied legend rows are alphabetical");
+        // And the wartime legend is still intensity-first: the hottest
+        // region leads even though it is not alphabetically first.
+        let war = compute(dates::MAX_OCCUPATION.day_index());
+        let legend = war.legend_cells();
+        assert!(legend.windows(2).all(|w| w[0].intensity >= w[1].intensity));
+        // Within any tied run, names ascend.
+        assert!(legend.windows(2).all(|w| {
+            w[0].intensity != w[1].intensity || w[0].oblast.name() <= w[1].oblast.name()
+        }));
     }
 
     #[test]

@@ -272,21 +272,38 @@ fn push_section(out: &mut String, title: &str, body: &str) {
     out.push('\n');
 }
 
+/// Publishes one stage's degraded-data accounting as `analysis.*` work
+/// counters: rows seen, rows dropped per [`crate::DropReason`], and
+/// low-sample cells. Values derive purely from the corpus, so they join
+/// the metrics artifact's determinism contract.
+fn publish_coverage_counters(coverage: &Coverage) {
+    ndt_obs::incr("analysis.rows_seen", coverage.rows_seen as u64);
+    for (reason, n) in &coverage.dropped {
+        ndt_obs::incr(&format!("analysis.rows_dropped.{}", reason.label()), *n as u64);
+    }
+    ndt_obs::incr("analysis.low_sample_cells", coverage.low_sample_cells.len() as u64);
+}
+
 /// Runs a single analysis stage by [`StageSpec::name`]. Each stage is an
 /// independent compute over the corpus — the crash-safe runner executes
 /// them one at a time under panic isolation and checkpoints each
 /// [`StageOutput`].
+///
+/// Each run is timed under an `analysis.<name>` span, and its coverage is
+/// published as `analysis.*` counters (rows seen, drops by reason,
+/// low-sample cells).
 pub fn run_analysis_stage(name: &str, data: &StudyData) -> Result<StageOutput, AnalysisError> {
     let spec = stage_spec(name).ok_or_else(|| AnalysisError::Degenerate {
         what: format!("unknown analysis stage '{name}'"),
     })?;
+    let _span = ndt_obs::span(&format!("analysis.{name}"));
     let out = |section: String, contents: Vec<String>, coverage: Coverage| StageOutput {
         name: spec.name,
         section,
         artifacts: spec.artifacts.iter().copied().zip(contents).collect(),
         coverage,
     };
-    Ok(match name {
+    let stage_out = match name {
         "fig1" => {
             let p =
                 crate::fig1_map::compute(ndt_conflict::calendar::dates::MAX_OCCUPATION.day_index());
@@ -366,7 +383,9 @@ pub fn run_analysis_stage(name: &str, data: &StudyData) -> Result<StageOutput, A
             out(fig9_body(&p), vec![p.to_csv()], p.coverage)
         }
         _ => unreachable!("stage_spec() already validated the name"),
-    })
+    };
+    publish_coverage_counters(&stage_out.coverage);
+    Ok(stage_out)
 }
 
 /// Assembles a full report text from staged outputs. With every stage

@@ -44,5 +44,5 @@ pub use client::{Client, ClientPool};
 pub use codec::CodecError;
 pub use fault::{Corruption, FaultPlan};
 pub use schema::{Dataset, Scamper1Row, UnifiedDownloadRow};
-pub use sim::{Scenario, SimConfig, Simulator};
+pub use sim::{Scenario, SimConfig, SimCounters, Simulator};
 pub use site::{LoadBalancer, Site, SiteId};

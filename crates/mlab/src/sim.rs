@@ -150,6 +150,68 @@ impl SimConfig {
     }
 }
 
+/// Per-worker work counters for the sharded simulator.
+///
+/// Each worker thread counts into plain integer fields of its own
+/// instance — no atomics, no locks, nothing shared — and the coordinator
+/// merges the instances after the join. Addition is commutative, so the
+/// merged totals are **bit-identical for every thread count**, which is
+/// what lets the `--metrics` artifact's counters participate in the
+/// determinism contract. Totals are flushed into `ndt-obs` once per
+/// simulated day range ([`Simulator::run_days`]), so the per-test hot
+/// path never touches the global registry.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimCounters {
+    /// NDT tests simulated (including ones whose rows were never published).
+    pub tests: u64,
+    /// Scamper sidecar traces published to the traces table.
+    pub traces_published: u64,
+    /// Rows published to `unified_download`.
+    pub ndt_rows_published: u64,
+    /// Tests abandoned because no route to the client existed that day.
+    pub unreachable: u64,
+    /// Tests lost wholesale to a site outage fault.
+    pub site_down_drops: u64,
+    /// Sidecar traces dropped by the sidecar-loss fault.
+    pub sidecar_drops: u64,
+    /// Sidecar traces published with a truncated AS path.
+    pub sidecar_truncations: u64,
+    /// Published rows whose geolocation lookup failed.
+    pub geo_failures: u64,
+    /// Published rows mangled by the row-corruption fault.
+    pub corrupt_rows: u64,
+}
+
+impl SimCounters {
+    /// Adds another worker's counts into this one.
+    pub fn merge(&mut self, other: &SimCounters) {
+        self.tests += other.tests;
+        self.traces_published += other.traces_published;
+        self.ndt_rows_published += other.ndt_rows_published;
+        self.unreachable += other.unreachable;
+        self.site_down_drops += other.site_down_drops;
+        self.sidecar_drops += other.sidecar_drops;
+        self.sidecar_truncations += other.sidecar_truncations;
+        self.geo_failures += other.geo_failures;
+        self.corrupt_rows += other.corrupt_rows;
+    }
+
+    /// Publishes the totals as `sim.*` work counters. Zero-valued fields
+    /// are skipped by `ndt_obs::incr`, so a clean run's artifact carries
+    /// no fault counters at all.
+    fn flush(&self) {
+        ndt_obs::incr("sim.tests", self.tests);
+        ndt_obs::incr("sim.traces_published", self.traces_published);
+        ndt_obs::incr("sim.ndt_rows_published", self.ndt_rows_published);
+        ndt_obs::incr("sim.unreachable", self.unreachable);
+        ndt_obs::incr("sim.site_down_drops", self.site_down_drops);
+        ndt_obs::incr("sim.sidecar_drops", self.sidecar_drops);
+        ndt_obs::incr("sim.sidecar_truncations", self.sidecar_truncations);
+        ndt_obs::incr("sim.geo_failures", self.geo_failures);
+        ndt_obs::incr("sim.corrupt_rows", self.corrupt_rows);
+    }
+}
+
 /// The platform simulator. Owns the topology, client population, routing
 /// engine and error-model databases.
 pub struct Simulator {
@@ -275,27 +337,44 @@ impl Simulator {
         ds: &mut Dataset,
         engines: &mut [RoutingEngine],
     ) {
+        let mut totals = SimCounters::default();
+        let mut days_simulated = 0u64;
+        let mut days_lost = 0u64;
         for day in days {
             if self.config.faults.day_lost(day) {
                 // Whole ingestion partition lost: nothing from this day
                 // reaches either table. Per-(client, day) RNG streams mean
                 // skipping a day cannot shift any other day's rows.
+                days_lost += 1;
                 continue;
             }
             self.apply_day_damage(day);
-            self.simulate_day(day, ds, engines);
+            totals.merge(&self.simulate_day(day, ds, engines));
+            days_simulated += 1;
         }
         // Leave the topology healthy for the next window.
         self.bt.topology.heal_all();
+        // One registry flush per day range keeps the per-test path free of
+        // shared state.
+        totals.flush();
+        ndt_obs::incr("sim.days_simulated", days_simulated);
+        ndt_obs::incr("sim.days_lost", days_lost);
     }
 
     /// Applies the conflict model's state for one day to the topology.
+    ///
+    /// Every link taken down here forces BGP onto an alternate path the
+    /// next time a test is routed, so the `sim.links_*` counters published
+    /// at the end are the day-by-day budget of forced reroutes.
     fn apply_day_damage(&mut self, day: i64) {
         let topo = &mut self.bt.topology;
         topo.heal_all();
         if !self.config.scenario.core_damage() {
             return;
         }
+        let mut links_degraded = 0u64;
+        let mut links_downed = 0u64;
+        let mut links_flapped = 0u64;
         // Border-AS decay and flaps (Figures 5 and 6).
         for dmg in border_damage(day) {
             let links: Vec<_> = topo
@@ -305,8 +384,10 @@ impl Simulator {
                 .collect();
             for id in links {
                 topo.degrade_link(id, dmg.loss_add, dmg.latency_mult);
+                links_degraded += 1;
                 if dmg.down {
                     topo.set_link_up(id, false);
+                    links_downed += 1;
                 }
             }
         }
@@ -332,6 +413,7 @@ impl Simulator {
             let h = splitmix64((lid.0 as u64) << 32 | (day as u64 & 0xffff_ffff));
             if (h % 1_000) as f64 <= 120.0 * inten {
                 topo.set_link_up(lid, false);
+                links_flapped += 1;
             }
         }
         // Transit outages (March 10): majority-of-day outages take the
@@ -342,9 +424,13 @@ impl Simulator {
                 let links: Vec<_> = topo.links_of(outage.asn).map(|l| l.id).collect();
                 for id in links {
                     topo.set_link_up(id, false);
+                    links_downed += 1;
                 }
             }
         }
+        ndt_obs::incr("sim.links_degraded", links_degraded);
+        ndt_obs::incr("sim.links_downed", links_downed);
+        ndt_obs::incr("sim.links_flapped", links_flapped);
     }
 
     }
@@ -372,17 +458,25 @@ impl Simulator {
         year_mult * base * as_adj * DisplacementModel::test_spike(day) * self.config.scale
     }
 
-    /// Simulates all clients for one day, sharded across worker threads.
+    /// Simulates all clients for one day, sharded across worker threads,
+    /// and returns the day's merged work counters.
     ///
     /// Every (client, day) draws from its own derived RNG stream and each
     /// worker appends into a private buffer; buffers merge in client order,
-    /// so the published dataset is bit-identical for any worker count.
-    fn simulate_day(&mut self, day: i64, ds: &mut Dataset, engines: &mut [RoutingEngine]) {
+    /// so the published dataset is bit-identical for any worker count. Each
+    /// worker likewise counts into a private [`SimCounters`]; merged sums
+    /// are thread-count-independent because addition commutes.
+    fn simulate_day(
+        &mut self,
+        day: i64,
+        ds: &mut Dataset,
+        engines: &mut [RoutingEngine],
+    ) -> SimCounters {
         let n_clients = self.pool.len();
         let threads = engines.len().max(1);
         let chunk = n_clients.div_ceil(threads);
         let this: &Simulator = self;
-        let mut buffers: Vec<Dataset> = Vec::new();
+        let mut buffers: Vec<(Dataset, SimCounters)> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (t, engine) in engines.iter_mut().enumerate() {
@@ -393,10 +487,11 @@ impl Simulator {
                 }
                 handles.push(scope.spawn(move |_| {
                     let mut out = Dataset::default();
+                    let mut counters = SimCounters::default();
                     for ci in lo..hi {
-                        this.simulate_client_day(engine, ci, day, &mut out);
+                        this.simulate_client_day(engine, ci, day, &mut out, &mut counters);
                     }
-                    out
+                    (out, counters)
                 }));
             }
             for h in handles {
@@ -404,10 +499,13 @@ impl Simulator {
             }
         })
         .expect("scope panicked");
-        for mut b in buffers {
+        let mut totals = SimCounters::default();
+        for (mut b, c) in buffers {
             ds.ndt.append(&mut b.ndt);
             ds.traces.append(&mut b.traces);
+            totals.merge(&c);
         }
+        totals
     }
 
     /// Simulates one client's tests for one day from its derived stream.
@@ -417,6 +515,7 @@ impl Simulator {
         ci: usize,
         day: i64,
         out: &mut Dataset,
+        counters: &mut SimCounters,
     ) {
         let client = &self.pool.clients()[ci];
         let lambda = client.daily_rate * self.activity(client, day);
@@ -428,7 +527,7 @@ impl Simulator {
         ));
         let n_tests = Poisson::new(lambda).sample_count(&mut rng);
         for k in 0..n_tests {
-            self.simulate_test(engine, client, day, k, out, &mut rng);
+            self.simulate_test(engine, client, day, k, out, &mut rng, counters);
         }
     }
 
@@ -442,7 +541,9 @@ impl Simulator {
         test_index: u64,
         ds: &mut Dataset,
         rng: &mut StdRng,
+        counters: &mut SimCounters,
     ) {
+        counters.tests += 1;
         let site = self.lb.site_for_city(client.city, client.ip).clone();
         // Damaged edge infrastructure forces local rerouting: lower the
         // primary-route bias in proportion to the client's exposure and the
@@ -455,6 +556,7 @@ impl Simulator {
         else {
             // Destination unreachable (e.g. single-homed ISP behind a downed
             // transit): the test never completes, no row is published.
+            counters.unreachable += 1;
             return;
         };
         let mut profile = if self.config.scenario.edge_damage() {
@@ -493,6 +595,11 @@ impl Simulator {
         // dataset is a strict degradation of the clean one.
         let faults = &self.config.faults;
         let site_down = faults.site_down(site.server_ip.0, day);
+        if site_down {
+            counters.site_down_drops += 1;
+        } else if faults.sidecar_dropped(client.ip.0, day, test_index) {
+            counters.sidecar_drops += 1;
+        }
         if !site_down && !faults.sidecar_dropped(client.ip.0, day, test_index) {
             let full_border = path.border_crossing(&self.bt.topology.catalog);
             let (as_path, border, truncated) = match faults.sidecar_truncated_len(
@@ -515,6 +622,10 @@ impl Simulator {
             // fingerprints must differ from the intact trace's.
             let fp_mix =
                 if truncated { splitmix64(as_path.len() as u64 | 1 << 40) } else { 0 };
+            counters.traces_published += 1;
+            if truncated {
+                counters.sidecar_truncations += 1;
+            }
             ds.traces.push(Scamper1Row {
                 day,
                 client_ip: client.ip,
@@ -554,8 +665,13 @@ impl Simulator {
             if faults.geo_failed(client.ip.0, day, test_index) {
                 row.oblast = None;
                 row.city = None;
+                counters.geo_failures += 1;
             }
-            match faults.row_corruption(client.ip.0, day, test_index) {
+            let corruption = faults.row_corruption(client.ip.0, day, test_index);
+            if corruption.is_some() {
+                counters.corrupt_rows += 1;
+            }
+            match corruption {
                 Some(Corruption::NanThroughput) => row.mean_tput_mbps = f64::NAN,
                 Some(Corruption::NegativeThroughput) => row.mean_tput_mbps = -row.mean_tput_mbps,
                 Some(Corruption::NanRtt) => row.min_rtt_ms = f64::NAN,
@@ -566,6 +682,7 @@ impl Simulator {
                 }
                 None => {}
             }
+            counters.ndt_rows_published += 1;
             ds.ndt.push(row);
         }
     }

@@ -1,0 +1,133 @@
+//! The structured event log.
+//!
+//! [`log`] is the single sink behind the [`error!`](crate::error),
+//! [`warn!`](crate::warn), [`info!`](crate::info) and
+//! [`debug!`](crate::debug) macros. Each event carries a [`Level`]; events
+//! at or above the global verbosity go to stderr *verbatim* (no prefix is
+//! added, so messages the test suite pins — `[runner] stage x: computed` —
+//! are byte-identical to the old raw `eprintln!` output), and when metrics
+//! are enabled every event is additionally buffered into the registry so
+//! the `--metrics` artifact includes the run's event log.
+//!
+//! The default verbosity is [`Level::Info`]; the CLI maps `--quiet` to
+//! [`Level::Warn`] and `--verbose` to [`Level::Debug`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Event severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// A stage failed or data was lost.
+    Error = 0,
+    /// Degraded but recoverable: retries, contained panics, dropped rows.
+    Warn = 1,
+    /// Normal progress reporting (the default verbosity).
+    Info = 2,
+    /// Detail useful only when tracing a run.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lowercase label used in the artifact's event log.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+}
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global stderr verbosity threshold.
+pub fn set_verbosity(level: Level) {
+    VERBOSITY.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current stderr verbosity threshold.
+pub fn verbosity() -> Level {
+    Level::from_u8(VERBOSITY.load(Ordering::Relaxed))
+}
+
+/// Emits one event: stderr if `level` passes the verbosity filter, plus
+/// the registry's event buffer when metrics are enabled. Prefer the
+/// level macros over calling this directly.
+pub fn log(level: Level, args: fmt::Arguments<'_>) {
+    let to_stderr = level <= verbosity();
+    let to_buffer = crate::enabled();
+    if !to_stderr && !to_buffer {
+        return;
+    }
+    let message = fmt::format(args);
+    if to_stderr {
+        eprintln!("{message}");
+    }
+    if to_buffer {
+        crate::global().record_event(level, message);
+    }
+}
+
+/// Logs an [`Level::Error`] event.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Error, format_args!($($arg)*)) };
+}
+
+/// Logs a [`Level::Warn`] event.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Warn, format_args!($($arg)*)) };
+}
+
+/// Logs a [`Level::Info`] event.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Info, format_args!($($arg)*)) };
+}
+
+/// Logs a [`Level::Debug`] event.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Debug, format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn labels_are_lowercase() {
+        assert_eq!(Level::Error.label(), "error");
+        assert_eq!(Level::Debug.label(), "debug");
+    }
+
+    #[test]
+    fn verbosity_roundtrips() {
+        let before = verbosity();
+        set_verbosity(Level::Debug);
+        assert_eq!(verbosity(), Level::Debug);
+        set_verbosity(Level::Warn);
+        assert_eq!(verbosity(), Level::Warn);
+        set_verbosity(before);
+    }
+}

@@ -1,0 +1,343 @@
+//! The metrics registry: counters, gauges, process counters, span stats.
+//!
+//! A [`Registry`] is a mutex-guarded set of sorted maps. The process-wide
+//! instance behind [`global`] is what the free functions ([`incr`],
+//! [`set_gauge`], …) and the CLI's `--metrics` artifact use; tests can
+//! construct private registries to assert on exact contents without
+//! cross-test interference.
+//!
+//! Lock poisoning is deliberately forgiven everywhere: the runner executes
+//! stage bodies under `catch_unwind`, so a panicking stage may die while
+//! holding the registry lock, and observability must never turn a contained
+//! panic into a poisoned-lock abort.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use crate::event::Level;
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Number of completed scopes.
+    pub count: u64,
+    /// Total wall time, nanoseconds (monotonic clock).
+    pub total_nanos: u64,
+}
+
+/// Cap on buffered events; beyond it only `events_dropped` grows.
+const MAX_EVENTS: usize = 1024;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    process: BTreeMap<String, u64>,
+    spans: BTreeMap<String, SpanStat>,
+    events: Vec<(Level, String)>,
+    events_dropped: u64,
+}
+
+/// A set of named counters, gauges, process counters and span timings.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// A point-in-time copy of the deterministic sections (counters + gauges),
+/// used to compute per-stage [`ObsDelta`]s for checkpointing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+}
+
+/// What one pipeline stage added to the deterministic sections: counter
+/// *increments* and gauge *final values*. The runner persists this beside
+/// each stage checkpoint and re-applies it on resume, so a resumed run's
+/// counters match a clean run's bit for bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsDelta {
+    /// Counter increments attributable to the stage.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges the stage set, at their end-of-stage values.
+    pub gauges: BTreeMap<String, u64>,
+}
+
+impl ObsDelta {
+    /// True when the delta carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Adds `n` to the named work counter.
+    pub fn incr(&self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut g = self.lock();
+        match g.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(n),
+            None => {
+                g.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Adds `n` to the named process (run-shape) counter.
+    pub fn incr_process(&self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut g = self.lock();
+        match g.process.get_mut(name) {
+            Some(c) => *c = c.saturating_add(n),
+            None => {
+                g.process.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Sets the named gauge to `value` (idempotent by design — repeated
+    /// sets of the same model size are harmless).
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one completed span scope.
+    pub fn record_span(&self, path: &str, elapsed: Duration) {
+        let mut g = self.lock();
+        let stat = g.spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_nanos = stat.total_nanos.saturating_add(elapsed.as_nanos() as u64);
+    }
+
+    /// Buffers one event line for the artifact's event log.
+    pub fn record_event(&self, level: Level, message: String) {
+        let mut g = self.lock();
+        if g.events.len() >= MAX_EVENTS {
+            g.events_dropped += 1;
+        } else {
+            g.events.push((level, message));
+        }
+    }
+
+    /// Copies the deterministic sections for later [`Registry::delta_since`].
+    pub fn counters_snapshot(&self) -> CounterSnapshot {
+        let g = self.lock();
+        CounterSnapshot { counters: g.counters.clone(), gauges: g.gauges.clone() }
+    }
+
+    /// Counter increments and gauge values recorded since `snap`.
+    pub fn delta_since(&self, snap: &CounterSnapshot) -> ObsDelta {
+        let g = self.lock();
+        let mut delta = ObsDelta::default();
+        for (name, &now) in &g.counters {
+            let before = snap.counters.get(name).copied().unwrap_or(0);
+            if now > before {
+                delta.counters.insert(name.clone(), now - before);
+            }
+        }
+        for (name, &now) in &g.gauges {
+            if snap.gauges.get(name) != Some(&now) {
+                delta.gauges.insert(name.clone(), now);
+            }
+        }
+        delta
+    }
+
+    /// Re-applies a checkpointed stage delta (counters add, gauges set).
+    pub fn apply_delta(&self, delta: &ObsDelta) {
+        let mut g = self.lock();
+        for (name, &n) in &delta.counters {
+            match g.counters.get_mut(name) {
+                Some(c) => *c = c.saturating_add(n),
+                None => {
+                    g.counters.insert(name.clone(), n);
+                }
+            }
+        }
+        for (name, &v) in &delta.gauges {
+            g.gauges.insert(name.clone(), v);
+        }
+    }
+
+    /// Current value of a work counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a process counter (0 when never incremented).
+    pub fn process_counter(&self, name: &str) -> u64 {
+        self.lock().process.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Aggregated stats for a span name, if any scope completed.
+    pub fn span_stat(&self, path: &str) -> Option<SpanStat> {
+        self.lock().spans.get(path).copied()
+    }
+
+    /// Clears every section (test support).
+    pub fn reset(&self) {
+        let mut g = self.lock();
+        *g = Inner::default();
+    }
+
+    /// Renders the artifact JSON; see the `json` module for the format.
+    pub fn render_json(&self) -> String {
+        let g = self.lock();
+        crate::json::render(
+            &g.counters,
+            &g.gauges,
+            &g.process,
+            &g.spans,
+            &g.events,
+            g.events_dropped,
+        )
+    }
+}
+
+/// The process-wide registry behind the free functions and `--metrics`.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Adds `n` to a named work counter on the global registry.
+pub fn incr(name: &str, n: u64) {
+    global().incr(name, n);
+}
+
+/// Adds `n` to a named process counter on the global registry.
+pub fn incr_process(name: &str, n: u64) {
+    global().incr_process(name, n);
+}
+
+/// Sets a named gauge on the global registry.
+pub fn set_gauge(name: &str, value: u64) {
+    global().set_gauge(name, value);
+}
+
+/// Snapshot of the global registry's deterministic sections.
+pub fn counters_snapshot() -> CounterSnapshot {
+    global().counters_snapshot()
+}
+
+/// Delta of the global registry since `snap`.
+pub fn delta_since(snap: &CounterSnapshot) -> ObsDelta {
+    global().delta_since(snap)
+}
+
+/// Re-applies a checkpointed delta to the global registry.
+pub fn apply_delta(delta: &ObsDelta) {
+    global().apply_delta(delta);
+}
+
+/// Renders the global registry's artifact JSON.
+pub fn render_json() -> String {
+    global().render_json()
+}
+
+/// Clears the global registry (test support).
+pub fn reset() {
+    global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_zero_is_a_noop() {
+        let r = Registry::new();
+        r.incr("a.b", 2);
+        r.incr("a.b", 3);
+        r.incr("a.c", 0);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("a.c"), 0);
+        assert_eq!(r.counter("never"), 0);
+    }
+
+    #[test]
+    fn process_counters_are_a_separate_namespace() {
+        let r = Registry::new();
+        r.incr("x", 1);
+        r.incr_process("x", 7);
+        assert_eq!(r.counter("x"), 1);
+        assert_eq!(r.process_counter("x"), 7);
+    }
+
+    #[test]
+    fn delta_roundtrip_reproduces_a_clean_registry() {
+        // Simulate a stage running (clean) vs. its delta being re-applied
+        // on resume: final counters must match exactly.
+        let clean = Registry::new();
+        clean.incr("pre", 10);
+        let snap = clean.counters_snapshot();
+        clean.incr("pre", 5);
+        clean.incr("stage.work", 42);
+        clean.set_gauge("model.size", 99);
+        let delta = clean.delta_since(&snap);
+        assert_eq!(delta.counters.get("pre"), Some(&5));
+        assert_eq!(delta.counters.get("stage.work"), Some(&42));
+        assert_eq!(delta.gauges.get("model.size"), Some(&99));
+
+        let resumed = Registry::new();
+        resumed.incr("pre", 10);
+        resumed.apply_delta(&delta);
+        assert_eq!(resumed.counter("pre"), 15);
+        assert_eq!(resumed.counter("stage.work"), 42);
+        assert_eq!(resumed.gauge("model.size"), Some(99));
+    }
+
+    #[test]
+    fn unchanged_gauges_stay_out_of_the_delta() {
+        let r = Registry::new();
+        r.set_gauge("g", 5);
+        let snap = r.counters_snapshot();
+        r.set_gauge("g", 5); // same value: not a change
+        r.set_gauge("h", 6);
+        let delta = r.delta_since(&snap);
+        assert!(!delta.counters.contains_key("g"));
+        assert_eq!(delta.gauges.get("g"), None);
+        assert_eq!(delta.gauges.get("h"), Some(&6));
+    }
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let r = Registry::new();
+        r.record_span("a/b", Duration::from_millis(2));
+        r.record_span("a/b", Duration::from_millis(3));
+        let stat = r.span_stat("a/b").expect("recorded");
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total_nanos, 5_000_000);
+    }
+
+    #[test]
+    fn event_buffer_is_bounded() {
+        let r = Registry::new();
+        for i in 0..(MAX_EVENTS + 10) {
+            r.record_event(Level::Info, format!("event {i}"));
+        }
+        let g = r.lock();
+        assert_eq!(g.events.len(), MAX_EVENTS);
+        assert_eq!(g.events_dropped, 10);
+    }
+}

@@ -1,0 +1,136 @@
+//! RAII span timers with hierarchical names.
+//!
+//! A [`Span`] measures the wall time of a scope on a monotonic clock
+//! ([`std::time::Instant`]) and records it into the global registry when it
+//! drops. Spans opened while another span is live *on the same thread* get
+//! the parent's path as a prefix, joined with `/` — so a stage body that
+//! opens `span("stage.corpus")` and then `span("simulate")` records
+//! `stage.corpus/simulate`.
+//!
+//! Spans are the *gated* half of the crate: when metrics are disabled
+//! (the default), [`span`] returns an inert guard that never reads the
+//! clock and never touches the registry. Worker threads inside the sharded
+//! simulator must NOT open spans — span counts would then depend on the
+//! thread count, breaking the artifact's structural determinism. Spans
+//! belong on coordinating threads only; workers contribute merge-safe
+//! counters instead.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of live span names on this thread, root first.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A live span scope; records its elapsed time into the global registry
+/// when dropped. Construct with [`span`].
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when metrics are disabled — the guard is inert.
+    armed: Option<(String, Instant)>,
+}
+
+/// Opens a span named `name`, nested under any span already live on this
+/// thread. Returns an inert guard when metrics are disabled.
+pub fn span(name: &str) -> Span {
+    if !crate::enabled() {
+        return Span { armed: None };
+    }
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    Span { armed: Some((path, Instant::now())) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((path, started)) = self.armed.take() {
+            let elapsed = started.elapsed();
+            STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // Pop this span's frame. A panic unwinding through nested
+                // spans drops them innermost-first, so the top of the stack
+                // is ours; be defensive anyway and search from the end.
+                if stack.last() == Some(&path) {
+                    stack.pop();
+                } else if let Some(pos) = stack.iter().rposition(|p| p == &path) {
+                    stack.remove(pos);
+                }
+            });
+            crate::global().record_span(&path, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests toggle the process-wide enabled flag and inspect the
+    // global registry, so they must not run concurrently with each other.
+    // A dedicated lock serialises them without depending on test-runner
+    // thread settings.
+    use std::sync::Mutex;
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = serial();
+        crate::set_enabled(false);
+        crate::reset();
+        {
+            let _s = span("quiet");
+        }
+        assert_eq!(crate::global().span_stat("quiet"), None);
+    }
+
+    #[test]
+    fn nested_spans_join_with_slash() {
+        let _guard = serial();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+        }
+        crate::set_enabled(false);
+        assert_eq!(crate::global().span_stat("outer").map(|s| s.count), Some(1));
+        assert_eq!(
+            crate::global().span_stat("outer/inner").map(|s| s.count),
+            Some(1)
+        );
+        assert_eq!(crate::global().span_stat("inner"), None);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent_prefix() {
+        let _guard = serial();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _outer = span("pipeline");
+            {
+                let _a = span("a");
+            }
+            {
+                let _b = span("b");
+            }
+        }
+        crate::set_enabled(false);
+        assert_eq!(crate::global().span_stat("pipeline/a").map(|s| s.count), Some(1));
+        assert_eq!(crate::global().span_stat("pipeline/b").map(|s| s.count), Some(1));
+    }
+}

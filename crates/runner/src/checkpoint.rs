@@ -17,6 +17,14 @@
 //!
 //! All writes go through [`crate::atomic`], so a crash mid-checkpoint
 //! leaves the previous (or no) checkpoint, never a torn one.
+//!
+//! Besides the stage's value, each checkpoint carries the stage's
+//! **observability delta** ([`ndt_obs::ObsDelta`]): the counter
+//! increments and gauge values the stage recorded while it ran. On
+//! resume the pipeline re-applies the delta, so the `--metrics`
+//! artifact's counters after a kill→resume are bit-identical to a clean
+//! run's — a resumed stage "replays" its bookkeeping without redoing its
+//! work.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -25,6 +33,7 @@ use std::path::{Path, PathBuf};
 
 use ndt_analysis::{stage_spec, StageOutput};
 use ndt_mlab::codec::wire;
+use ndt_obs::ObsDelta;
 use ndt_mlab::schema::Dataset;
 use ndt_mlab::sim::{Scenario, SimConfig};
 use ndt_tcp::CongestionControl;
@@ -41,7 +50,9 @@ const STAGE_GRAPH_VERSION: u32 = 1;
 
 const MANIFEST_NAME: &str = "manifest.txt";
 const MANIFEST_HEADER: &str = "ukraine-ndt manifest v1";
-const CKPT_MAGIC: &[u8; 8] = b"NDTCKPT1";
+// v2 added the observability-delta section; v1 files fail the magic
+// check and are recomputed, which is exactly the right degradation.
+const CKPT_MAGIC: &[u8; 8] = b"NDTCKPT2";
 
 /// Fingerprint of every configuration knob that influences stage output.
 ///
@@ -80,6 +91,38 @@ pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
     wire::put_u32(&mut buf, STAGE_GRAPH_VERSION);
     wire::put_str(&mut buf, env!("CARGO_PKG_VERSION"));
     wire::fnv1a64(&buf)
+}
+
+/// Serializes an [`ObsDelta`] into the checkpoint's delta section.
+fn put_delta(buf: &mut Vec<u8>, delta: &ObsDelta) {
+    wire::put_u32(buf, delta.counters.len() as u32);
+    for (name, n) in &delta.counters {
+        wire::put_str(buf, name);
+        wire::put_u64(buf, *n);
+    }
+    wire::put_u32(buf, delta.gauges.len() as u32);
+    for (name, v) in &delta.gauges {
+        wire::put_str(buf, name);
+        wire::put_u64(buf, *v);
+    }
+}
+
+/// Decodes a delta section written by [`put_delta`].
+fn read_delta(r: &mut wire::Reader<'_>) -> Result<ObsDelta, String> {
+    let mut delta = ObsDelta::default();
+    let n_counters = r.u32("delta counter count").map_err(|e| e.to_string())? as usize;
+    for _ in 0..n_counters {
+        let name = r.str("delta counter name").map_err(|e| e.to_string())?;
+        let n = r.u64("delta counter value").map_err(|e| e.to_string())?;
+        delta.counters.insert(name, n);
+    }
+    let n_gauges = r.u32("delta gauge count").map_err(|e| e.to_string())? as usize;
+    for _ in 0..n_gauges {
+        let name = r.str("delta gauge name").map_err(|e| e.to_string())?;
+        let v = r.u64("delta gauge value").map_err(|e| e.to_string())?;
+        delta.gauges.insert(name, v);
+    }
+    Ok(delta)
 }
 
 /// A value the pipeline can checkpoint: serializes to bytes and restores
@@ -284,13 +327,20 @@ impl CheckpointStore {
         })
     }
 
-    /// Loads and verifies the checkpoint for `stage`. `None` means "not
+    /// Loads and verifies the checkpoint for `stage`, returning the
+    /// stage value and its observability delta. `None` means "not
     /// resumable" for any reason — absent, corrupt, checksum or
     /// fingerprint mismatch, undecodable — and the caller recomputes.
-    pub fn load<T: Checkpointable>(&self, stage: &str) -> Option<T> {
+    pub fn load<T: Checkpointable>(&self, stage: &str) -> Option<(T, ObsDelta)> {
         let expected = *self.entries.get(stage)?;
         let raw = fs::read(self.stage_path(stage)).ok()?;
-        // Layout: magic(8) fingerprint(8) len(8) payload checksum(8).
+        // Layout: magic(8) fingerprint(8) body checksum(8), where body is
+        // delta_len(8) delta payload_len(8) payload. The checksum covers
+        // the whole body, so the delta is integrity-checked too.
+        if raw.len() < 24 {
+            return None;
+        }
+        let body = &raw[16..raw.len() - 8];
         let mut r = wire::Reader::new(&raw);
         if r.bytes(8, "magic").ok()? != CKPT_MAGIC {
             return None;
@@ -298,30 +348,51 @@ impl CheckpointStore {
         if r.u64("fingerprint").ok()? != self.fingerprint {
             return None;
         }
+        let delta_len = r.u64("delta length").ok()? as usize;
+        if delta_len > r.remaining() {
+            return None;
+        }
+        let delta_bytes = r.bytes(delta_len, "delta").ok()?;
+        let mut delta_reader = wire::Reader::new(delta_bytes);
+        let delta = read_delta(&mut delta_reader).ok()?;
+        if delta_reader.remaining() != 0 {
+            return None;
+        }
         let len = r.u64("payload length").ok()? as usize;
         if len > r.remaining() {
             return None;
         }
         let payload = r.bytes(len, "payload").ok()?;
-        let checksum = wire::fnv1a64(payload);
+        let checksum = wire::fnv1a64(body);
         if checksum != expected || r.u64("checksum").ok()? != checksum || r.remaining() != 0 {
             return None;
         }
-        T::from_checkpoint_bytes(payload).ok()
+        let value = T::from_checkpoint_bytes(payload).ok()?;
+        Some((value, delta))
     }
 
-    /// Persists `value` as the checkpoint for `stage` and updates the
-    /// manifest. Both writes are atomic; the manifest is written second,
-    /// so a crash between the two leaves the stage un-listed (and it is
-    /// recomputed — safe, merely unlucky).
-    pub fn store<T: Checkpointable>(&mut self, stage: &str, value: &T) -> io::Result<()> {
+    /// Persists `value` (plus the stage's observability delta) as the
+    /// checkpoint for `stage` and updates the manifest. Both writes are
+    /// atomic; the manifest is written second, so a crash between the
+    /// two leaves the stage un-listed (and it is recomputed — safe,
+    /// merely unlucky).
+    pub fn store<T: Checkpointable>(
+        &mut self,
+        stage: &str,
+        value: &T,
+        delta: &ObsDelta,
+    ) -> io::Result<()> {
         let payload = value.to_checkpoint_bytes();
-        let checksum = wire::fnv1a64(&payload);
-        let mut raw = Vec::with_capacity(payload.len() + 32);
+        let mut delta_bytes = Vec::new();
+        put_delta(&mut delta_bytes, delta);
+        let mut raw = Vec::with_capacity(payload.len() + delta_bytes.len() + 48);
         raw.extend_from_slice(CKPT_MAGIC);
         wire::put_u64(&mut raw, self.fingerprint);
+        wire::put_u64(&mut raw, delta_bytes.len() as u64);
+        raw.extend_from_slice(&delta_bytes);
         wire::put_u64(&mut raw, payload.len() as u64);
         raw.extend_from_slice(&payload);
+        let checksum = wire::fnv1a64(&raw[16..]);
         wire::put_u64(&mut raw, checksum);
         let path = self.stage_path(stage);
         retry_io(&self.retry, || crate::atomic::write_atomic(&path, &raw))?;
@@ -373,13 +444,29 @@ mod tests {
         let mut store =
             CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE).expect("open");
         let text = "== stage ==\nbody\n".to_string();
-        store.store("render", &text).expect("store string");
-        assert_eq!(store.load::<String>("render").expect("load"), text);
+        store.store("render", &text, &ObsDelta::default()).expect("store string");
+        assert_eq!(store.load::<String>("render").expect("load").0, text);
 
         let ds = Simulator::new(cfg).run();
-        store.store("corpus:0-108", &ds).expect("store dataset");
-        let back: Dataset = store.load("corpus:0-108").expect("load dataset");
+        store.store("corpus:0-108", &ds, &ObsDelta::default()).expect("store dataset");
+        let (back, _): (Dataset, ObsDelta) = store.load("corpus:0-108").expect("load dataset");
         assert_eq!(ds.to_bytes(), back.to_bytes(), "bit-exact dataset resume");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn obs_deltas_roundtrip_with_the_checkpoint() {
+        let d = tmpdir("delta");
+        let cfg = SimConfig { scale: 0.01, ..SimConfig::small(17) };
+        let mut store =
+            CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE).expect("open");
+        let mut delta = ObsDelta::default();
+        delta.counters.insert("sim.tests".to_string(), 123);
+        delta.counters.insert("sim.traces".to_string(), 45);
+        delta.gauges.insert("topology.links".to_string(), 9);
+        store.store("render", &"text".to_string(), &delta).expect("store");
+        let (_, back) = store.load::<String>("render").expect("load");
+        assert_eq!(back, delta, "delta survives the roundtrip exactly");
         let _ = fs::remove_dir_all(&d);
     }
 
@@ -391,8 +478,8 @@ mod tests {
         let out = run_analysis_stage("fig2", &data).expect("fig2");
         let mut store =
             CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE).expect("open");
-        store.store("fig2", &out).expect("store");
-        let back: StageOutput = store.load("fig2").expect("load");
+        store.store("fig2", &out, &ObsDelta::default()).expect("store");
+        let (back, _): (StageOutput, ObsDelta) = store.load("fig2").expect("load");
         assert_eq!(out, back, "StageOutput resumes exactly");
         let _ = fs::remove_dir_all(&d);
     }
@@ -403,14 +490,14 @@ mod tests {
         let cfg = SimConfig::small(7);
         let fp = config_fingerprint(&cfg);
         let mut store = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("open");
-        store.store("render", &"cached".to_string()).expect("store");
+        store.store("render", &"cached".to_string(), &ObsDelta::default()).expect("store");
         // Same fingerprint: visible.
         let again = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("reopen");
-        assert_eq!(again.load::<String>("render").as_deref(), Some("cached"));
+        assert_eq!(again.load::<String>("render").map(|(v, _)| v).as_deref(), Some("cached"));
         // Different fingerprint (e.g. a new seed): invisible.
         let other_fp = config_fingerprint(&SimConfig { seed: 8, ..cfg });
         let other = CheckpointStore::open(&d, other_fp, RetryPolicy::NONE).expect("reopen");
-        assert_eq!(other.load::<String>("render"), None);
+        assert!(other.load::<String>("render").is_none());
         assert_eq!(other.known_stages().count(), 0);
         let _ = fs::remove_dir_all(&d);
     }
@@ -421,17 +508,17 @@ mod tests {
         let cfg = SimConfig::small(7);
         let fp = config_fingerprint(&cfg);
         let mut store = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("open");
-        store.store("render", &"precious".to_string()).expect("store");
+        store.store("render", &"precious".to_string(), &ObsDelta::default()).expect("store");
         let path = store.stage_path("render");
         let mut raw = fs::read(&path).expect("read");
         let last = raw.len() - 9; // inside the payload, before the checksum
         raw[last] ^= 0xff;
         fs::write(&path, &raw).expect("rewrite");
         let again = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("reopen");
-        assert_eq!(again.load::<String>("render"), None, "flipped byte must not verify");
+        assert!(again.load::<String>("render").is_none(), "flipped byte must not verify");
         // Truncation too.
         fs::write(&path, &fs::read(&path).expect("read")[..10]).expect("truncate");
-        assert_eq!(again.load::<String>("render"), None);
+        assert!(again.load::<String>("render").is_none());
         let _ = fs::remove_dir_all(&d);
     }
 }

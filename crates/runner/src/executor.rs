@@ -10,13 +10,50 @@
 //! transient, in which case the whole body is re-run under the executor's
 //! [`RetryPolicy`]. Panics and deadline overruns are never retried: a
 //! panic is a bug and a hang already cost the full deadline.
+//!
+//! Abandonment is cooperative: each attempt gets a [`CancelToken`], and
+//! when the deadline fires the executor cancels it *before* detaching the
+//! worker. A body must check [`CancelToken::is_cancelled`] before
+//! committing any externally visible write (an atomic artifact, a
+//! checkpoint), so an abandoned attempt can never race the retry or the
+//! next resume. A worker that finishes after abandonment discards its
+//! value and bumps the `exec.late_completions` process counter instead.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::retry::RetryPolicy;
+
+/// Cooperative cancellation for one stage attempt.
+///
+/// The executor cancels the token when the attempt's deadline passes;
+/// the (now detached) worker thread is expected to notice and stand
+/// down. Stage bodies must consult [`CancelToken::is_cancelled`] before
+/// any externally visible write, because after abandonment a retry or a
+/// resumed process may already be producing the same artifact.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the attempt as abandoned.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the attempt has been abandoned. Check this before
+    /// committing any write.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// Execution limits applied to each stage body.
 #[derive(Debug, Clone, Copy)]
@@ -105,25 +142,37 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// `label` names the worker thread (visible in panic backtraces and
 /// debuggers). The body must be `'static`: on timeout the worker thread
-/// is abandoned, so it cannot borrow from the caller's stack.
+/// is abandoned, so it cannot borrow from the caller's stack. The body
+/// receives the attempt's [`CancelToken`]; it must check the token
+/// before committing any externally visible write.
 pub fn run_isolated<T: Send + 'static>(
     label: &str,
     policy: &ExecPolicy,
-    body: impl Fn() -> Result<T, StageFault> + Send + Sync + 'static,
+    body: impl Fn(&CancelToken) -> Result<T, StageFault> + Send + Sync + 'static,
 ) -> Result<T, StageError> {
     let body = Arc::new(body);
     let mut attempt = 0;
     loop {
         attempt += 1;
+        ndt_obs::incr_process("exec.attempts", 1);
+        let token = CancelToken::new();
         let (tx, rx) = mpsc::channel();
         let task = Arc::clone(&body);
+        let worker_token = token.clone();
         let worker = std::thread::Builder::new()
             .name(format!("stage-{label}"))
             .spawn(move || {
                 // A panic crosses back as Err(payload); the hook in the
                 // harness still prints it, which is fine — the *process*
                 // must survive, not the log.
-                let out = catch_unwind(AssertUnwindSafe(|| task()));
+                let out = catch_unwind(AssertUnwindSafe(|| task(&worker_token)));
+                if worker_token.is_cancelled() {
+                    // The executor already gave up on this attempt: the
+                    // value has nowhere to go, and committing it now
+                    // would race a retry or a resume. Count and discard.
+                    ndt_obs::incr_process("exec.late_completions", 1);
+                    return;
+                }
                 let _ = tx.send(out);
             })
             .map_err(|e| StageError::Failed(format!("could not spawn stage thread: {e}")))?;
@@ -135,19 +184,26 @@ pub fn run_isolated<T: Send + 'static>(
             Ok(Ok(Err(fault))) => {
                 let _ = worker.join();
                 if fault.transient && attempt < policy.retry.max_attempts {
+                    ndt_obs::incr_process("exec.retries", 1);
                     std::thread::sleep(policy.retry.backoff(attempt));
                     continue;
                 }
+                ndt_obs::incr_process("exec.faults", 1);
                 return Err(StageError::Failed(fault.message));
             }
             Ok(Err(payload)) => {
                 let _ = worker.join();
+                ndt_obs::incr_process("exec.panics_contained", 1);
                 return Err(StageError::Panicked(panic_message(payload)));
             }
             Err(_) => {
-                // Deadline passed: abandon the worker (it holds only an
-                // Arc of the body and a dead channel sender, so leaking
-                // it is safe) and fail the stage.
+                // Deadline passed: cancel first, so the still-running
+                // body sees the abandonment before its next commit
+                // point, then detach the worker (it holds only an Arc
+                // of the body and a dead channel sender, so leaking it
+                // is safe) and fail the stage.
+                token.cancel();
+                ndt_obs::incr_process("exec.deadline_exceeded", 1);
                 drop(worker);
                 return Err(StageError::DeadlineExceeded(policy.deadline));
             }
@@ -169,13 +225,13 @@ mod tests {
 
     #[test]
     fn returns_the_stage_value() {
-        let out = run_isolated("ok", &fast_policy(), || Ok::<_, StageFault>(41 + 1));
+        let out = run_isolated("ok", &fast_policy(), |_| Ok::<_, StageFault>(41 + 1));
         assert_eq!(out.expect("succeeds"), 42);
     }
 
     #[test]
     fn a_panicking_stage_is_contained() {
-        let out = run_isolated("boom", &fast_policy(), || -> Result<(), StageFault> {
+        let out = run_isolated("boom", &fast_policy(), |_| -> Result<(), StageFault> {
             panic!("injected failure in stage body")
         });
         match out.expect_err("panics become errors") {
@@ -187,8 +243,12 @@ mod tests {
     #[test]
     fn a_hung_stage_hits_the_deadline() {
         let policy = ExecPolicy { deadline: Duration::from_millis(50), ..fast_policy() };
-        let out = run_isolated("hang", &policy, || -> Result<(), StageFault> {
-            std::thread::sleep(Duration::from_secs(30));
+        let out = run_isolated("hang", &policy, |cancel| -> Result<(), StageFault> {
+            // Cooperative hang: spin until abandoned, so the detached
+            // worker exits promptly instead of outliving the test.
+            while !cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
             Ok(())
         });
         assert_eq!(
@@ -198,9 +258,37 @@ mod tests {
     }
 
     #[test]
+    fn an_abandoned_worker_is_cancelled_and_counted() {
+        let before = ndt_obs::global().process_counter("exec.late_completions");
+        let policy = ExecPolicy { deadline: Duration::from_millis(50), ..fast_policy() };
+        let out = run_isolated("late", &policy, |cancel| -> Result<u32, StageFault> {
+            std::thread::sleep(Duration::from_millis(200));
+            // The commit-point discipline: a cancelled attempt must not
+            // write. Here the "write" is returning a value at all.
+            assert!(cancel.is_cancelled(), "deadline fired long before the sleep ended");
+            Ok(7)
+        });
+        assert!(matches!(out, Err(StageError::DeadlineExceeded(_))));
+        // The detached worker wakes ~150ms after abandonment and counts
+        // itself; poll rather than assume scheduling.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let now = ndt_obs::global().process_counter("exec.late_completions");
+            if now > before {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "late completion was never recorded"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
     fn transient_faults_are_retried_but_permanent_are_not() {
         static TRANSIENT_CALLS: AtomicU32 = AtomicU32::new(0);
-        let out = run_isolated("flaky", &fast_policy(), || {
+        let out = run_isolated("flaky", &fast_policy(), |_| {
             if TRANSIENT_CALLS.fetch_add(1, Ordering::SeqCst) < 2 {
                 Err(StageFault::transient("blip"))
             } else {
@@ -211,7 +299,7 @@ mod tests {
         assert_eq!(TRANSIENT_CALLS.load(Ordering::SeqCst), 3);
 
         static PERMANENT_CALLS: AtomicU32 = AtomicU32::new(0);
-        let out = run_isolated("broken", &fast_policy(), || -> Result<(), StageFault> {
+        let out = run_isolated("broken", &fast_policy(), |_| -> Result<(), StageFault> {
             PERMANENT_CALLS.fetch_add(1, Ordering::SeqCst);
             Err(StageFault::permanent("bad input"))
         });
@@ -222,7 +310,7 @@ mod tests {
     #[test]
     fn panics_are_not_retried() {
         static CALLS: AtomicU32 = AtomicU32::new(0);
-        let out = run_isolated("panic-once", &fast_policy(), || -> Result<(), StageFault> {
+        let out = run_isolated("panic-once", &fast_policy(), |_| -> Result<(), StageFault> {
             CALLS.fetch_add(1, Ordering::SeqCst);
             panic!("should not be retried")
         });

@@ -54,7 +54,7 @@ pub mod retry;
 
 pub use atomic::{write_atomic, AtomicFile};
 pub use checkpoint::{config_fingerprint, Checkpointable, CheckpointStore, CHECKPOINT_DIR};
-pub use executor::{run_isolated, ExecPolicy, StageError, StageFault};
+pub use executor::{run_isolated, CancelToken, ExecPolicy, StageError, StageFault};
 pub use pipeline::{
     run_export, run_generate, run_report, PipelineConfig, PipelineOutcome, StageRecord,
     StageStatus, CORPUS_SHARD_DAYS,

@@ -26,7 +26,7 @@ use ndt_mlab::Simulator;
 use ndt_topology::{build_topology, to_dot, TopologyConfig};
 
 use crate::checkpoint::{config_fingerprint, Checkpointable, CheckpointStore};
-use crate::executor::{run_isolated, ExecPolicy, StageError, StageFault};
+use crate::executor::{run_isolated, CancelToken, ExecPolicy, StageError, StageFault};
 
 /// Days per corpus shard. 27 divides both study windows (108 days of
 /// 2021 baseline, 108 days of 2022) into 4 shards each, so a kill during
@@ -132,7 +132,7 @@ fn maybe_injected_panic(stage: &str) {
 /// progress past the original crash point.
 fn maybe_exit_after(stage: &str) {
     if env_prefix_matches("UKRAINE_NDT_EXIT_AFTER", stage) {
-        eprintln!("[runner] simulated crash after stage {stage} (UKRAINE_NDT_EXIT_AFTER)");
+        ndt_obs::warn!("[runner] simulated crash after stage {stage} (UKRAINE_NDT_EXIT_AFTER)");
         std::process::exit(42);
     }
 }
@@ -161,43 +161,63 @@ impl Pipeline {
     /// Runs one stage: resume from checkpoint when allowed, else execute
     /// `body` isolated, checkpoint the result, and record the outcome.
     /// `None` means the stage failed; the pipeline continues.
+    ///
+    /// Observability: the whole attempt (including retries) runs under a
+    /// `stage.<name>` span; the counter/gauge delta the body records is
+    /// captured and persisted with the checkpoint, and re-applied when
+    /// the stage is later resumed — so a resumed run's counters are
+    /// bit-identical to a clean run's.
     fn stage<T: Checkpointable + Send + 'static>(
         &mut self,
         name: &str,
-        body: impl Fn() -> Result<T, StageFault> + Send + Sync + 'static,
+        body: impl Fn(&CancelToken) -> Result<T, StageFault> + Send + Sync + 'static,
     ) -> Option<T> {
         if self.resume {
             if let Some(store) = &self.store {
-                if let Some(value) = store.load::<T>(name) {
-                    eprintln!("[runner] stage {name}: resumed from checkpoint");
+                if let Some((value, delta)) = store.load::<T>(name) {
+                    ndt_obs::apply_delta(&delta);
+                    ndt_obs::incr_process("checkpoint.hits", 1);
+                    ndt_obs::info!("[runner] stage {name}: resumed from checkpoint");
                     self.records
                         .push(StageRecord { name: name.to_string(), status: StageStatus::Resumed });
                     return Some(value);
                 }
+                ndt_obs::incr_process("checkpoint.misses", 1);
             }
         }
         let hook = name.to_string();
-        let wrapped = move || {
+        let wrapped = move |cancel: &CancelToken| {
             maybe_injected_panic(&hook);
-            body()
+            body(cancel)
         };
-        match run_isolated(name, &self.exec, wrapped) {
+        let span = ndt_obs::span(&format!("stage.{name}"));
+        let before = ndt_obs::counters_snapshot();
+        let outcome = run_isolated(name, &self.exec, wrapped);
+        drop(span);
+        match outcome {
             Ok(value) => {
+                let delta = ndt_obs::delta_since(&before);
                 if let Some(store) = &mut self.store {
-                    if let Err(e) = store.store(name, &value) {
-                        // A failed checkpoint write degrades resume, not
-                        // the run: warn and keep going.
-                        eprintln!("[runner] warning: could not checkpoint stage {name}: {e}");
+                    match store.store(name, &value, &delta) {
+                        Ok(()) => ndt_obs::incr_process("checkpoint.writes", 1),
+                        Err(e) => {
+                            // A failed checkpoint write degrades resume,
+                            // not the run: warn and keep going.
+                            ndt_obs::incr_process("checkpoint.write_errors", 1);
+                            ndt_obs::warn!(
+                                "[runner] warning: could not checkpoint stage {name}: {e}"
+                            );
+                        }
                     }
                 }
-                eprintln!("[runner] stage {name}: computed");
+                ndt_obs::info!("[runner] stage {name}: computed");
                 self.records
                     .push(StageRecord { name: name.to_string(), status: StageStatus::Computed });
                 maybe_exit_after(name);
                 Some(value)
             }
             Err(err) => {
-                eprintln!("[runner] stage {name}: FAILED: {err}");
+                ndt_obs::error!("[runner] stage {name}: FAILED: {err}");
                 self.records
                     .push(StageRecord { name: name.to_string(), status: StageStatus::Failed(err) });
                 None
@@ -207,7 +227,7 @@ impl Pipeline {
 
     /// Records a stage as failed without running it (upstream failure).
     fn skip(&mut self, name: &str, reason: &str) {
-        eprintln!("[runner] stage {name}: FAILED: skipped: {reason}");
+        ndt_obs::error!("[runner] stage {name}: FAILED: skipped: {reason}");
         self.records.push(StageRecord {
             name: name.to_string(),
             status: StageStatus::Failed(StageError::Failed(format!("skipped: {reason}"))),
@@ -216,7 +236,7 @@ impl Pipeline {
 
     /// The Graphviz topology artifact.
     fn topology(&mut self) -> Option<String> {
-        self.stage::<String>("topology", || {
+        self.stage::<String>("topology", |_cancel| {
             let built = build_topology(&TopologyConfig::default());
             Ok(to_dot(&built.topology, false))
         })
@@ -235,7 +255,7 @@ impl Pipeline {
             let name = format!("corpus:{}-{}", range.start, range.end);
             let cfg = *sim_cfg;
             let shared = Arc::clone(&shared);
-            let part = self.stage::<Dataset>(&name, move || {
+            let part = self.stage::<Dataset>(&name, move |_cancel| {
                 let mut guard = match shared.try_lock() {
                     Ok(g) => g,
                     Err(TryLockError::Poisoned(p)) => {
@@ -278,7 +298,7 @@ impl Pipeline {
         for spec in &ANALYSIS_STAGES {
             let name = spec.name;
             let data = Arc::clone(&data);
-            let out = self.stage::<StageOutput>(name, move || {
+            let out = self.stage::<StageOutput>(name, move |_cancel| {
                 run_analysis_stage(name, &data).map_err(|e| StageFault::permanent(e.to_string()))
             });
             if let Some(o) = out {

@@ -199,7 +199,13 @@ impl Builder {
 }
 
 /// Builds the full model.
+///
+/// Observability: the whole build runs under a `topology.build` span, and
+/// the finished model's size is published as `topology.ases`,
+/// `topology.routers` and `topology.links` gauges — the first sanity
+/// check when a metrics artifact from a bad run lands on someone's desk.
 pub fn build_topology(config: &TopologyConfig) -> BuiltTopology {
+    let _span = ndt_obs::span("topology.build");
     let mut b = Builder::new();
 
     // ------------------------------------------------------------------
@@ -507,6 +513,10 @@ pub fn build_topology(config: &TopologyConfig) -> BuiltTopology {
             }
         }
     }
+
+    ndt_obs::set_gauge("topology.ases", b.topo.catalog.len() as u64);
+    ndt_obs::set_gauge("topology.routers", b.topo.routers().len() as u64);
+    ndt_obs::set_gauge("topology.links", b.topo.links().len() as u64);
 
     BuiltTopology {
         topology: b.topo,

@@ -1,0 +1,68 @@
+//! Distill a `--metrics` artifact into the `BENCH_stage_times.json`
+//! per-stage wall-time snapshot, or verify one against a reference.
+//!
+//! ```sh
+//! # Extract: metrics artifact in, bench snapshot out.
+//! cargo run --release --example extract_bench -- metrics.json BENCH_stage_times.json
+//!
+//! # Check: do two snapshots agree once wall times are zeroed? The
+//! # checked-in snapshot tracks artifact *shape* (the set of pipeline
+//! # stages and their span counts), not machine-dependent timings.
+//! cargo run --release --example extract_bench -- --check BENCH_stage_times.json fresh.json
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+use ukraine_ndt::obs::{extract_bench, zero_wall_times};
+use ukraine_ndt::runner::write_atomic;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [input, output] => {
+            let artifact = match fs::read_to_string(input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let bench = extract_bench(&artifact);
+            if let Err(e) = write_atomic(output, bench.as_bytes()) {
+                eprintln!("error: cannot write {output}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {output}");
+            ExitCode::SUCCESS
+        }
+        [flag, reference, fresh] if flag == "--check" => {
+            let read = |p: &str| match fs::read_to_string(p) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("error: cannot read {p}: {e}");
+                    None
+                }
+            };
+            let (Some(want), Some(got)) = (read(reference), read(fresh)) else {
+                return ExitCode::FAILURE;
+            };
+            if zero_wall_times(&want) == zero_wall_times(&got) {
+                eprintln!("ok: {fresh} matches {reference} (wall times ignored)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "error: {fresh} diverges from {reference} after zeroing wall times — \
+                     the pipeline's stage set changed; regenerate the snapshot and review"
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: extract_bench <metrics.json> <bench-out.json>\n       \
+                 extract_bench --check <reference.json> <fresh.json>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

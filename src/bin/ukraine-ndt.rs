@@ -9,6 +9,15 @@
 //! ukraine-ndt topo     [--out DIR]          # Graphviz dot of the AS graph
 //! ```
 //!
+//! All commands additionally accept `--threads N` (simulator worker
+//! threads, 0 = all cores), `--metrics PATH` (write an `ndt-obs` JSON
+//! metrics artifact — spans, counters, event log — after the run), and
+//! `--quiet` / `--verbose` (event-log verbosity). The metrics artifact is
+//! structurally deterministic: its counter and gauge sections are
+//! bit-identical for the same configuration regardless of `--threads`, and
+//! identical between a clean run and a kill→resume run; only wall-clock
+//! durations vary.
+//!
 //! Scenarios: `historical` (default), `no-war`, `edge-only`, `core-only`.
 //! Fault plans: `none` (default), `light`, `moderate`, `severe`,
 //! `sidecar-blackout` — deterministic platform-fault injection; degraded
@@ -45,6 +54,12 @@ struct Options {
     out: PathBuf,
     date: Date,
     resume: bool,
+    /// Simulator worker threads (0 = all available cores).
+    threads: usize,
+    /// Write the ndt-obs metrics artifact here after the run.
+    metrics: Option<PathBuf>,
+    /// Event-log verbosity (`--quiet` → Warn, `--verbose` → Debug).
+    verbosity: ukraine_ndt::obs::Level,
 }
 
 impl Default for Options {
@@ -57,6 +72,9 @@ impl Default for Options {
             out: PathBuf::from("out"),
             date: dates::MAX_OCCUPATION,
             resume: false,
+            threads: 0,
+            metrics: None,
+            verbosity: ukraine_ndt::obs::Level::Info,
         }
     }
 }
@@ -66,7 +84,8 @@ fn usage() -> ExitCode {
         "usage: ukraine-ndt <report|export|resume|generate|map|topo> \
          [--scale S] [--seed N] [--scenario historical|no-war|edge-only|core-only] \
          [--faults none|light|moderate|severe|sidecar-blackout] \
-         [--out DIR] [--date YYYY-MM-DD] [--resume]"
+         [--out DIR] [--date YYYY-MM-DD] [--resume] \
+         [--threads N] [--metrics PATH] [--quiet] [--verbose]"
     );
     ExitCode::FAILURE
 }
@@ -89,10 +108,23 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
     while i < args.len() {
         let flag = args[i].as_str();
         // Boolean flags take no value.
-        if flag == "--resume" {
-            opts.resume = true;
-            i += 1;
-            continue;
+        match flag {
+            "--resume" => {
+                opts.resume = true;
+                i += 1;
+                continue;
+            }
+            "--quiet" => {
+                opts.verbosity = ukraine_ndt::obs::Level::Warn;
+                i += 1;
+                continue;
+            }
+            "--verbose" => {
+                opts.verbosity = ukraine_ndt::obs::Level::Debug;
+                i += 1;
+                continue;
+            }
+            _ => {}
         }
         let value = args.get(i + 1)?;
         match flag {
@@ -100,6 +132,8 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
                 opts.scale = value.parse().ok().filter(|v: &f64| v.is_finite() && *v > 0.0)?
             }
             "--seed" => opts.seed = value.parse().ok()?,
+            "--threads" => opts.threads = value.parse().ok()?,
+            "--metrics" => opts.metrics = Some(PathBuf::from(value)),
             "--faults" => opts.faults = FaultPlan::by_name(value)?,
             "--out" => opts.out = PathBuf::from(value),
             "--date" => opts.date = parse_date(value)?,
@@ -125,6 +159,7 @@ fn sim_config(opts: &Options) -> SimConfig {
         seed: opts.seed,
         scenario: opts.scenario,
         faults: opts.faults,
+        threads: opts.threads,
         ..SimConfig::default()
     }
 }
@@ -288,13 +323,17 @@ mod tests {
         assert_eq!(o.scenario, Scenario::Historical);
         assert!(o.faults.is_none());
         assert!(!o.resume);
+        assert_eq!(o.threads, 0);
+        assert_eq!(o.metrics, None);
+        assert_eq!(o.verbosity, ukraine_ndt::obs::Level::Info);
     }
 
     #[test]
     fn parses_all_flags() {
         let (cmd, o) = parse(&args(&[
             "export", "--scale", "0.5", "--seed", "9", "--scenario", "edge-only", "--faults",
-            "moderate", "--out", "/tmp/x", "--date", "2022-03-10", "--resume",
+            "moderate", "--out", "/tmp/x", "--date", "2022-03-10", "--resume", "--threads", "4",
+            "--metrics", "/tmp/m.json",
         ]))
         .expect("parses");
         assert_eq!(cmd, "export");
@@ -305,6 +344,17 @@ mod tests {
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
         assert_eq!(o.date, Date::new(2022, 3, 10));
         assert!(o.resume);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.metrics.as_deref(), Some(std::path::Path::new("/tmp/m.json")));
+    }
+
+    #[test]
+    fn verbosity_flags_take_no_value() {
+        let (_, o) = parse(&args(&["report", "--quiet", "--seed", "4"])).expect("parses");
+        assert_eq!(o.verbosity, ukraine_ndt::obs::Level::Warn);
+        assert_eq!(o.seed, 4);
+        let (_, o) = parse(&args(&["report", "--verbose"])).expect("parses");
+        assert_eq!(o.verbosity, ukraine_ndt::obs::Level::Debug);
     }
 
     #[test]
@@ -327,6 +377,8 @@ mod tests {
         assert!(parse(&args(&["report", "--date", "2022-13-01"])).is_none());
         assert!(parse(&args(&["report", "--date", "2022-02-30"])).is_none());
         assert!(parse(&args(&["report", "--bogus", "x"])).is_none());
+        assert!(parse(&args(&["report", "--threads", "many"])).is_none());
+        assert!(parse(&args(&["report", "--metrics"])).is_none(), "missing value");
     }
 
     #[test]
@@ -338,11 +390,29 @@ mod tests {
     }
 }
 
+/// Render the ndt-obs registry and write it atomically to `path`.
+///
+/// Called after the command ran, whatever its outcome — a partial run's
+/// metrics are exactly what you want when debugging the partial run.
+fn write_metrics(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::create_dir_all(dir)?;
+    }
+    write_atomic(path, ukraine_ndt::obs::render_json().as_bytes())?;
+    eprintln!("wrote metrics to {}", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, mut opts)) = parse(&args) else {
         return usage();
     };
+    ukraine_ndt::obs::set_verbosity(opts.verbosity);
+    // Spans and the event buffer only run when a metrics artifact was
+    // requested; counters are always on (they are part of the simulation's
+    // determinism contract and cost a few merged adds per stage).
+    ukraine_ndt::obs::set_enabled(opts.metrics.is_some());
     let result: Result<ExitCode, NdtError> = match command.as_str() {
         "report" => cmd_report(&opts),
         "export" => cmd_export(&opts),
@@ -359,6 +429,12 @@ fn main() -> ExitCode {
         "topo" => cmd_topo(&opts).map(|()| ExitCode::SUCCESS).map_err(NdtError::from),
         _ => return usage(),
     };
+    if let Some(path) = &opts.metrics {
+        if let Err(e) = write_metrics(path) {
+            eprintln!("error: failed to write metrics to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     match result {
         Ok(code) => code,
         Err(e) => {

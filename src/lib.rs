@@ -56,6 +56,7 @@ pub use ndt_bq as bq;
 pub use ndt_conflict as conflict;
 pub use ndt_geo as geo;
 pub use ndt_mlab as mlab;
+pub use ndt_obs as obs;
 pub use ndt_runner as runner;
 pub use ndt_stats as stats;
 pub use ndt_tcp as tcp;
