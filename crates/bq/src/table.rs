@@ -136,9 +136,12 @@ impl Table {
     ///
     /// On error the table is unchanged *logically*: the row counter does not
     /// advance and any partially pushed cells are rolled back, so a corrupt
-    /// source row never desynchronizes the columns.
+    /// source row never desynchronizes the columns. Every rejection also
+    /// bumps the `bq.rows_rejected` counter, so a caller that drops the
+    /// `Err` still leaves an audit trail in the metrics artifact.
     pub fn try_push(&mut self, row: Vec<Value>) -> Result<(), BqError> {
         if row.len() != self.cols.len() {
+            ndt_obs::incr("bq.rows_rejected", 1);
             return Err(BqError::ArityMismatch {
                 table: self.name.clone(),
                 expected: self.cols.len(),
@@ -165,6 +168,7 @@ impl Table {
                     Column::Bool(c) => drop(c.pop()),
                 }
             }
+            ndt_obs::incr("bq.rows_rejected", 1);
             return Err(e);
         }
         self.rows += 1;
@@ -301,6 +305,24 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new("t", &[("a", ColType::Int)]);
         t.push(vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn rejected_rows_are_counted() {
+        let before = ndt_obs::counters_snapshot();
+        let mut t = Table::new("t", &[("a", ColType::Int)]);
+        assert!(t.try_push(vec![Value::from("nope")]).is_err());
+        assert!(t.try_push(vec![Value::Int(1), Value::Int(2)]).is_err());
+        assert!(t.is_empty());
+        t.check();
+        let delta = ndt_obs::delta_since(&before);
+        // >= because the counter registry is process-global and other
+        // tests may reject rows concurrently.
+        assert!(
+            delta.counters.get("bq.rows_rejected").copied().unwrap_or(0) >= 2,
+            "rejections must be observable: {:?}",
+            delta.counters
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use ndt_bq::{Query, Table, Value};
 use ndt_conflict::Period;
-use ndt_mlab::{Dataset, Scamper1Row, SimConfig, Simulator};
+use ndt_mlab::schema::{empty_unified_table, push_unified_row};
+use ndt_mlab::{Dataset, Scamper1Row, SimConfig, Simulator, UnifiedDownloadRow};
 
 /// The generated corpus, ready for analysis.
 pub struct StudyData {
@@ -50,6 +51,50 @@ impl StudyData {
     /// Total unified rows.
     pub fn unified_len(&self) -> usize {
         self.unified.len()
+    }
+}
+
+/// Incremental [`StudyData`] construction for callers that stream the
+/// corpus in pieces (the columnar store's `report --from-store` path)
+/// instead of handing over one [`Dataset`].
+///
+/// Rows are ingested into the unified table as they arrive, in arrival
+/// order, through the same `push_unified_row` the batch path uses — so a
+/// builder fed the corpus shard-by-shard produces a [`StudyData`] whose
+/// table is cell-for-cell identical to `StudyData::from_dataset` on the
+/// concatenated dataset.
+#[derive(Default)]
+pub struct StudyDataBuilder {
+    raw: Dataset,
+    unified: Option<Table>,
+}
+
+impl StudyDataBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends unified rows (ingesting them into the table immediately).
+    pub fn push_ndt_rows(&mut self, rows: Vec<UnifiedDownloadRow>) {
+        let table = self.unified.get_or_insert_with(empty_unified_table);
+        for r in &rows {
+            push_unified_row(table, r);
+        }
+        self.raw.ndt.extend(rows);
+    }
+
+    /// Appends scamper trace rows.
+    pub fn push_trace_rows(&mut self, rows: Vec<Scamper1Row>) {
+        self.raw.traces.extend(rows);
+    }
+
+    /// Finalizes into a [`StudyData`].
+    pub fn finish(self) -> StudyData {
+        StudyData {
+            raw: self.raw,
+            unified: self.unified.unwrap_or_else(empty_unified_table),
+        }
     }
 }
 

@@ -72,7 +72,7 @@ pub mod table4_oblast;
 pub mod table5_6_as_detail;
 
 pub use coverage::{Coverage, DropReason, LOW_SAMPLE_N};
-pub use dataset::StudyData;
+pub use dataset::{StudyData, StudyDataBuilder};
 pub use error::AnalysisError;
 pub use report::{
     assemble_staged_report, full_report, run_analysis_stage, stage_spec, ReproReport, StageFailure,

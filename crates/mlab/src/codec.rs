@@ -19,164 +19,25 @@ use ndt_topology::{Asn, Ipv4Addr};
 /// Magic prefix of a serialized [`Dataset`] (`NDT corpus, v1`).
 pub const DATASET_MAGIC: [u8; 4] = *b"NDC1";
 
-/// Why a byte buffer failed to decode.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
-    /// The buffer ended before the field named here was complete.
-    Truncated(&'static str),
-    /// The buffer does not start with [`DATASET_MAGIC`].
-    BadMagic,
-    /// The format version is newer than this build understands.
-    UnsupportedVersion(u16),
-    /// A decoded discriminant or length was out of range.
-    InvalidValue { what: &'static str, value: u64 },
-    /// Bytes were left over after the last declared row.
-    TrailingBytes(usize),
-}
+/// Little-endian wire primitives, shared with the runner's checkpoint
+/// container and the columnar store. The implementation lives in
+/// `ndt-store` (the workspace's one binary-encoding module); this
+/// re-export keeps the historical `ndt_mlab::codec::wire` paths working.
+pub use ndt_store::wire;
 
-impl std::fmt::Display for CodecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CodecError::Truncated(what) => write!(f, "truncated input at {what}"),
-            CodecError::BadMagic => write!(f, "not a serialized dataset (bad magic)"),
-            CodecError::UnsupportedVersion(v) => write!(f, "unsupported dataset version {v}"),
-            CodecError::InvalidValue { what, value } => {
-                write!(f, "invalid {what} value {value}")
-            }
-            CodecError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after last row"),
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
-
-/// Little-endian wire primitives shared by the dataset codec and the
-/// runner's checkpoint container.
-pub mod wire {
-    use super::CodecError;
-
-    /// A bounds-checked cursor over an input buffer.
-    pub struct Reader<'a> {
-        buf: &'a [u8],
-        pos: usize,
-    }
-
-    impl<'a> Reader<'a> {
-        /// Wraps a buffer.
-        pub fn new(buf: &'a [u8]) -> Self {
-            Self { buf, pos: 0 }
-        }
-
-        /// Bytes not yet consumed.
-        pub fn remaining(&self) -> usize {
-            self.buf.len() - self.pos
-        }
-
-        /// Takes `n` raw bytes.
-        pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
-            if self.remaining() < n {
-                return Err(CodecError::Truncated(what));
-            }
-            let s = &self.buf[self.pos..self.pos + n];
-            self.pos += n;
-            Ok(s)
-        }
-
-        /// Reads a `u8`.
-        pub fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
-            Ok(self.bytes(1, what)?[0])
-        }
-
-        /// Reads a little-endian `u16`.
-        pub fn u16(&mut self, what: &'static str) -> Result<u16, CodecError> {
-            let b = self.bytes(2, what)?;
-            Ok(u16::from_le_bytes([b[0], b[1]]))
-        }
-
-        /// Reads a little-endian `u32`.
-        pub fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
-            let b = self.bytes(4, what)?;
-            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-        }
-
-        /// Reads a little-endian `u64`.
-        pub fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
-            let b = self.bytes(8, what)?;
-            Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
-        }
-
-        /// Reads a little-endian `i64`.
-        pub fn i64(&mut self, what: &'static str) -> Result<i64, CodecError> {
-            Ok(self.u64(what)? as i64)
-        }
-
-        /// Reads an `f64` as its exact bit pattern.
-        pub fn f64(&mut self, what: &'static str) -> Result<f64, CodecError> {
-            Ok(f64::from_bits(self.u64(what)?))
-        }
-
-        /// Reads a length-prefixed UTF-8 string.
-        pub fn str(&mut self, what: &'static str) -> Result<String, CodecError> {
-            let len = self.u32(what)? as usize;
-            let bytes = self.bytes(len, what)?;
-            String::from_utf8(bytes.to_vec())
-                .map_err(|_| CodecError::InvalidValue { what, value: len as u64 })
-        }
-    }
-
-    /// Appends a little-endian `u16`.
-    pub fn put_u16(out: &mut Vec<u8>, v: u16) {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `u32`.
-    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `u64`.
-    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `i64`.
-    pub fn put_i64(out: &mut Vec<u8>, v: i64) {
-        put_u64(out, v as u64);
-    }
-
-    /// Appends an `f64` as its exact bit pattern.
-    pub fn put_f64(out: &mut Vec<u8>, v: f64) {
-        put_u64(out, v.to_bits());
-    }
-
-    /// Appends a length-prefixed UTF-8 string.
-    pub fn put_str(out: &mut Vec<u8>, s: &str) {
-        put_u32(out, s.len() as u32);
-        out.extend_from_slice(s.as_bytes());
-    }
-
-    /// FNV-1a over a byte buffer — the workspace's checksum for
-    /// checkpoint payloads.
-    pub fn fnv1a64(bytes: &[u8]) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        h
-    }
-}
+/// Why a byte buffer failed to decode (re-exported from `ndt-store`).
+pub use ndt_store::wire::CodecError;
 
 use wire::Reader;
 
 const VERSION: u16 = 1;
 
 /// `Oblast → u8` index in the stable Table 4 order ([`Oblast::all`]).
-fn oblast_index(o: Oblast) -> u8 {
+pub(crate) fn oblast_index(o: Oblast) -> u8 {
     Oblast::all().position(|x| x == o).unwrap_or(0) as u8
 }
 
-fn oblast_from_index(i: u8) -> Result<Oblast, CodecError> {
+pub(crate) fn oblast_from_index(i: u8) -> Result<Oblast, CodecError> {
     Oblast::all()
         .nth(i as usize)
         .ok_or(CodecError::InvalidValue { what: "oblast index", value: i as u64 })

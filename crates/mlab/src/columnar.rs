@@ -1,0 +1,597 @@
+//! Typed row ↔ column mapping between the corpus schemas and the
+//! `ndt-store` shard format.
+//!
+//! `ndt-store` moves anonymous `[ColumnData]` groups; this module gives
+//! those columns their meaning for the two corpus tables:
+//!
+//! * **unified** — one row per published NDT download
+//!   ([`UnifiedDownloadRow`]): `day` delta+varint, addresses and ASN
+//!   dictionary-or-raw `u32`, oblast/city as sentinel-tagged `u32`
+//!   categoricals, metrics as exact `f64` bit patterns;
+//! * **traces** — one row per sidecar traceroute ([`Scamper1Row`]): the
+//!   three path fingerprints as `u64` columns (heavily repeated, so they
+//!   dictionary-encode), and the variable-length AS path flattened into a
+//!   lengths column plus an `aux` values column with an independent
+//!   per-group row count.
+//!
+//! Store-level predicate pushdown is group-granular; the typed readers
+//! here apply the **exact** row filters (day range, oblast) after
+//! decoding, so callers get precisely the rows they asked for while
+//! whole non-matching groups are never read off disk.
+//!
+//! Reads and writes feed the `store.*` counters in `ndt-obs`. Byte and
+//! row counts are pure functions of the corpus, so they fall under the
+//! counter determinism contract; wall-clock timing stays in span land.
+
+use crate::codec::{oblast_from_index, oblast_index};
+use crate::schema::{Scamper1Row, UnifiedDownloadRow};
+use ndt_geo::{CityId, Oblast};
+use ndt_store::wire::CodecError;
+use ndt_store::{
+    Batch, ColType, ColumnData, ColumnSpec, Predicate, Scan, ScanOptions, Schema, Shard,
+    ShardWriter, StoreError, WriteStats, DEFAULT_GROUP_ROWS,
+};
+use ndt_topology::{Asn, Ipv4Addr};
+use std::io::Write;
+
+/// Sentinel in the `oblast` column for rows MaxMind failed to locate.
+pub const OBLAST_NONE: u32 = 0xFF;
+/// Sentinel in the `city` column for rows without a city label (city ids
+/// are `u16`, so the first value outside that range is free).
+pub const CITY_NONE: u32 = 0x1_0000;
+
+/// Schema of the `unified` table's shards.
+pub fn unified_schema() -> Result<Schema, StoreError> {
+    Schema::new(
+        "unified",
+        vec![
+            ColumnSpec::new("day", ColType::I64),
+            ColumnSpec::new("client_ip", ColType::U32),
+            ColumnSpec::new("server_ip", ColType::U32),
+            ColumnSpec::new("client_asn", ColType::U32),
+            ColumnSpec::new("oblast", ColType::U32),
+            ColumnSpec::new("city", ColType::U32),
+            ColumnSpec::new("tput", ColType::F64),
+            ColumnSpec::new("min_rtt", ColType::F64),
+            ColumnSpec::new("loss", ColType::F64),
+        ],
+    )
+}
+
+/// Schema of the `traces` table's shards. `as_path` is an aux column:
+/// its per-group row count is the sum of the group's `as_path_len`
+/// values, not the group row count.
+pub fn traces_schema() -> Result<Schema, StoreError> {
+    Schema::new(
+        "traces",
+        vec![
+            ColumnSpec::new("day", ColType::I64),
+            ColumnSpec::new("client_ip", ColType::U32),
+            ColumnSpec::new("server_ip", ColType::U32),
+            ColumnSpec::new("path_fp", ColType::U64),
+            ColumnSpec::new("router_fp", ColType::U64),
+            ColumnSpec::new("resolved_fp", ColType::U64),
+            ColumnSpec::new("as_path_len", ColType::U32),
+            ColumnSpec::aux("as_path", ColType::U32),
+            ColumnSpec::new("border_tag", ColType::U32),
+            ColumnSpec::new("border_a", ColType::U32),
+            ColumnSpec::new("border_b", ColType::U32),
+            ColumnSpec::new("tput", ColType::F64),
+            ColumnSpec::new("min_rtt", ColType::F64),
+            ColumnSpec::new("loss", ColType::F64),
+        ],
+    )
+}
+
+fn record_write_stats(stats: &WriteStats) {
+    ndt_obs::incr("store.rows_written", stats.rows);
+    ndt_obs::incr("store.groups_written", stats.groups);
+    ndt_obs::incr("store.bytes_file", stats.bytes_file);
+    ndt_obs::incr("store.bytes_encoded", stats.bytes_encoded);
+    ndt_obs::incr("store.bytes_raw", stats.bytes_raw);
+}
+
+fn record_scan_stats(stats: &ndt_store::ScanStats) {
+    ndt_obs::incr("store.groups_scanned", stats.groups_scanned);
+    ndt_obs::incr("store.groups_skipped", stats.groups_skipped);
+    ndt_obs::incr("store.pages_decoded", stats.pages_decoded);
+    ndt_obs::incr("store.rows_read", stats.rows_emitted);
+    ndt_obs::incr("store.bytes_read", stats.bytes_read);
+}
+
+/// Writes unified rows as one shard in [`DEFAULT_GROUP_ROWS`]-row groups.
+pub fn write_unified<W: Write>(out: W, rows: &[UnifiedDownloadRow]) -> Result<(W, WriteStats), StoreError> {
+    let mut w = ShardWriter::new(out, unified_schema()?)?;
+    for chunk in chunks_or_one(rows) {
+        let mut day = Vec::with_capacity(chunk.len());
+        let mut client_ip = Vec::with_capacity(chunk.len());
+        let mut server_ip = Vec::with_capacity(chunk.len());
+        let mut client_asn = Vec::with_capacity(chunk.len());
+        let mut oblast = Vec::with_capacity(chunk.len());
+        let mut city = Vec::with_capacity(chunk.len());
+        let mut tput = Vec::with_capacity(chunk.len());
+        let mut min_rtt = Vec::with_capacity(chunk.len());
+        let mut loss = Vec::with_capacity(chunk.len());
+        for r in chunk {
+            day.push(r.day);
+            client_ip.push(r.client_ip.0);
+            server_ip.push(r.server_ip.0);
+            client_asn.push(r.client_asn.0);
+            oblast.push(r.oblast.map_or(OBLAST_NONE, |o| oblast_index(o) as u32));
+            city.push(r.city.map_or(CITY_NONE, |c| c.0 as u32));
+            tput.push(r.mean_tput_mbps);
+            min_rtt.push(r.min_rtt_ms);
+            loss.push(r.loss_rate);
+        }
+        w.write_group(&[
+            ColumnData::I64(day),
+            ColumnData::U32(client_ip),
+            ColumnData::U32(server_ip),
+            ColumnData::U32(client_asn),
+            ColumnData::U32(oblast),
+            ColumnData::U32(city),
+            ColumnData::F64(tput),
+            ColumnData::F64(min_rtt),
+            ColumnData::F64(loss),
+        ])?;
+    }
+    let (out, stats) = w.finish()?;
+    record_write_stats(&stats);
+    Ok((out, stats))
+}
+
+/// Writes trace rows as one shard in [`DEFAULT_GROUP_ROWS`]-row groups.
+pub fn write_traces<W: Write>(out: W, rows: &[Scamper1Row]) -> Result<(W, WriteStats), StoreError> {
+    let mut w = ShardWriter::new(out, traces_schema()?)?;
+    for chunk in chunks_or_one(rows) {
+        let mut day = Vec::with_capacity(chunk.len());
+        let mut client_ip = Vec::with_capacity(chunk.len());
+        let mut server_ip = Vec::with_capacity(chunk.len());
+        let mut path_fp = Vec::with_capacity(chunk.len());
+        let mut router_fp = Vec::with_capacity(chunk.len());
+        let mut resolved_fp = Vec::with_capacity(chunk.len());
+        let mut as_path_len = Vec::with_capacity(chunk.len());
+        let mut as_path = Vec::new();
+        let mut border_tag = Vec::with_capacity(chunk.len());
+        let mut border_a = Vec::with_capacity(chunk.len());
+        let mut border_b = Vec::with_capacity(chunk.len());
+        let mut tput = Vec::with_capacity(chunk.len());
+        let mut min_rtt = Vec::with_capacity(chunk.len());
+        let mut loss = Vec::with_capacity(chunk.len());
+        for r in chunk {
+            day.push(r.day);
+            client_ip.push(r.client_ip.0);
+            server_ip.push(r.server_ip.0);
+            path_fp.push(r.path_fingerprint);
+            router_fp.push(r.router_fingerprint);
+            resolved_fp.push(r.resolved_fingerprint);
+            as_path_len.push(r.as_path.len() as u32);
+            as_path.extend(r.as_path.iter().map(|a| a.0));
+            match r.border {
+                Some((a, b)) => {
+                    border_tag.push(1);
+                    border_a.push(a.0);
+                    border_b.push(b.0);
+                }
+                None => {
+                    border_tag.push(0);
+                    border_a.push(0);
+                    border_b.push(0);
+                }
+            }
+            tput.push(r.mean_tput_mbps);
+            min_rtt.push(r.min_rtt_ms);
+            loss.push(r.loss_rate);
+        }
+        w.write_group(&[
+            ColumnData::I64(day),
+            ColumnData::U32(client_ip),
+            ColumnData::U32(server_ip),
+            ColumnData::U64(path_fp),
+            ColumnData::U64(router_fp),
+            ColumnData::U64(resolved_fp),
+            ColumnData::U32(as_path_len),
+            ColumnData::U32(as_path),
+            ColumnData::U32(border_tag),
+            ColumnData::U32(border_a),
+            ColumnData::U32(border_b),
+            ColumnData::F64(tput),
+            ColumnData::F64(min_rtt),
+            ColumnData::F64(loss),
+        ])?;
+    }
+    let (out, stats) = w.finish()?;
+    record_write_stats(&stats);
+    Ok((out, stats))
+}
+
+/// Chunks rows into write groups; an empty slice still yields no chunks
+/// (the writer then produces a valid zero-group shard).
+fn chunks_or_one<T>(rows: &[T]) -> impl Iterator<Item = &[T]> {
+    rows.chunks(DEFAULT_GROUP_ROWS)
+}
+
+fn invalid(what: &'static str, value: u64) -> StoreError {
+    StoreError::Corrupt(CodecError::InvalidValue { what, value })
+}
+
+fn col<'a>(batch: &'a Batch, idx: usize, name: &'static str) -> Result<&'a ColumnData, StoreError> {
+    batch
+        .column(idx)
+        .ok_or_else(|| StoreError::Schema(format!("column {name} missing from batch")))
+}
+
+fn col_i64<'a>(batch: &'a Batch, idx: usize, name: &'static str) -> Result<&'a [i64], StoreError> {
+    match col(batch, idx, name)? {
+        ColumnData::I64(v) => Ok(v),
+        _ => Err(StoreError::Schema(format!("column {name} is not I64"))),
+    }
+}
+
+fn col_u32<'a>(batch: &'a Batch, idx: usize, name: &'static str) -> Result<&'a [u32], StoreError> {
+    match col(batch, idx, name)? {
+        ColumnData::U32(v) => Ok(v),
+        _ => Err(StoreError::Schema(format!("column {name} is not U32"))),
+    }
+}
+
+fn col_u64<'a>(batch: &'a Batch, idx: usize, name: &'static str) -> Result<&'a [u64], StoreError> {
+    match col(batch, idx, name)? {
+        ColumnData::U64(v) => Ok(v),
+        _ => Err(StoreError::Schema(format!("column {name} is not U64"))),
+    }
+}
+
+fn col_f64<'a>(batch: &'a Batch, idx: usize, name: &'static str) -> Result<&'a [f64], StoreError> {
+    match col(batch, idx, name)? {
+        ColumnData::F64(v) => Ok(v),
+        _ => Err(StoreError::Schema(format!("column {name} is not F64"))),
+    }
+}
+
+fn decode_oblast(v: u32) -> Result<Option<Oblast>, StoreError> {
+    if v == OBLAST_NONE {
+        return Ok(None);
+    }
+    let idx = u8::try_from(v).map_err(|_| invalid("oblast index", v as u64))?;
+    oblast_from_index(idx).map(Some).map_err(StoreError::Corrupt)
+}
+
+fn decode_city(v: u32, max_city: u32) -> Result<Option<CityId>, StoreError> {
+    if v == CITY_NONE {
+        return Ok(None);
+    }
+    if v > max_city {
+        return Err(invalid("city id", v as u64));
+    }
+    Ok(Some(CityId(v as u16)))
+}
+
+/// Highest valid [`CityId`] value (the catalogue plus Sevastopol).
+fn max_city_id() -> u32 {
+    (ndt_geo::city::all_cities().count() as u32).saturating_sub(1)
+}
+
+/// Decodes one fully-projected batch of the `unified` schema into rows.
+pub fn decode_unified_batch(batch: &Batch) -> Result<Vec<UnifiedDownloadRow>, StoreError> {
+    let day = col_i64(batch, 0, "day")?;
+    let client_ip = col_u32(batch, 1, "client_ip")?;
+    let server_ip = col_u32(batch, 2, "server_ip")?;
+    let client_asn = col_u32(batch, 3, "client_asn")?;
+    let oblast = col_u32(batch, 4, "oblast")?;
+    let city = col_u32(batch, 5, "city")?;
+    let tput = col_f64(batch, 6, "tput")?;
+    let min_rtt = col_f64(batch, 7, "min_rtt")?;
+    let loss = col_f64(batch, 8, "loss")?;
+    let n = batch.rows as usize;
+    for (name, len) in [
+        ("client_ip", client_ip.len()),
+        ("server_ip", server_ip.len()),
+        ("client_asn", client_asn.len()),
+        ("oblast", oblast.len()),
+        ("city", city.len()),
+        ("tput", tput.len()),
+        ("min_rtt", min_rtt.len()),
+        ("loss", loss.len()),
+        ("day", day.len()),
+    ] {
+        if len != n {
+            return Err(StoreError::Schema(format!(
+                "column {name} has {len} rows, batch declares {n}"
+            )));
+        }
+    }
+    let max_city = max_city_id();
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        rows.push(UnifiedDownloadRow {
+            day: day[i],
+            client_ip: Ipv4Addr(client_ip[i]),
+            server_ip: Ipv4Addr(server_ip[i]),
+            client_asn: Asn(client_asn[i]),
+            oblast: decode_oblast(oblast[i])?,
+            city: decode_city(city[i], max_city)?,
+            mean_tput_mbps: tput[i],
+            min_rtt_ms: min_rtt[i],
+            loss_rate: loss[i],
+        });
+    }
+    Ok(rows)
+}
+
+/// Decodes one fully-projected batch of the `traces` schema into rows.
+pub fn decode_traces_batch(batch: &Batch) -> Result<Vec<Scamper1Row>, StoreError> {
+    let day = col_i64(batch, 0, "day")?;
+    let client_ip = col_u32(batch, 1, "client_ip")?;
+    let server_ip = col_u32(batch, 2, "server_ip")?;
+    let path_fp = col_u64(batch, 3, "path_fp")?;
+    let router_fp = col_u64(batch, 4, "router_fp")?;
+    let resolved_fp = col_u64(batch, 5, "resolved_fp")?;
+    let as_path_len = col_u32(batch, 6, "as_path_len")?;
+    let as_path = col_u32(batch, 7, "as_path")?;
+    let border_tag = col_u32(batch, 8, "border_tag")?;
+    let border_a = col_u32(batch, 9, "border_a")?;
+    let border_b = col_u32(batch, 10, "border_b")?;
+    let tput = col_f64(batch, 11, "tput")?;
+    let min_rtt = col_f64(batch, 12, "min_rtt")?;
+    let loss = col_f64(batch, 13, "loss")?;
+    let n = batch.rows as usize;
+    for (name, len) in [
+        ("day", day.len()),
+        ("client_ip", client_ip.len()),
+        ("server_ip", server_ip.len()),
+        ("path_fp", path_fp.len()),
+        ("router_fp", router_fp.len()),
+        ("resolved_fp", resolved_fp.len()),
+        ("as_path_len", as_path_len.len()),
+        ("border_tag", border_tag.len()),
+        ("border_a", border_a.len()),
+        ("border_b", border_b.len()),
+        ("tput", tput.len()),
+        ("min_rtt", min_rtt.len()),
+        ("loss", loss.len()),
+    ] {
+        if len != n {
+            return Err(StoreError::Schema(format!(
+                "column {name} has {len} rows, batch declares {n}"
+            )));
+        }
+    }
+    let hops_declared: u64 = as_path_len.iter().map(|&l| l as u64).sum();
+    if hops_declared != as_path.len() as u64 {
+        return Err(invalid("as_path aux length", as_path.len() as u64));
+    }
+    let mut rows = Vec::with_capacity(n);
+    let mut hop = 0usize;
+    for i in 0..n {
+        let len = as_path_len[i] as usize;
+        let path: Vec<Asn> = as_path[hop..hop + len].iter().map(|&a| Asn(a)).collect();
+        hop += len;
+        let border = match border_tag[i] {
+            0 => None,
+            1 => Some((Asn(border_a[i]), Asn(border_b[i]))),
+            t => return Err(invalid("border tag", t as u64)),
+        };
+        rows.push(Scamper1Row {
+            day: day[i],
+            client_ip: Ipv4Addr(client_ip[i]),
+            server_ip: Ipv4Addr(server_ip[i]),
+            path_fingerprint: path_fp[i],
+            router_fingerprint: router_fp[i],
+            resolved_fingerprint: resolved_fp[i],
+            as_path: path,
+            border,
+            mean_tput_mbps: tput[i],
+            min_rtt_ms: min_rtt[i],
+            loss_rate: loss[i],
+        });
+    }
+    Ok(rows)
+}
+
+/// Row filters for the typed readers: group-level pushdown where the
+/// store can prove a miss, exact row filtering here after decode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowFilter {
+    /// Half-open day range `[lo, hi)`.
+    pub day_range: Option<(i64, i64)>,
+    /// Exact oblast match (rows without an oblast never match).
+    pub oblast: Option<Oblast>,
+}
+
+impl RowFilter {
+    fn predicates(&self) -> Vec<Predicate> {
+        let mut preds = Vec::new();
+        if let Some((lo, hi)) = self.day_range {
+            preds.push(Predicate::I64Range { column: "day".into(), lo, hi });
+        }
+        if let Some(o) = self.oblast {
+            preds.push(Predicate::U32Eq { column: "oblast".into(), value: oblast_index(o) as u32 });
+        }
+        preds
+    }
+
+    fn matches(&self, day: i64, oblast: Option<Oblast>) -> bool {
+        if let Some((lo, hi)) = self.day_range {
+            if day < lo || day >= hi {
+                return false;
+            }
+        }
+        if let Some(want) = self.oblast {
+            if oblast != Some(want) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Streams a `unified` shard, returning exactly the rows matching
+/// `filter` (in shard order).
+pub fn scan_unified(shard: &Shard, filter: RowFilter) -> Result<Vec<UnifiedDownloadRow>, StoreError> {
+    if shard.schema().table != "unified" {
+        return Err(StoreError::Schema(format!(
+            "expected a unified shard, found table {:?}",
+            shard.schema().table
+        )));
+    }
+    let options = ScanOptions { columns: None, predicates: filter.predicates() };
+    let mut scan = Scan::new(shard, options)?;
+    let mut rows = Vec::new();
+    for batch in scan.by_ref() {
+        let batch = batch?;
+        for row in decode_unified_batch(&batch)? {
+            if filter.matches(row.day, row.oblast) {
+                rows.push(row);
+            }
+        }
+    }
+    record_scan_stats(&scan.stats());
+    Ok(rows)
+}
+
+/// Streams a `traces` shard, returning exactly the rows whose day falls
+/// in `filter.day_range` (traces carry no oblast column; an oblast
+/// filter is a schema error).
+pub fn scan_traces(shard: &Shard, filter: RowFilter) -> Result<Vec<Scamper1Row>, StoreError> {
+    if shard.schema().table != "traces" {
+        return Err(StoreError::Schema(format!(
+            "expected a traces shard, found table {:?}",
+            shard.schema().table
+        )));
+    }
+    if filter.oblast.is_some() {
+        return Err(StoreError::Schema("traces have no oblast column".to_string()));
+    }
+    let options = ScanOptions { columns: None, predicates: filter.predicates() };
+    let mut scan = Scan::new(shard, options)?;
+    let mut rows = Vec::new();
+    for batch in scan.by_ref() {
+        let batch = batch?;
+        for row in decode_traces_batch(&batch)? {
+            if filter.matches(row.day, None) {
+                rows.push(row);
+            }
+        }
+    }
+    record_scan_stats(&scan.stats());
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, Simulator};
+
+    fn sample() -> crate::schema::Dataset {
+        static DS: std::sync::OnceLock<crate::schema::Dataset> = std::sync::OnceLock::new();
+        DS.get_or_init(|| {
+            Simulator::new(SimConfig { scale: 0.02, seed: 77, ..SimConfig::default() }).run()
+        })
+        .clone()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ndt-mlab-columnar-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    fn eq_bits_unified(a: &[UnifiedDownloadRow], b: &[UnifiedDownloadRow]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.day == y.day
+                    && x.client_ip == y.client_ip
+                    && x.server_ip == y.server_ip
+                    && x.client_asn == y.client_asn
+                    && x.oblast == y.oblast
+                    && x.city == y.city
+                    && x.mean_tput_mbps.to_bits() == y.mean_tput_mbps.to_bits()
+                    && x.min_rtt_ms.to_bits() == y.min_rtt_ms.to_bits()
+                    && x.loss_rate.to_bits() == y.loss_rate.to_bits()
+            })
+    }
+
+    #[test]
+    fn unified_rows_roundtrip_through_shard() {
+        let mut ds = sample();
+        // Exercise the degraded shapes the fault layer produces.
+        ds.ndt[0].oblast = None;
+        ds.ndt[0].city = None;
+        ds.ndt[1].mean_tput_mbps = f64::NAN;
+        let path = tmp("unified-rt.ndts");
+        let file = std::fs::File::create(&path).expect("create");
+        write_unified(std::io::BufWriter::new(file), &ds.ndt).expect("writes");
+        let shard = Shard::open(&path).expect("opens");
+        let back = scan_unified(&shard, RowFilter::default()).expect("scans");
+        assert!(eq_bits_unified(&ds.ndt, &back), "unified rows did not round-trip");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_rows_roundtrip_through_shard() {
+        let mut ds = sample();
+        ds.traces[0].border = None;
+        ds.traces[1].as_path.clear();
+        let path = tmp("traces-rt.ndts");
+        let file = std::fs::File::create(&path).expect("create");
+        write_traces(std::io::BufWriter::new(file), &ds.traces).expect("writes");
+        let shard = Shard::open(&path).expect("opens");
+        let back = scan_traces(&shard, RowFilter::default()).expect("scans");
+        assert_eq!(ds.traces.len(), back.len());
+        for (x, y) in ds.traces.iter().zip(&back) {
+            assert_eq!(x.as_path, y.as_path);
+            assert_eq!(x.border, y.border);
+            assert_eq!(x.path_fingerprint, y.path_fingerprint);
+            assert_eq!(x.mean_tput_mbps.to_bits(), y.mean_tput_mbps.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn filters_match_in_memory_filtering_and_prune_groups() {
+        let ds = sample();
+        let path = tmp("unified-filter.ndts");
+        let file = std::fs::File::create(&path).expect("create");
+        write_unified(std::io::BufWriter::new(file), &ds.ndt).expect("writes");
+        let shard = Shard::open(&path).expect("opens");
+
+        // The 2022 window starts at day 365; day-range pushdown should
+        // skip the 2021 groups entirely.
+        let filter = RowFilter { day_range: Some((365, 473)), oblast: None };
+        let got = scan_unified(&shard, filter).expect("scans");
+        let want: Vec<_> =
+            ds.ndt.iter().filter(|r| (365..473).contains(&r.day)).cloned().collect();
+        assert!(eq_bits_unified(&want, &got), "day filter diverged from in-memory");
+
+        let filter =
+            RowFilter { day_range: None, oblast: Some(ndt_geo::Oblast::KyivCity) };
+        let got = scan_unified(&shard, filter).expect("scans");
+        let want: Vec<_> = ds
+            .ndt
+            .iter()
+            .filter(|r| r.oblast == Some(ndt_geo::Oblast::KyivCity))
+            .cloned()
+            .collect();
+        assert!(eq_bits_unified(&want, &got), "oblast filter diverged from in-memory");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corpus_shards_compress_below_half_of_raw() {
+        let ds = sample();
+        let (_, us) = write_unified(Vec::new(), &ds.ndt).expect("unified writes");
+        let (_, ts) = write_traces(Vec::new(), &ds.traces).expect("traces writes");
+        let mut total = us;
+        total.merge(&ts);
+        assert!(total.bytes_raw > 0, "sample corpus is empty");
+        let ratio = total.bytes_file as f64 / total.bytes_raw as f64;
+        assert!(
+            ratio <= 0.5,
+            "encoded corpus is {:.1}% of raw-LE, want <= 50% ({} / {} bytes)",
+            ratio * 100.0,
+            total.bytes_file,
+            total.bytes_raw
+        );
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod client;
 pub mod codec;
+pub mod columnar;
 pub mod fault;
 pub mod schema;
 pub mod sim;

@@ -71,36 +71,49 @@ pub struct Dataset {
     pub traces: Vec<Scamper1Row>,
 }
 
+/// An empty `ndt.unified_download`-shaped `ndt-bq` table. Streaming
+/// ingestors (the columnar store's report path) start from this and feed
+/// rows through [`push_unified_row`] so their table is cell-for-cell
+/// identical to [`Dataset::unified_table`].
+pub fn empty_unified_table() -> Table {
+    Table::new(
+        "ndt.unified_download",
+        &[
+            ("day", ColType::Int),
+            ("client_ip", ColType::Int),
+            ("server_ip", ColType::Int),
+            ("client_asn", ColType::Int),
+            ("oblast", ColType::Str),
+            ("city", ColType::Str),
+            ("tput", ColType::Float),
+            ("min_rtt", ColType::Float),
+            ("loss", ColType::Float),
+        ],
+    )
+}
+
+/// Appends one unified row to a table created by [`empty_unified_table`].
+pub fn push_unified_row(t: &mut Table, r: &UnifiedDownloadRow) {
+    t.push(vec![
+        Value::Int(r.day),
+        Value::Int(r.client_ip.0 as i64),
+        Value::Int(r.server_ip.0 as i64),
+        Value::Int(r.client_asn.0 as i64),
+        r.oblast.map(|o| Value::from(o.name())).unwrap_or(Value::Null),
+        r.city.map(|c| Value::from(c.get().name)).unwrap_or(Value::Null),
+        Value::Float(r.mean_tput_mbps),
+        Value::Float(r.min_rtt_ms),
+        Value::Float(r.loss_rate),
+    ]);
+}
+
 impl Dataset {
     /// Ingests the unified rows into an `ndt-bq` table so the §4 analyses
     /// can be written as BigQuery-style queries.
     pub fn unified_table(&self) -> Table {
-        let mut t = Table::new(
-            "ndt.unified_download",
-            &[
-                ("day", ColType::Int),
-                ("client_ip", ColType::Int),
-                ("server_ip", ColType::Int),
-                ("client_asn", ColType::Int),
-                ("oblast", ColType::Str),
-                ("city", ColType::Str),
-                ("tput", ColType::Float),
-                ("min_rtt", ColType::Float),
-                ("loss", ColType::Float),
-            ],
-        );
+        let mut t = empty_unified_table();
         for r in &self.ndt {
-            t.push(vec![
-                Value::Int(r.day),
-                Value::Int(r.client_ip.0 as i64),
-                Value::Int(r.server_ip.0 as i64),
-                Value::Int(r.client_asn.0 as i64),
-                r.oblast.map(|o| Value::from(o.name())).unwrap_or(Value::Null),
-                r.city.map(|c| Value::from(c.get().name)).unwrap_or(Value::Null),
-                Value::Float(r.mean_tput_mbps),
-                Value::Float(r.min_rtt_ms),
-                Value::Float(r.loss_rate),
-            ]);
+            push_unified_row(&mut t, r);
         }
         t
     }

@@ -32,7 +32,7 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
 use ndt_analysis::{stage_spec, StageOutput};
-use ndt_mlab::codec::wire;
+use ndt_store::wire;
 use ndt_obs::ObsDelta;
 use ndt_mlab::schema::Dataset;
 use ndt_mlab::sim::{Scenario, SimConfig};

@@ -38,7 +38,11 @@
 //!   recomputes everything when any config knob moved;
 //! * [`pipeline`] — the orchestration: a resumed run is **bit-for-bit
 //!   identical** to an uninterrupted one (the integration suite kills a
-//!   run mid-flight and diffs the artifacts).
+//!   run mid-flight and diffs the artifacts);
+//! * [`store`] — the columnar corpus store (`generate --format columnar`
+//!   and `report --from-store`): shard files written through [`atomic`],
+//!   validated at open, resumable per shard, and guaranteed to reproduce
+//!   the in-memory report byte for byte.
 //!
 //! Test-only hooks (environment variables, used by the crash-safety
 //! integration suite): `UKRAINE_NDT_PANIC_STAGE=<prefix>` panics inside
@@ -51,6 +55,7 @@ pub mod checkpoint;
 pub mod executor;
 pub mod pipeline;
 pub mod retry;
+pub mod store;
 
 pub use atomic::{write_atomic, AtomicFile};
 pub use checkpoint::{config_fingerprint, Checkpointable, CheckpointStore, CHECKPOINT_DIR};
@@ -60,3 +65,6 @@ pub use pipeline::{
     StageStatus, CORPUS_SHARD_DAYS,
 };
 pub use retry::{retry_io, RetryPolicy};
+pub use store::{
+    load_study_data, run_report_from_store, run_store_generate, StoreSummary, STORE_MANIFEST,
+};

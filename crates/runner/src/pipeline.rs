@@ -137,11 +137,11 @@ fn maybe_exit_after(stage: &str) {
     }
 }
 
-struct Pipeline {
-    store: Option<CheckpointStore>,
-    resume: bool,
-    exec: ExecPolicy,
-    records: Vec<StageRecord>,
+pub(crate) struct Pipeline {
+    pub(crate) store: Option<CheckpointStore>,
+    pub(crate) resume: bool,
+    pub(crate) exec: ExecPolicy,
+    pub(crate) records: Vec<StageRecord>,
 }
 
 impl Pipeline {
@@ -293,7 +293,7 @@ impl Pipeline {
     }
 
     /// Runs every analysis stage of [`ANALYSIS_STAGES`] over `data`.
-    fn analyses(&mut self, data: Arc<StudyData>) -> Vec<StageOutput> {
+    pub(crate) fn analyses(&mut self, data: Arc<StudyData>) -> Vec<StageOutput> {
         let mut outputs = Vec::new();
         for spec in &ANALYSIS_STAGES {
             let name = spec.name;
@@ -308,7 +308,7 @@ impl Pipeline {
         outputs
     }
 
-    fn failures(&self) -> Vec<StageFailure> {
+    pub(crate) fn failures(&self) -> Vec<StageFailure> {
         self.records
             .iter()
             .filter_map(|r| match &r.status {

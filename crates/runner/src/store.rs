@@ -1,0 +1,349 @@
+//! Columnar corpus store: `generate --format columnar` and
+//! `report --from-store`.
+//!
+//! Corpus generation writes each day-range shard as a pair of `ndt-store`
+//! files — `<stem>.unified.ndts` and `<stem>.traces.ndts` — where the
+//! stem carries the day range and the run's config fingerprint:
+//! `shard-036-063-<fp16>`. Simulation stays sequential (one reused
+//! simulator, same bytes as the in-memory pipeline); encoding and I/O
+//! fan out to background writer threads, so shard N+1 simulates while
+//! shard N compresses. Every file goes through [`AtomicFile`], and the
+//! `STORE.txt` manifest is written **last**, so a killed run leaves
+//! either no manifest (partial store, next run resumes shard-by-shard)
+//! or a manifest describing only complete, validated files.
+//!
+//! `report --from-store` never runs the simulator: it streams the
+//! manifest's shards back through [`ndt_mlab::columnar`], rebuilds
+//! [`ndt_analysis::StudyData`] row-for-row in shard order, and runs the exact same
+//! analysis stages as the in-memory path — so its report and artifacts
+//! are byte-identical to `report`'s at every scale/faults/threads
+//! combination (enforced by `tests/store.rs`).
+
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread;
+
+use ndt_analysis::{assemble_staged_report, StudyDataBuilder};
+use ndt_mlab::columnar::{scan_traces, scan_unified, write_traces, write_unified, RowFilter};
+use ndt_mlab::sim::SimConfig;
+use ndt_mlab::Simulator;
+use ndt_store::{Shard, WriteStats};
+
+use crate::atomic::AtomicFile;
+use crate::checkpoint::config_fingerprint;
+use crate::executor::ExecPolicy;
+use crate::pipeline::{
+    Pipeline, PipelineConfig, PipelineOutcome, StageRecord, StageStatus, CORPUS_SHARD_DAYS,
+};
+
+/// Manifest file name inside a store directory.
+pub const STORE_MANIFEST: &str = "STORE.txt";
+/// First line of a valid manifest.
+const MANIFEST_HEADER: &str = "ukraine-ndt store v1";
+/// Writer threads kept in flight while the simulator works ahead.
+const WRITERS_IN_FLIGHT: usize = 4;
+
+/// What `generate --format columnar` produced.
+#[derive(Debug)]
+pub struct StoreSummary {
+    /// Store directory.
+    pub dir: PathBuf,
+    /// Aggregated byte/row accounting over the shards **written this
+    /// run** (resumed shards are validated, not rewritten, and do not
+    /// contribute).
+    pub stats: WriteStats,
+    /// Shard stems in day order, e.g. `shard-000-027-0123456789abcdef`.
+    pub shards: Vec<String>,
+}
+
+fn shard_stem(lo: i64, hi: i64, fingerprint: u64) -> String {
+    format!("shard-{lo:03}-{hi:03}-{fingerprint:016x}")
+}
+
+fn unified_name(stem: &str) -> String {
+    format!("{stem}.unified.ndts")
+}
+
+fn traces_name(stem: &str) -> String {
+    format!("{stem}.traces.ndts")
+}
+
+/// True when both shard files exist, pass structural validation, and
+/// every page payload matches its header checksum — the resume test for
+/// one shard. The payload sweep matters: [`Shard::open`] alone accepts a
+/// file whose page bodies were corrupted in place (structure and footer
+/// intact), which resume must rewrite rather than trust.
+fn shard_is_complete(dir: &Path, stem: &str) -> bool {
+    let ok = |name: String| {
+        Shard::open(dir.join(name)).and_then(|s| s.verify_payloads()).is_ok()
+    };
+    ok(unified_name(stem)) && ok(traces_name(stem))
+}
+
+/// Generates the corpus into `store_dir` as columnar shard files.
+///
+/// With `cfg.resume`, shards whose files already exist under the same
+/// config fingerprint and validate fully — structure and every page
+/// payload checksum — are kept as-is ([`StageStatus::Resumed`]);
+/// anything else is regenerated. The manifest is rewritten at the end
+/// of every successful run.
+pub fn run_store_generate(
+    cfg: &PipelineConfig,
+    store_dir: &Path,
+) -> io::Result<(StoreSummary, Vec<StageRecord>)> {
+    std::fs::create_dir_all(store_dir)?;
+    let fingerprint = config_fingerprint(&cfg.sim);
+    let sim_cfg: SimConfig = cfg.sim;
+    let mut records = Vec::new();
+    let mut stems = Vec::new();
+    let mut total = WriteStats::default();
+    let mut sim: Option<Simulator> = None;
+    let mut in_flight: Vec<thread::JoinHandle<io::Result<WriteStats>>> = Vec::new();
+
+    let drain_one =
+        |in_flight: &mut Vec<thread::JoinHandle<io::Result<WriteStats>>>| -> io::Result<WriteStats> {
+            let handle = in_flight.remove(0);
+            match handle.join() {
+                Ok(result) => result,
+                Err(_) => Err(io::Error::other("shard writer thread panicked")),
+            }
+        };
+
+    for range in sim_cfg.shards(CORPUS_SHARD_DAYS) {
+        let stem = shard_stem(range.start, range.end, fingerprint);
+        let name = format!("store:{}-{}", range.start, range.end);
+        if cfg.resume && shard_is_complete(store_dir, &stem) {
+            ndt_obs::incr_process("store.shards_resumed", 1);
+            ndt_obs::info!("[runner] stage {name}: shard files validated, resumed");
+            records.push(StageRecord { name, status: StageStatus::Resumed });
+            stems.push(stem);
+            continue;
+        }
+        let span = ndt_obs::span(&format!("stage.{name}"));
+        let part = {
+            let sim = sim.get_or_insert_with(|| Simulator::new(sim_cfg));
+            sim.run_range(range.clone())
+        };
+        drop(span);
+        // Hand the dataset to a background writer so the next shard can
+        // simulate while this one encodes; keep a bounded number in
+        // flight and surface the oldest writer's error before queueing
+        // more work.
+        let dir = store_dir.to_path_buf();
+        let wstem = stem.clone();
+        let handle = thread::spawn(move || -> io::Result<WriteStats> {
+            let _span = ndt_obs::span("store.write");
+            let unified = AtomicFile::create(dir.join(unified_name(&wstem)))?;
+            let (unified, ustats) =
+                write_unified(unified, &part.ndt).map_err(|e| e.into_io())?;
+            unified.commit()?;
+            let traces = AtomicFile::create(dir.join(traces_name(&wstem)))?;
+            let (traces, tstats) = write_traces(traces, &part.traces).map_err(|e| e.into_io())?;
+            traces.commit()?;
+            let mut stats = ustats;
+            stats.merge(&tstats);
+            Ok(stats)
+        });
+        in_flight.push(handle);
+        if in_flight.len() >= WRITERS_IN_FLIGHT {
+            total.merge(&drain_one(&mut in_flight)?);
+        }
+        ndt_obs::incr_process("store.shards_written", 1);
+        records.push(StageRecord { name, status: StageStatus::Computed });
+        stems.push(stem);
+    }
+    while !in_flight.is_empty() {
+        total.merge(&drain_one(&mut in_flight)?);
+    }
+
+    // Deterministic ratio gauge: integer percent of raw-LE size. Only
+    // meaningful when this run actually wrote bytes.
+    if let Some(pct) = (total.bytes_file * 100).checked_div(total.bytes_raw) {
+        ndt_obs::set_gauge("store.encoded_pct_of_raw", pct);
+    }
+
+    // Manifest last: readers only ever see a complete store.
+    let mut manifest = String::new();
+    manifest.push_str(MANIFEST_HEADER);
+    manifest.push('\n');
+    manifest.push_str(&format!("fingerprint {fingerprint:016x}\n"));
+    for stem in &stems {
+        manifest.push_str(&format!("shard {stem}\n"));
+    }
+    crate::atomic::write_atomic(store_dir.join(STORE_MANIFEST), manifest.as_bytes())?;
+
+    Ok((StoreSummary { dir: store_dir.to_path_buf(), stats: total, shards: stems }, records))
+}
+
+/// Parses a store manifest into shard stems (day order).
+fn read_manifest(store_dir: &Path) -> io::Result<Vec<String>> {
+    let path = store_dir.join(STORE_MANIFEST);
+    let mut text = String::new();
+    std::fs::File::open(&path)
+        .map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("cannot open store manifest {}: {e}", path.display()),
+            )
+        })?
+        .read_to_string(&mut text)?;
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not a store manifest", path.display()),
+        ));
+    }
+    let mut stems = Vec::new();
+    for line in lines {
+        if line.is_empty() || line.starts_with("fingerprint ") {
+            continue;
+        }
+        match line.strip_prefix("shard ") {
+            Some(stem) if !stem.contains(['/', '\\']) => stems.push(stem.to_string()),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed manifest line: {line:?}"),
+                ));
+            }
+        }
+    }
+    if stems.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} lists no shards", path.display()),
+        ));
+    }
+    Ok(stems)
+}
+
+/// Streams a store directory back into a [`ndt_analysis::StudyData`], in manifest
+/// (day) order. Any structural or payload corruption surfaces as a
+/// typed `InvalidData` error — never a panic, never silently short rows.
+pub fn load_study_data(store_dir: &Path) -> io::Result<ndt_analysis::StudyData> {
+    let stems = read_manifest(store_dir)?;
+    let _span = ndt_obs::span("stage.store-read");
+    let started = std::time::Instant::now();
+    let mut builder = StudyDataBuilder::new();
+    let mut rows_total: u64 = 0;
+    for stem in &stems {
+        let unified = Shard::open(store_dir.join(unified_name(stem))).map_err(|e| e.into_io())?;
+        let ndt_rows = scan_unified(&unified, RowFilter::default()).map_err(|e| e.into_io())?;
+        rows_total += ndt_rows.len() as u64;
+        builder.push_ndt_rows(ndt_rows);
+        let traces = Shard::open(store_dir.join(traces_name(stem))).map_err(|e| e.into_io())?;
+        let trace_rows = scan_traces(&traces, RowFilter::default()).map_err(|e| e.into_io())?;
+        rows_total += trace_rows.len() as u64;
+        builder.push_trace_rows(trace_rows);
+    }
+    // Wall-clock throughput is machine-dependent: process namespace only.
+    let secs = started.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        ndt_obs::incr_process("store.scan_rows_per_sec", (rows_total as f64 / secs) as u64);
+    }
+    Ok(builder.finish())
+}
+
+/// The `report --from-store` command: stream the corpus from a columnar
+/// store and run the same analysis stages as the in-memory pipeline.
+/// Report text and artifacts are byte-identical to [`run_report`]'s for
+/// the config that generated the store.
+///
+/// [`run_report`]: crate::pipeline::run_report
+pub fn run_report_from_store(store_dir: &Path, exec: ExecPolicy) -> io::Result<PipelineOutcome> {
+    let data = load_study_data(store_dir)?;
+    // No checkpoint store: the shard files are the persistent form, and
+    // analyses over them are cheaper to re-run than to verify.
+    let mut p = Pipeline { store: None, resume: false, exec, records: Vec::new() };
+    let outputs = p.analyses(Arc::new(data));
+    let report = assemble_staged_report(&outputs, &p.failures());
+    let artifacts = outputs
+        .iter()
+        .flat_map(|o| o.artifacts.iter().map(|(f, c)| (f.to_string(), c.clone())))
+        .collect();
+    Ok(PipelineOutcome { report, artifacts, records: p.records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_report;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("ndt-runner-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn tiny(seed: u64) -> SimConfig {
+        SimConfig { scale: 0.01, ..SimConfig::small(seed) }
+    }
+
+    #[test]
+    fn store_report_matches_in_memory_report() {
+        let d = tmpdir("eq");
+        let mut cfg = PipelineConfig::new(tiny(41), d.join("out"));
+        cfg.checkpoints = false;
+        let in_memory = run_report(&cfg).expect("in-memory report");
+        assert!(in_memory.is_complete());
+
+        let store_dir = d.join("store");
+        let (summary, records) = run_store_generate(&cfg, &store_dir).expect("store generate");
+        assert!(records.iter().all(|r| r.status == StageStatus::Computed));
+        assert!(summary.stats.rows > 0);
+        let from_store =
+            run_report_from_store(&store_dir, ExecPolicy::default()).expect("store report");
+        assert!(from_store.is_complete());
+        assert_eq!(in_memory.report, from_store.report, "report text must be byte-identical");
+        assert_eq!(in_memory.artifacts, from_store.artifacts, "artifacts must be byte-identical");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn resume_validates_and_keeps_existing_shards() {
+        let d = tmpdir("resume");
+        let mut cfg = PipelineConfig::new(tiny(43), d.join("out"));
+        cfg.checkpoints = false;
+        let store_dir = d.join("store");
+        let (s1, r1) = run_store_generate(&cfg, &store_dir).expect("first generate");
+        assert!(r1.iter().all(|r| r.status == StageStatus::Computed));
+
+        cfg.resume = true;
+        let (s2, r2) = run_store_generate(&cfg, &store_dir).expect("resumed generate");
+        assert!(
+            r2.iter().all(|r| r.status == StageStatus::Resumed),
+            "complete store resumes every shard: {r2:?}"
+        );
+        assert_eq!(s2.stats.rows, 0, "resumed shards are not rewritten");
+        assert_eq!(s1.shards, s2.shards);
+
+        // Damage one shard file: only that shard regenerates.
+        let victim = store_dir.join(unified_name(&s1.shards[1]));
+        let bytes = std::fs::read(&victim).expect("read shard");
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate shard");
+        let (_, r3) = run_store_generate(&cfg, &store_dir).expect("repair generate");
+        let statuses: Vec<_> = r3.iter().map(|r| r.status.clone()).collect();
+        assert_eq!(statuses[1], StageStatus::Computed, "damaged shard regenerates");
+        assert!(
+            statuses.iter().enumerate().all(|(i, s)| i == 1 || *s == StageStatus::Resumed),
+            "undamaged shards resume: {r3:?}"
+        );
+        // And the repaired store still reports identically.
+        let report = run_report_from_store(&store_dir, ExecPolicy::default()).expect("report");
+        assert!(report.is_complete());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn from_store_fails_cleanly_without_manifest() {
+        let d = tmpdir("nomanifest");
+        let err = run_report_from_store(&d, ExecPolicy::default())
+            .expect_err("empty dir has no manifest");
+        assert!(err.to_string().contains("manifest"), "unhelpful error: {err}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,132 @@
+//! Typed failures for shard I/O, page decoding and scans.
+//!
+//! Every structural problem with a shard — bad magic, torn page, checksum
+//! mismatch, out-of-range dictionary code — surfaces as a variant here,
+//! never as a panic. Callers that stream a corpus from disk match on
+//! [`StoreError`] to distinguish "the file is corrupt" (re-generate the
+//! shard) from "the schema is from a different build" (refuse to resume).
+
+use crate::wire::CodecError;
+
+/// Why a page payload failed to decode.
+#[derive(Debug)]
+pub enum PageError {
+    /// The 36-byte page header was malformed (wrong magic or version).
+    BadHeader,
+    /// The payload's FNV-1a checksum does not match the header.
+    Checksum { want: u64, got: u64 },
+    /// The encoding tag is not one this build understands.
+    Encoding(u8),
+    /// The payload itself was truncated or held an invalid varint.
+    Decode(CodecError),
+    /// Bytes were left over after the declared row count was decoded.
+    Trailing(usize),
+    /// A dictionary code pointed past the end of the dictionary.
+    CodeOutOfRange { code: u64, dict_len: usize },
+    /// A decoded value does not fit the column's declared type.
+    ValueOverflow { value: u64 },
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageError::BadHeader => write!(f, "malformed page header"),
+            PageError::Checksum { want, got } => {
+                write!(f, "payload checksum mismatch (header {want:#018x}, payload {got:#018x})")
+            }
+            PageError::Encoding(tag) => write!(f, "unknown encoding tag {tag}"),
+            PageError::Decode(e) => write!(f, "payload decode failed: {e}"),
+            PageError::Trailing(n) => write!(f, "{n} trailing byte(s) after last value"),
+            PageError::CodeOutOfRange { code, dict_len } => {
+                write!(f, "dictionary code {code} out of range for {dict_len}-entry dictionary")
+            }
+            PageError::ValueOverflow { value } => {
+                write!(f, "value {value} overflows the column type")
+            }
+        }
+    }
+}
+
+impl From<CodecError> for PageError {
+    fn from(e: CodecError) -> Self {
+        PageError::Decode(e)
+    }
+}
+
+/// Why a shard could not be opened, scanned or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the shard magic.
+    BadMagic,
+    /// The shard was written by a newer format version.
+    UnsupportedVersion(u16),
+    /// The header / group / footer structure was malformed or truncated.
+    Corrupt(CodecError),
+    /// The shard's schema does not match what the caller expects.
+    Schema(String),
+    /// A specific page failed to validate or decode.
+    Page {
+        /// Column name as recorded in the shard header.
+        column: String,
+        /// Zero-based row-group index.
+        group: usize,
+        /// What went wrong inside the page.
+        error: PageError,
+    },
+    /// The footer's checksum-of-page-checksums does not match the pages.
+    Footer { want: u64, got: u64 },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a shard file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "shard format version {v} is newer than this build")
+            }
+            StoreError::Corrupt(e) => write!(f, "corrupt shard structure: {e}"),
+            StoreError::Schema(msg) => write!(f, "schema mismatch: {msg}"),
+            StoreError::Page { column, group, error } => {
+                write!(f, "page error in column {column:?}, group {group}: {error}")
+            }
+            StoreError::Footer { want, got } => {
+                write!(f, "footer checksum mismatch (footer {want:#018x}, pages {got:#018x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Corrupt(e)
+    }
+}
+
+impl StoreError {
+    /// Converts to an `io::Error` for callers whose error channel is I/O
+    /// (the runner's pipeline stages).
+    pub fn into_io(self) -> std::io::Error {
+        match self {
+            StoreError::Io(e) => e,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Streaming scans: iterate a shard group-by-group without ever holding
+//! more than one row group's decoded columns in memory.
+//!
+//! A [`Scan`] walks the groups validated by [`Shard::open`], skipping any
+//! group whose page statistics prove no row can match the predicates —
+//! day-range pruning via per-page min/max, categorical equality pruning
+//! via a 64-bit presence mask — and decodes only the projected columns of
+//! the groups that survive. Pushdown is **group-granular**: a surviving
+//! batch still contains every row of its group, and exact row filtering
+//! is the caller's job (the typed decode layer in `ndt-mlab::columnar`
+//! does this for the corpus schemas). Skipped groups are never read from
+//! disk, so their payload checksums are not verified; decoded pages
+//! always are.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+
+use crate::error::StoreError;
+use crate::page::{decode_page, ColType, ColumnData};
+use crate::shard::{GroupMeta, Shard};
+
+/// A group-level pruning predicate.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Keep groups that may contain a row with `lo <= column < hi`.
+    /// The column must be a non-aux `I64` column.
+    I64Range {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+    },
+    /// Keep groups that may contain a row with `column == value`.
+    /// The column must be a non-aux `U32` column.
+    U32Eq {
+        /// Column name.
+        column: String,
+        /// Value to match.
+        value: u32,
+    },
+}
+
+impl Predicate {
+    fn column(&self) -> &str {
+        match self {
+            Predicate::I64Range { column, .. } | Predicate::U32Eq { column, .. } => column,
+        }
+    }
+}
+
+/// What a [`Scan`] should read and which groups it may prune.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOptions {
+    /// Columns to decode, by name; `None` decodes every column.
+    /// Projection affects decoding only — predicate columns need not be
+    /// projected.
+    pub columns: Option<Vec<String>>,
+    /// Group-pruning predicates, AND-ed together.
+    pub predicates: Vec<Predicate>,
+}
+
+/// Counters describing what a finished (or in-progress) scan did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Groups whose pages were decoded and emitted.
+    pub groups_scanned: u64,
+    /// Groups pruned by predicates without touching their payload.
+    pub groups_skipped: u64,
+    /// Pages decoded (checksum-verified).
+    pub pages_decoded: u64,
+    /// Non-aux rows emitted across all batches.
+    pub rows_emitted: u64,
+    /// Payload bytes read from disk.
+    pub bytes_read: u64,
+}
+
+/// One row group's decoded columns.
+#[derive(Debug)]
+pub struct Batch {
+    /// Zero-based index of the source group in the shard.
+    pub group: usize,
+    /// Non-aux row count of the group.
+    pub rows: u32,
+    /// One slot per schema column, in schema order; `None` for columns
+    /// outside the projection.
+    pub columns: Vec<Option<ColumnData>>,
+}
+
+impl Batch {
+    /// The decoded data of a column by schema index, if projected.
+    pub fn column(&self, idx: usize) -> Option<&ColumnData> {
+        self.columns.get(idx).and_then(|c| c.as_ref())
+    }
+}
+
+/// Compiled predicate: schema column index plus the test.
+enum CompiledPred {
+    I64Range { col: usize, lo: i64, hi: i64 },
+    U32Eq { col: usize, value: u32 },
+}
+
+impl CompiledPred {
+    /// True when the group's page statistics prove no row can match.
+    fn prunes(&self, group: &GroupMeta) -> bool {
+        match *self {
+            CompiledPred::I64Range { col, lo, hi } => {
+                let h = &group.pages[col].header;
+                let min = h.stat_a as i64;
+                let max = h.stat_b as i64;
+                max < lo || min >= hi
+            }
+            CompiledPred::U32Eq { col, value } => {
+                let h = &group.pages[col].header;
+                let mask = h.stat_a;
+                let max = h.stat_b;
+                mask & (1u64 << (value as u64 & 63)) == 0 || value as u64 > max
+            }
+        }
+    }
+}
+
+/// Iterator of [`Batch`]es over one shard. Create with [`Scan::new`];
+/// each call to `next` yields the next surviving group.
+pub struct Scan<'a> {
+    shard: &'a Shard,
+    reader: BufReader<File>,
+    pos: u64,
+    next_group: usize,
+    /// Schema indices to decode; always sorted ascending.
+    projection: Vec<usize>,
+    predicates: Vec<CompiledPred>,
+    stats: ScanStats,
+    payload_buf: Vec<u8>,
+}
+
+impl<'a> Scan<'a> {
+    /// Opens a scan over `shard`, validating projection and predicate
+    /// columns against the schema.
+    pub fn new(shard: &'a Shard, options: ScanOptions) -> Result<Self, StoreError> {
+        let schema = shard.schema();
+        let projection: Vec<usize> = match &options.columns {
+            None => (0..schema.columns.len()).collect(),
+            Some(names) => {
+                let mut idx = Vec::with_capacity(names.len());
+                for name in names {
+                    let i = schema.col_index(name).ok_or_else(|| {
+                        StoreError::Schema(format!("projected column {name:?} not in schema"))
+                    })?;
+                    idx.push(i);
+                }
+                idx.sort_unstable();
+                idx.dedup();
+                idx
+            }
+        };
+        let mut predicates = Vec::with_capacity(options.predicates.len());
+        for pred in &options.predicates {
+            let name = pred.column();
+            let col = schema.col_index(name).ok_or_else(|| {
+                StoreError::Schema(format!("predicate column {name:?} not in schema"))
+            })?;
+            let spec = &schema.columns[col];
+            if spec.aux {
+                return Err(StoreError::Schema(format!(
+                    "predicate column {name:?} is an aux column"
+                )));
+            }
+            match pred {
+                Predicate::I64Range { lo, hi, .. } => {
+                    if spec.ty != ColType::I64 {
+                        return Err(StoreError::Schema(format!(
+                            "range predicate on {name:?} needs I64, column is {:?}",
+                            spec.ty
+                        )));
+                    }
+                    predicates.push(CompiledPred::I64Range { col, lo: *lo, hi: *hi });
+                }
+                Predicate::U32Eq { value, .. } => {
+                    if spec.ty != ColType::U32 {
+                        return Err(StoreError::Schema(format!(
+                            "equality predicate on {name:?} needs U32, column is {:?}",
+                            spec.ty
+                        )));
+                    }
+                    predicates.push(CompiledPred::U32Eq { col, value: *value });
+                }
+            }
+        }
+        let reader = BufReader::new(File::open(shard.path())?);
+        Ok(Self {
+            shard,
+            reader,
+            pos: 0,
+            next_group: 0,
+            projection,
+            predicates,
+            stats: ScanStats::default(),
+            payload_buf: Vec::new(),
+        })
+    }
+
+    /// What the scan has done so far.
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+
+    fn read_payload(&mut self, offset: u64, len: usize) -> Result<(), StoreError> {
+        // Sequential scans mostly move forward through the file; a
+        // relative seek keeps the BufReader's buffer when the target is
+        // already inside it.
+        let delta = offset as i64 - self.pos as i64;
+        if delta != 0 {
+            if let Err(e) = self.reader.seek_relative(delta) {
+                // Backwards seeks past the buffer fall back to absolute.
+                let _ = e;
+                self.reader.seek(SeekFrom::Start(offset))?;
+            }
+        }
+        self.payload_buf.resize(len, 0);
+        self.reader.read_exact(&mut self.payload_buf)?;
+        self.pos = offset + len as u64;
+        Ok(())
+    }
+
+    fn decode_group(&mut self, group_idx: usize) -> Result<Batch, StoreError> {
+        let group = &self.shard.groups()[group_idx];
+        let rows = group.rows;
+        let ncols = self.shard.schema().columns.len();
+        let mut columns: Vec<Option<ColumnData>> = Vec::with_capacity(ncols);
+        columns.resize_with(ncols, || None);
+        for pi in 0..self.projection.len() {
+            let col = self.projection[pi];
+            let meta = self.shard.groups()[group_idx].pages[col];
+            let ty = self.shard.schema().columns[col].ty;
+            self.read_payload(meta.payload_offset, meta.header.len as usize)?;
+            self.stats.bytes_read += meta.header.len as u64;
+            let data = decode_page(&meta.header, &self.payload_buf, ty).map_err(|error| {
+                StoreError::Page {
+                    column: self.shard.schema().columns[col].name.clone(),
+                    group: group_idx,
+                    error,
+                }
+            })?;
+            self.stats.pages_decoded += 1;
+            columns[col] = Some(data);
+        }
+        self.stats.groups_scanned += 1;
+        self.stats.rows_emitted += rows as u64;
+        Ok(Batch { group: group_idx, rows, columns })
+    }
+}
+
+impl Iterator for Scan<'_> {
+    type Item = Result<Batch, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.next_group < self.shard.groups().len() {
+            let idx = self.next_group;
+            self.next_group += 1;
+            let group = &self.shard.groups()[idx];
+            if self.predicates.iter().any(|p| p.prunes(group)) {
+                self.stats.groups_skipped += 1;
+                continue;
+            }
+            return Some(self.decode_group(idx));
+        }
+        None
+    }
+}

@@ -2,12 +2,20 @@
 //!
 //! ```text
 //! ukraine-ndt report   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--resume]
+//! ukraine-ndt report   --from-store DIR     # stream a columnar store instead of simulating
 //! ukraine-ndt export   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR] [--resume]
 //! ukraine-ndt resume   [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR]
 //! ukraine-ndt generate [--scale S] [--seed N] [--scenario NAME] [--faults PLAN] [--out DIR] [--resume]
+//!                      [--format csv|columnar]
 //! ukraine-ndt map      [--date YYYY-MM-DD]
 //! ukraine-ndt topo     [--out DIR]          # Graphviz dot of the AS graph
 //! ```
+//!
+//! `generate --format columnar` writes the corpus as `ndt-store` shard
+//! files (checksummed, encoded pages; see `DESIGN.md` §13) instead of CSV;
+//! `report --from-store DIR` streams such a store back through the
+//! analysis pipeline and produces a report byte-identical to the in-memory
+//! path for the configuration that generated the store.
 //!
 //! All commands additionally accept `--threads N` (simulator worker
 //! threads, 0 = all cores), `--metrics PATH` (write an `ndt-obs` JSON
@@ -40,11 +48,21 @@ use ukraine_ndt::conflict::calendar::dates;
 use ukraine_ndt::mlab::Scenario;
 use ukraine_ndt::prelude::*;
 use ukraine_ndt::runner::{
-    run_export, run_generate, run_report, AtomicFile, StageRecord, StageStatus,
+    run_export, run_generate, run_report, run_report_from_store, run_store_generate, AtomicFile,
+    ExecPolicy, StageRecord, StageStatus,
 };
 
 /// Exit code when the run completed but one or more stages failed.
 const EXIT_PARTIAL: u8 = 3;
+
+/// On-disk layout `generate` produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CorpusFormat {
+    /// Two flat CSV files (the original layout).
+    Csv,
+    /// Checksummed `ndt-store` shard files plus a `STORE.txt` manifest.
+    Columnar,
+}
 
 struct Options {
     scale: f64,
@@ -54,6 +72,10 @@ struct Options {
     out: PathBuf,
     date: Date,
     resume: bool,
+    /// `generate` output layout.
+    format: CorpusFormat,
+    /// `report` from an existing columnar store instead of simulating.
+    from_store: Option<PathBuf>,
     /// Simulator worker threads (0 = all available cores).
     threads: usize,
     /// Write the ndt-obs metrics artifact here after the run.
@@ -72,6 +94,8 @@ impl Default for Options {
             out: PathBuf::from("out"),
             date: dates::MAX_OCCUPATION,
             resume: false,
+            format: CorpusFormat::Csv,
+            from_store: None,
             threads: 0,
             metrics: None,
             verbosity: ukraine_ndt::obs::Level::Info,
@@ -85,6 +109,7 @@ fn usage() -> ExitCode {
          [--scale S] [--seed N] [--scenario historical|no-war|edge-only|core-only] \
          [--faults none|light|moderate|severe|sidecar-blackout] \
          [--out DIR] [--date YYYY-MM-DD] [--resume] \
+         [--format csv|columnar] [--from-store DIR] \
          [--threads N] [--metrics PATH] [--quiet] [--verbose]"
     );
     ExitCode::FAILURE
@@ -136,6 +161,14 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
             "--metrics" => opts.metrics = Some(PathBuf::from(value)),
             "--faults" => opts.faults = FaultPlan::by_name(value)?,
             "--out" => opts.out = PathBuf::from(value),
+            "--from-store" => opts.from_store = Some(PathBuf::from(value)),
+            "--format" => {
+                opts.format = match value.as_str() {
+                    "csv" => CorpusFormat::Csv,
+                    "columnar" => CorpusFormat::Columnar,
+                    _ => return None,
+                }
+            }
             "--date" => opts.date = parse_date(value)?,
             "--scenario" => {
                 opts.scenario = match value.as_str() {
@@ -205,6 +238,15 @@ fn run_status(records: &[StageRecord]) -> ExitCode {
 }
 
 fn cmd_report(opts: &Options) -> Result<ExitCode, NdtError> {
+    // --from-store: no simulation at all — stream the columnar store.
+    // The simulation knobs are baked into the store's shard files, so
+    // --scale/--seed/--faults are ignored in this mode.
+    if let Some(store_dir) = &opts.from_store {
+        eprintln!("streaming corpus from store {} ...", store_dir.display());
+        let outcome = run_report_from_store(store_dir, ExecPolicy::default())?;
+        println!("{}", outcome.report);
+        return Ok(run_status(&outcome.records));
+    }
     announce(opts);
     // A plain report never touches disk; with --resume it reads (and
     // refreshes) the checkpoints a previous export/generate left behind.
@@ -228,7 +270,35 @@ fn cmd_export(opts: &Options) -> Result<ExitCode, NdtError> {
     Ok(run_status(&outcome.records))
 }
 
+/// `generate --format columnar`: the shard files are the persistent form
+/// (and their own resume checkpoints), so the checkpoint store is off.
+fn cmd_generate_columnar(opts: &Options) -> Result<ExitCode, NdtError> {
+    announce(opts);
+    let cfg = pipeline_config(opts, false);
+    let (summary, records) = run_store_generate(&cfg, &opts.out)?;
+    if summary.stats.bytes_raw > 0 {
+        eprintln!(
+            "wrote {} shards ({} rows, {} bytes on disk, {:.1}% of raw) to {}",
+            summary.shards.len(),
+            summary.stats.rows,
+            summary.stats.bytes_file,
+            summary.stats.bytes_file as f64 * 100.0 / summary.stats.bytes_raw as f64,
+            summary.dir.display()
+        );
+    } else {
+        eprintln!(
+            "store {} up to date ({} shards resumed)",
+            summary.dir.display(),
+            summary.shards.len()
+        );
+    }
+    Ok(run_status(&records))
+}
+
 fn cmd_generate(opts: &Options) -> Result<ExitCode, NdtError> {
+    if opts.format == CorpusFormat::Columnar {
+        return cmd_generate_columnar(opts);
+    }
     announce(opts);
     fs::create_dir_all(&opts.out)?;
     let cfg = pipeline_config(opts, true);
@@ -326,6 +396,18 @@ mod tests {
         assert_eq!(o.threads, 0);
         assert_eq!(o.metrics, None);
         assert_eq!(o.verbosity, ukraine_ndt::obs::Level::Info);
+        assert_eq!(o.format, CorpusFormat::Csv);
+        assert_eq!(o.from_store, None);
+    }
+
+    #[test]
+    fn parses_store_flags() {
+        let (_, o) = parse(&args(&["generate", "--format", "columnar"])).expect("parses");
+        assert_eq!(o.format, CorpusFormat::Columnar);
+        let (_, o) = parse(&args(&["generate", "--format", "csv"])).expect("parses");
+        assert_eq!(o.format, CorpusFormat::Csv);
+        let (_, o) = parse(&args(&["report", "--from-store", "/tmp/store"])).expect("parses");
+        assert_eq!(o.from_store.as_deref(), Some(std::path::Path::new("/tmp/store")));
     }
 
     #[test]
@@ -379,6 +461,8 @@ mod tests {
         assert!(parse(&args(&["report", "--bogus", "x"])).is_none());
         assert!(parse(&args(&["report", "--threads", "many"])).is_none());
         assert!(parse(&args(&["report", "--metrics"])).is_none(), "missing value");
+        assert!(parse(&args(&["generate", "--format", "parquet"])).is_none(), "unknown format");
+        assert!(parse(&args(&["report", "--from-store"])).is_none(), "missing value");
     }
 
     #[test]

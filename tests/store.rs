@@ -1,0 +1,197 @@
+//! Columnar-store acceptance suite: the load-bearing invariant is that
+//! `report --from-store` is **byte-identical** to the in-memory pipeline
+//! at every `--scale`/`--threads`/`--faults` combination, and that the
+//! store detects its own corruption with typed errors instead of
+//! producing a silently different report.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use ukraine_ndt::mlab::FaultPlan;
+use ukraine_ndt::prelude::*;
+use ukraine_ndt::runner::{
+    run_report, run_report_from_store, run_store_generate, ExecPolicy, StageStatus, STORE_MANIFEST,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ndt-store-accept-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+fn sim(scale: f64, threads: usize, faults: FaultPlan) -> SimConfig {
+    SimConfig { scale, seed: 20220224, threads, faults, ..SimConfig::default() }
+}
+
+/// In-memory pipeline config that never touches disk.
+fn mem_cfg(sim: SimConfig, out: &std::path::Path) -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(sim, out);
+    cfg.checkpoints = false;
+    cfg
+}
+
+/// The acceptance grid: report-from-store must be byte-identical to the
+/// in-memory report across scales × threads × fault plans. Scales are
+/// the issue's {1, 4} in test units (0.01, 0.04) so the grid stays
+/// minutes, not hours; nothing in the store layer branches on scale.
+#[test]
+fn report_from_store_is_byte_identical_across_the_grid() {
+    let d = tmpdir("grid");
+    for (si, &scale) in [0.01, 0.04].iter().enumerate() {
+        for (ti, &threads) in [1usize, 4].iter().enumerate() {
+            for (fi, faults) in [FaultPlan::NONE, FaultPlan::MODERATE].into_iter().enumerate() {
+                let tag = format!("s{si}t{ti}f{fi}");
+                let cfg = mem_cfg(sim(scale, threads, faults), &d.join(format!("out-{tag}")));
+                let in_memory = run_report(&cfg).expect("in-memory report");
+                assert!(in_memory.is_complete(), "{tag}: {:?}", in_memory.failed());
+
+                let store_dir = d.join(format!("store-{tag}"));
+                let (summary, _) = run_store_generate(&cfg, &store_dir).expect("store generate");
+                // The <=50% acceptance bound applies to the default
+                // (fault-free) corpus; fault plans thin the rows, which
+                // raises the per-group overhead share a few points.
+                let limit_pct = if fi == 0 { 50 } else { 60 };
+                assert!(
+                    summary.stats.bytes_file * 100 <= summary.stats.bytes_raw * limit_pct,
+                    "{tag}: encoded {} bytes must be <= {limit_pct}% of raw {}",
+                    summary.stats.bytes_file,
+                    summary.stats.bytes_raw
+                );
+                let from_store =
+                    run_report_from_store(&store_dir, ExecPolicy::default()).expect("store report");
+                assert!(from_store.is_complete(), "{tag}: {:?}", from_store.failed());
+                assert_eq!(in_memory.report, from_store.report, "{tag}: report text differs");
+                assert_eq!(in_memory.artifacts, from_store.artifacts, "{tag}: artifacts differ");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// A complete store resumes every shard without rewriting a byte, and
+/// still reproduces the identical report.
+#[test]
+fn resumed_store_rewrites_nothing_and_reports_identically() {
+    let d = tmpdir("resume");
+    let mut cfg = mem_cfg(sim(0.01, 0, FaultPlan::NONE), &d.join("out"));
+    let store_dir = d.join("store");
+    let (_, first) = run_store_generate(&cfg, &store_dir).expect("first generate");
+    assert!(first.iter().all(|r| r.status == StageStatus::Computed));
+    let baseline = run_report_from_store(&store_dir, ExecPolicy::default()).expect("report");
+
+    cfg.resume = true;
+    let (summary, second) = run_store_generate(&cfg, &store_dir).expect("resumed generate");
+    assert!(
+        second.iter().all(|r| r.status == StageStatus::Resumed),
+        "complete store resumes all shards: {second:?}"
+    );
+    assert_eq!(summary.stats.rows, 0, "nothing rewritten");
+    let again = run_report_from_store(&store_dir, ExecPolicy::default()).expect("report");
+    assert_eq!(baseline.report, again.report);
+    assert_eq!(baseline.artifacts, again.artifacts);
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// A flipped byte inside a shard surfaces as a typed I/O error from the
+/// report path — never a panic, never a silently different report.
+#[test]
+fn corrupted_shard_yields_a_typed_error_not_a_panic() {
+    let d = tmpdir("corrupt");
+    let cfg = mem_cfg(sim(0.01, 0, FaultPlan::NONE), &d.join("out"));
+    let store_dir = d.join("store");
+    run_store_generate(&cfg, &store_dir).expect("generate");
+    let shard = std::fs::read_dir(&store_dir)
+        .expect("readdir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "ndts"))
+        .expect("a shard file");
+    let mut bytes = std::fs::read(&shard).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&shard, &bytes).expect("write corrupted shard");
+    let err = run_report_from_store(&store_dir, ExecPolicy::default())
+        .expect_err("corruption must not pass");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "typed error, got: {err}");
+
+    // A resume over the damaged store must notice the payload flip
+    // (structure and footer still validate) and rewrite that shard,
+    // after which the report streams cleanly again.
+    let mut resume_cfg = cfg;
+    resume_cfg.resume = true;
+    let (_, records) = run_store_generate(&resume_cfg, &store_dir).expect("resume generate");
+    assert!(
+        records.iter().any(|r| r.status == StageStatus::Computed),
+        "corrupted shard must be regenerated, not resumed: {records:?}"
+    );
+    run_report_from_store(&store_dir, ExecPolicy::default())
+        .expect("repaired store must report cleanly");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// Deleting the manifest makes the store unreadable with a clear error.
+#[test]
+fn missing_manifest_is_a_clear_error() {
+    let d = tmpdir("manifest");
+    let cfg = mem_cfg(sim(0.01, 0, FaultPlan::NONE), &d.join("out"));
+    let store_dir = d.join("store");
+    run_store_generate(&cfg, &store_dir).expect("generate");
+    std::fs::remove_file(store_dir.join(STORE_MANIFEST)).expect("remove manifest");
+    let err = run_report_from_store(&store_dir, ExecPolicy::default()).expect_err("no manifest");
+    assert!(err.to_string().contains("manifest"), "unhelpful error: {err}");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+// ---- CLI-level equivalence (subprocess) --------------------------------
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ukraine-ndt"))
+}
+
+fn run_cli(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+/// End-to-end through the binary: `generate --format columnar` then
+/// `report --from-store` prints exactly the same report as `report`.
+#[test]
+fn cli_from_store_report_matches_cli_report() {
+    let d = tmpdir("cli");
+    let store_dir = d.join("store");
+    let metrics = d.join("metrics.json");
+    let common = ["--scale", "0.01", "--seed", "7"];
+
+    let direct = run_cli(&[&["report"], &common[..]].concat());
+    assert_eq!(direct.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&direct.stderr));
+
+    let gen = run_cli(
+        &[
+            &["generate", "--format", "columnar", "--out", &store_dir.display().to_string()],
+            &common[..],
+            &["--metrics", &metrics.display().to_string()],
+        ]
+        .concat(),
+    );
+    assert_eq!(gen.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&gen.stderr));
+
+    let from_store = run_cli(&["report", "--from-store", &store_dir.display().to_string()]);
+    assert_eq!(
+        from_store.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&from_store.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&direct.stdout),
+        String::from_utf8_lossy(&from_store.stdout),
+        "CLI report must be byte-identical"
+    );
+
+    // The metrics artifact carries the encoded-vs-raw accounting.
+    let metrics_json = std::fs::read_to_string(&metrics).expect("metrics artifact");
+    for key in ["store.bytes_file", "store.bytes_raw", "store.encoded_pct_of_raw"] {
+        assert!(metrics_json.contains(key), "metrics artifact missing {key}");
+    }
+    let _ = std::fs::remove_dir_all(&d);
+}
