@@ -53,6 +53,11 @@ pub struct Coverage {
     pub dropped: Vec<(DropReason, usize)>,
     /// Names of cells resting on fewer than [`LOW_SAMPLE_N`] samples.
     pub low_sample_cells: Vec<String>,
+    /// Whole day ranges absent from the input, as inclusive
+    /// `(first_day, last_day)` study-day indices — e.g. a quarantined
+    /// store shard removes all of its days at once. Kept sorted and
+    /// coalesced; see [`Coverage::note_missing_days`].
+    pub missing_day_ranges: Vec<(i64, i64)>,
 }
 
 impl Coverage {
@@ -103,14 +108,45 @@ impl Coverage {
         }
     }
 
+    /// Records the inclusive day range `lo..=hi` as absent from the
+    /// input. Ranges are normalized: kept sorted by start and coalesced
+    /// with overlapping or adjacent ranges, so repeated / out-of-order
+    /// reporting (shards arrive in directory order, not day order)
+    /// converges to one canonical list. Empty ranges (`hi < lo`) are
+    /// ignored.
+    pub fn note_missing_days(&mut self, lo: i64, hi: i64) {
+        if hi < lo {
+            return;
+        }
+        self.missing_day_ranges.push((lo, hi));
+        self.missing_day_ranges.sort_unstable();
+        let mut merged: Vec<(i64, i64)> = Vec::with_capacity(self.missing_day_ranges.len());
+        for &(lo, hi) in &self.missing_day_ranges {
+            match merged.last_mut() {
+                Some((_, prev_hi)) if lo <= prev_hi.saturating_add(1) => {
+                    *prev_hi = (*prev_hi).max(hi);
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.missing_day_ranges = merged;
+    }
+
+    /// Total days covered by [`Coverage::missing_day_ranges`].
+    pub fn missing_days_total(&self) -> i64 {
+        self.missing_day_ranges.iter().map(|&(lo, hi)| hi - lo + 1).sum()
+    }
+
     /// Total rows dropped across all reasons.
     pub fn dropped_total(&self) -> usize {
         self.dropped.iter().map(|(_, n)| n).sum()
     }
 
-    /// Whether anything was dropped or flagged.
+    /// Whether anything was dropped, flagged, or missing.
     pub fn is_degraded(&self) -> bool {
-        self.dropped_total() > 0 || !self.low_sample_cells.is_empty()
+        self.dropped_total() > 0
+            || !self.low_sample_cells.is_empty()
+            || !self.missing_day_ranges.is_empty()
     }
 
     /// Folds another coverage into this one (cell names are unioned).
@@ -123,6 +159,9 @@ impl Coverage {
             if !self.low_sample_cells.contains(cell) {
                 self.low_sample_cells.push(cell.clone());
             }
+        }
+        for &(lo, hi) in &other.missing_day_ranges {
+            self.note_missing_days(lo, hi);
         }
     }
 
@@ -150,6 +189,24 @@ impl Coverage {
                 "{DAGGER} {} low-sample cell(s): {}",
                 self.low_sample_cells.len(),
                 self.low_sample_cells.join(", ")
+            ));
+        }
+        if !self.missing_day_ranges.is_empty() {
+            let ranges: Vec<String> = self
+                .missing_day_ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    if lo == hi {
+                        format!("day {lo}")
+                    } else {
+                        format!("days {lo}..{hi}")
+                    }
+                })
+                .collect();
+            parts.push(format!(
+                "{} day(s) missing from input ({})",
+                self.missing_days_total(),
+                ranges.join(", ")
             ));
         }
         format!("[coverage] {}\n", parts.join("; "))
@@ -256,6 +313,29 @@ mod tests {
         assert_eq!(a.rows_seen, 12);
         assert_eq!(a.dropped_total(), 3);
         assert_eq!(a.low_sample_cells, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn missing_day_ranges_normalize_and_render() {
+        let mut c = Coverage::new();
+        c.note_missing_days(40, 45);
+        c.note_missing_days(10, 12);
+        c.note_missing_days(13, 15); // adjacent: coalesces with 10..12
+        c.note_missing_days(44, 50); // overlapping: extends 40..45
+        c.note_missing_days(99, 98); // empty: ignored
+        c.note_missing_days(7, 7);
+        assert_eq!(c.missing_day_ranges, vec![(7, 7), (10, 15), (40, 50)]);
+        assert_eq!(c.missing_days_total(), 1 + 6 + 11);
+        assert!(c.is_degraded());
+        let f = c.footer();
+        assert!(f.contains("18 day(s) missing"), "{f}");
+        assert!(f.contains("day 7"), "{f}");
+        assert!(f.contains("days 10..15"), "{f}");
+        // Merging folds ranges through the same normalizer.
+        let mut base = Coverage::new();
+        base.note_missing_days(16, 20);
+        base.merge(&c);
+        assert_eq!(base.missing_day_ranges, vec![(7, 7), (10, 20), (40, 50)]);
     }
 
     #[test]

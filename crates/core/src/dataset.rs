@@ -11,6 +11,40 @@ pub struct StudyData {
     pub raw: Dataset,
     /// `ndt.unified_download` as a queryable table (§4 analyses).
     pub unified: Table,
+    /// Inclusive day ranges with no unified rows *inside an otherwise
+    /// populated study window* — whole days lost to e.g. a quarantined
+    /// store shard. A clean simulation populates every day of every
+    /// [`Period`] window, so this is empty for intact corpora; windows
+    /// with no rows at all are treated as not-simulated, not missing, so
+    /// a degraded corpus and a fresh run on the same surviving data
+    /// compute identical gaps.
+    pub day_gaps: Vec<(i64, i64)>,
+}
+
+/// Day ranges of each [`Period`] window that hold no unified rows, for
+/// windows that hold at least one. See [`StudyData::day_gaps`].
+fn compute_day_gaps(unified: &Table) -> Vec<(i64, i64)> {
+    let days: std::collections::BTreeSet<i64> = unified.query().ints("day").into_iter().collect();
+    let mut gaps = Vec::new();
+    for p in Period::ALL {
+        let (s, e) = p.day_range();
+        if !(s..e).any(|d| days.contains(&d)) {
+            continue;
+        }
+        let mut d = s;
+        while d < e {
+            if days.contains(&d) {
+                d += 1;
+                continue;
+            }
+            let lo = d;
+            while d < e && !days.contains(&d) {
+                d += 1;
+            }
+            gaps.push((lo, d - 1));
+        }
+    }
+    gaps
 }
 
 impl StudyData {
@@ -23,7 +57,8 @@ impl StudyData {
     /// Wraps an already-generated dataset.
     pub fn from_dataset(raw: Dataset) -> Self {
         let unified = raw.unified_table();
-        Self { raw, unified }
+        let day_gaps = compute_day_gaps(&unified);
+        Self { raw, unified, day_gaps }
     }
 
     /// Unified rows within a period.
@@ -89,12 +124,14 @@ impl StudyDataBuilder {
         self.raw.traces.extend(rows);
     }
 
-    /// Finalizes into a [`StudyData`].
+    /// Finalizes into a [`StudyData`]. Day gaps are computed from the
+    /// ingested table by the same rule as [`StudyData::from_dataset`], so
+    /// a builder fed only surviving shards reports exactly the gaps a
+    /// batch run over the same rows would.
     pub fn finish(self) -> StudyData {
-        StudyData {
-            raw: self.raw,
-            unified: self.unified.unwrap_or_else(empty_unified_table),
-        }
+        let unified = self.unified.unwrap_or_else(empty_unified_table);
+        let day_gaps = compute_day_gaps(&unified);
+        StudyData { raw: self.raw, unified, day_gaps }
     }
 }
 
@@ -116,6 +153,31 @@ mod tests {
         let kyiv = data.city_period("Kyiv", Period::Prewar2022).count();
         let all = data.period(Period::Prewar2022).count();
         assert!(kyiv > 0 && kyiv < all);
+    }
+
+    #[test]
+    fn clean_corpus_has_no_day_gaps() {
+        assert_eq!(shared_small().day_gaps, Vec::<(i64, i64)>::new());
+    }
+
+    #[test]
+    fn dropped_days_inside_populated_windows_become_gaps() {
+        let full = shared_small();
+        // Rebuild the corpus with two day runs removed — one mid-window,
+        // one spanning a window edge — as if the shards holding them had
+        // been quarantined.
+        let lost = |d: i64| (20..25).contains(&d) || (54..60).contains(&d);
+        let mut b = StudyDataBuilder::new();
+        b.push_ndt_rows(full.raw.ndt.iter().filter(|r| !lost(r.day)).cloned().collect());
+        b.push_trace_rows(full.raw.traces.iter().filter(|r| !lost(r.day)).cloned().collect());
+        let degraded = b.finish();
+        assert_eq!(degraded.day_gaps, vec![(20, 24), (54, 59)]);
+        // And a window with no rows at all is "not simulated", not a gap.
+        let mut empty_window = StudyDataBuilder::new();
+        empty_window.push_ndt_rows(
+            full.raw.ndt.iter().filter(|r| r.day >= 365).cloned().collect(),
+        );
+        assert_eq!(empty_window.finish().day_gaps, Vec::<(i64, i64)>::new());
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub fn compute(data: &StudyData) -> Result<NationalTimeline, AnalysisError> {
     let mut cov = Coverage::new();
     let y2022 = year_series(data, 2022, &mut cov)?;
     let y2021 = year_series(data, 2021, &mut cov)?;
+    // The daily timeline owns whole-day accounting: days lost upstream
+    // (e.g. a quarantined store shard) surface here and merge into the
+    // report's closing coverage section.
+    for &(lo, hi) in &data.day_gaps {
+        cov.note_missing_days(lo, hi);
+    }
     Ok(NationalTimeline { y2022, y2021, coverage: cov })
 }
 

@@ -8,24 +8,49 @@
 //! either the complete old file or the complete new file. The parent
 //! directory is fsynced after the rename so the new name itself survives
 //! a power loss.
+//!
+//! All I/O routes through an [`ndt_vfs::VfsHandle`]
+//! ([`AtomicFile::create_with`]) so the whole protocol can be attacked
+//! with injected faults; two hardening pieces live here because they are
+//! properties of the protocol, not of any one caller:
+//!
+//! * [`rename_reliable`] — the commit rename treats a transient error as
+//!   *possibly already done*: an `EINTR` reported after the kernel
+//!   applied the rename (a "ghost success") must not be retried into a
+//!   `NotFound` failure, so destination state is verified before an
+//!   attempt counts as failed;
+//! * [`sweep_orphan_temps`] — a SIGKILL between `create` and `commit`
+//!   leaks the hidden temporary forever (`Drop` never runs), so resume
+//!   paths sweep `*.tmp.*` orphans at startup, counted under the
+//!   `process.tmp_swept` bookkeeping counter.
 
-use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+
+use ndt_vfs::{VfsFile, VfsHandle};
+
+use crate::retry::{is_transient, RetryPolicy};
 
 /// A streaming writer that becomes visible at `dest` only on
 /// [`AtomicFile::commit`]. Dropping without committing removes the
 /// temporary; the destination is never touched.
 pub struct AtomicFile {
+    vfs: VfsHandle,
     dest: PathBuf,
     tmp: PathBuf,
-    writer: Option<BufWriter<File>>,
+    writer: Option<BufWriter<Box<dyn VfsFile>>>,
 }
 
 impl AtomicFile {
-    /// Opens a temporary alongside `dest` (same directory, so the final
-    /// rename cannot cross a filesystem boundary).
+    /// Opens a temporary alongside `dest` on the real filesystem.
     pub fn create(dest: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::create_with(&VfsHandle::real(), dest)
+    }
+
+    /// Opens a temporary alongside `dest` (same directory, so the final
+    /// rename cannot cross a filesystem boundary), routing every
+    /// operation through `vfs`.
+    pub fn create_with(vfs: &VfsHandle, dest: impl Into<PathBuf>) -> io::Result<Self> {
         let dest = dest.into();
         let name = dest.file_name().ok_or_else(|| {
             io::Error::new(
@@ -38,8 +63,8 @@ impl AtomicFile {
             name.to_string_lossy(),
             std::process::id()
         ));
-        let file = File::create(&tmp)?;
-        Ok(Self { dest, tmp, writer: Some(BufWriter::new(file)) })
+        let file = vfs.create(&tmp)?;
+        Ok(Self { vfs: vfs.clone(), dest, tmp, writer: Some(BufWriter::new(file)) })
     }
 
     /// The final destination path.
@@ -53,22 +78,30 @@ impl AtomicFile {
             let writer = self.writer.take().ok_or_else(|| {
                 io::Error::other("atomic file already committed")
             })?;
-            let file = writer.into_inner().map_err(|e| e.into_error())?;
-            file.sync_all()?;
+            let mut file = writer.into_inner().map_err(|e| e.into_error())?;
+            // fsync can return EINTR; unlike `write_all`/`read_exact`,
+            // nothing in std absorbs it, so retry here. A genuine fsync
+            // *failure* (EIO) still propagates — only the transient
+            // interruption is absorbed.
+            loop {
+                match file.sync_all() {
+                    Ok(()) => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
             drop(file);
-            fs::rename(&self.tmp, &self.dest)?;
+            rename_reliable(&self.vfs, &self.tmp, &self.dest, &RetryPolicy::DEFAULT)?;
             // Persist the directory entry too. Some filesystems refuse
             // fsync on a directory handle; the rename itself is still
             // atomic, so this is best-effort.
             if let Some(dir) = self.dest.parent() {
-                if let Ok(d) = File::open(dir) {
-                    let _ = d.sync_all();
-                }
+                let _ = self.vfs.sync_dir(dir);
             }
             Ok(())
         })();
         if result.is_err() {
-            let _ = fs::remove_file(&self.tmp);
+            let _ = self.vfs.remove_file(&self.tmp);
         }
         result
     }
@@ -94,14 +127,92 @@ impl Drop for AtomicFile {
     fn drop(&mut self) {
         if self.writer.take().is_some() {
             // Abandoned before commit: discard the partial temporary.
-            let _ = fs::remove_file(&self.tmp);
+            let _ = self.vfs.remove_file(&self.tmp);
         }
     }
 }
 
-/// Writes `bytes` to `path` atomically (temp → fsync → rename).
+/// Renames `from` → `to`, surviving ghost successes.
+///
+/// `rename(2)` can be interrupted *after* the kernel applied it; the
+/// caller then sees `EINTR` for an operation that succeeded. A naive
+/// retry finds `from` missing and reports `NotFound` for a rename that
+/// worked — so on every transient error the destination state is checked
+/// first: `from` gone and `to` present means the rename landed, and the
+/// attempt is a success, not a failure. Non-transient errors and
+/// genuinely unresolved transients (source still present) follow the
+/// retry policy as usual.
+pub fn rename_reliable(
+    vfs: &VfsHandle,
+    from: &Path,
+    to: &Path,
+    policy: &RetryPolicy,
+) -> io::Result<()> {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match vfs.rename(from, to) {
+            Ok(()) => return Ok(()),
+            Err(e) if is_transient(&e) => {
+                if !vfs.exists(from) && vfs.exists(to) {
+                    // Ghost success: the kernel applied the rename before
+                    // the interruption was reported.
+                    return Ok(());
+                }
+                if attempt >= policy.max_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.backoff(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Deletes orphaned atomic-write temporaries (`.{name}.tmp.{pid}`) in
+/// `dir`, returning how many were removed. A process killed between
+/// `create` and `commit` never runs `Drop`, so its hidden temporary
+/// survives forever unless a later run sweeps it. Call this from resume
+/// paths *before* creating any new temporaries; a nonexistent directory
+/// sweeps nothing. The caller accounts the result under the
+/// `process.tmp_swept` counter.
+pub fn sweep_orphan_temps(vfs: &VfsHandle, dir: &Path) -> io::Result<usize> {
+    if !vfs.exists(dir) {
+        return Ok(0);
+    }
+    let mut swept = 0;
+    for path in vfs.read_dir(dir)? {
+        let name = match path.file_name() {
+            Some(n) => n.to_string_lossy().into_owned(),
+            None => continue,
+        };
+        let is_temp = name.starts_with('.')
+            && name
+                .rfind(".tmp.")
+                .is_some_and(|i| {
+                    !name[i + 5..].is_empty()
+                        && name[i + 5..].bytes().all(|b| b.is_ascii_digit())
+                });
+        if is_temp && vfs.remove_file(&path).is_ok() {
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+/// Writes `bytes` to `path` atomically (temp → fsync → rename) on the
+/// real filesystem.
 pub fn write_atomic(path: impl Into<PathBuf>, bytes: &[u8]) -> io::Result<()> {
-    let mut f = AtomicFile::create(path)?;
+    write_atomic_with(&VfsHandle::real(), path, bytes)
+}
+
+/// Writes `bytes` to `path` atomically through `vfs`.
+pub fn write_atomic_with(
+    vfs: &VfsHandle,
+    path: impl Into<PathBuf>,
+    bytes: &[u8],
+) -> io::Result<()> {
+    let mut f = AtomicFile::create_with(vfs, path)?;
     f.write_all(bytes)?;
     f.commit()
 }
@@ -109,6 +220,8 @@ pub fn write_atomic(path: impl Into<PathBuf>, bytes: &[u8]) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndt_vfs::IoFaultPlan;
+    use std::fs;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir()
@@ -161,5 +274,80 @@ mod tests {
     #[test]
     fn rejects_pathless_target() {
         assert!(AtomicFile::create(PathBuf::from("/")).is_err());
+    }
+
+    #[test]
+    fn ghost_rename_commits_successfully() {
+        let d = tmpdir("ghost");
+        let p = d.join("artifact.csv");
+        // Every rename ghosts: succeeds on disk, reports EINTR. The
+        // commit must recognize the landed rename instead of failing
+        // (and must not delete the *destination* in its error path).
+        let vfs = VfsHandle::faulty(IoFaultPlan {
+            io_seed: 5,
+            rename_ghost: 1.0,
+            ..IoFaultPlan::NONE
+        });
+        write_atomic_with(&vfs, &p, b"published").expect("ghosted rename still commits");
+        assert_eq!(fs::read(&p).expect("read"), b"published");
+        no_temps(&d);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn eintr_storms_on_every_op_are_fully_absorbed() {
+        let d = tmpdir("eintr");
+        let p = d.join("artifact.csv");
+        // EINTR fires at maximal probability on every gated operation —
+        // writes, fsync, rename, remove. Bursts are bounded (≤2
+        // consecutive per site), so absorption must always converge:
+        // the commit succeeds and the destination is intact.
+        let vfs = VfsHandle::faulty(IoFaultPlan {
+            io_seed: 11,
+            eintr: 1.0,
+            ..IoFaultPlan::NONE
+        });
+        write_atomic_with(&vfs, &p, b"survives the storm").expect("EINTR is transient");
+        assert_eq!(fs::read(&p).expect("read"), b"survives the storm");
+        no_temps(&d);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_write_never_exposes_a_partial_destination() {
+        let d = tmpdir("torn");
+        let p = d.join("artifact.csv");
+        write_atomic(&p, b"intact-old-content").expect("seed dest");
+        let vfs = VfsHandle::faulty(IoFaultPlan {
+            io_seed: 7,
+            torn_write: 1.0,
+            ..IoFaultPlan::NONE
+        });
+        let err = write_atomic_with(&vfs, &p, b"new-content-that-tears");
+        assert!(err.is_err(), "torn write must surface an error");
+        assert_eq!(fs::read(&p).expect("read"), b"intact-old-content", "dest untouched");
+        no_temps(&d);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn sweep_removes_only_orphaned_temporaries() {
+        let d = tmpdir("sweep");
+        fs::write(d.join(".a.csv.tmp.12345"), b"orphan").expect("orphan 1");
+        fs::write(d.join(".b.ckpt.tmp.999"), b"orphan").expect("orphan 2");
+        fs::write(d.join("real.csv"), b"keep").expect("real file");
+        fs::write(d.join(".hidden-but-not-temp"), b"keep").expect("hidden file");
+        fs::write(d.join("name.tmp.notdigits"), b"keep").expect("non-temp suffix");
+        let vfs = VfsHandle::real();
+        assert_eq!(sweep_orphan_temps(&vfs, &d).expect("sweep"), 2);
+        assert!(!d.join(".a.csv.tmp.12345").exists());
+        assert!(!d.join(".b.ckpt.tmp.999").exists());
+        assert!(d.join("real.csv").exists());
+        assert!(d.join(".hidden-but-not-temp").exists());
+        assert!(d.join("name.tmp.notdigits").exists());
+        // Idempotent, and a missing directory sweeps nothing.
+        assert_eq!(sweep_orphan_temps(&vfs, &d).expect("resweep"), 0);
+        assert_eq!(sweep_orphan_temps(&vfs, &d.join("absent")).expect("noop"), 0);
+        let _ = fs::remove_dir_all(&d);
     }
 }

@@ -27,7 +27,6 @@
 //! work.
 
 use std::collections::BTreeMap;
-use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
@@ -37,8 +36,9 @@ use ndt_obs::ObsDelta;
 use ndt_mlab::schema::Dataset;
 use ndt_mlab::sim::{Scenario, SimConfig};
 use ndt_tcp::CongestionControl;
+use ndt_vfs::VfsHandle;
 
-use crate::atomic::AtomicFile;
+use crate::atomic::{sweep_orphan_temps, AtomicFile};
 use crate::retry::{retry_io, RetryPolicy};
 
 /// Checkpoint directory name, created under the run's output directory.
@@ -50,9 +50,10 @@ const STAGE_GRAPH_VERSION: u32 = 1;
 
 const MANIFEST_NAME: &str = "manifest.txt";
 const MANIFEST_HEADER: &str = "ukraine-ndt manifest v1";
-// v2 added the observability-delta section; v1 files fail the magic
-// check and are recomputed, which is exactly the right degradation.
-const CKPT_MAGIC: &[u8; 8] = b"NDTCKPT2";
+// v2 added the observability-delta section; v3 added missing-day ranges
+// to the StageOutput coverage codec. Older files fail the magic check
+// and are recomputed, which is exactly the right degradation.
+const CKPT_MAGIC: &[u8; 8] = b"NDTCKPT3";
 
 /// Fingerprint of every configuration knob that influences stage output.
 ///
@@ -183,6 +184,11 @@ impl Checkpointable for StageOutput {
         for cell in &cov.low_sample_cells {
             wire::put_str(&mut buf, cell);
         }
+        wire::put_u32(&mut buf, cov.missing_day_ranges.len() as u32);
+        for &(lo, hi) in &cov.missing_day_ranges {
+            wire::put_u64(&mut buf, lo as u64);
+            wire::put_u64(&mut buf, hi as u64);
+        }
         buf
     }
 
@@ -236,6 +242,12 @@ impl Checkpointable for StageOutput {
         for _ in 0..n_cells {
             coverage.low_sample_cells.push(read(&mut r, "low-sample cell")?);
         }
+        let n_ranges = r.u32("missing-day range count").map_err(|e| e.to_string())? as usize;
+        for _ in 0..n_ranges {
+            let lo = r.u64("missing-day lo").map_err(|e| e.to_string())? as i64;
+            let hi = r.u64("missing-day hi").map_err(|e| e.to_string())? as i64;
+            coverage.note_missing_days(lo, hi);
+        }
         if r.remaining() != 0 {
             return Err(format!("stage {name}: trailing bytes in checkpoint"));
         }
@@ -252,15 +264,30 @@ pub struct CheckpointStore {
     dir: PathBuf,
     fingerprint: u64,
     retry: RetryPolicy,
+    vfs: VfsHandle,
     entries: BTreeMap<String, u64>,
 }
 
 impl CheckpointStore {
-    /// Opens (creating if needed) the checkpoint directory under `out`.
-    pub fn open(out: &Path, fingerprint: u64, retry: RetryPolicy) -> io::Result<Self> {
+    /// Opens (creating if needed) the checkpoint directory under `out`,
+    /// routing all I/O through `vfs`. Orphaned atomic-write temporaries
+    /// left by a killed predecessor are swept on open (counted under the
+    /// `process.tmp_swept` metric).
+    pub fn open(
+        out: &Path,
+        fingerprint: u64,
+        retry: RetryPolicy,
+        vfs: VfsHandle,
+    ) -> io::Result<Self> {
         let dir = out.join(CHECKPOINT_DIR);
-        retry_io(&retry, || fs::create_dir_all(&dir))?;
-        let mut store = CheckpointStore { dir, fingerprint, retry, entries: BTreeMap::new() };
+        retry_io(&retry, || vfs.create_dir_all(&dir))?;
+        if let Ok(swept) = sweep_orphan_temps(&vfs, &dir) {
+            if swept > 0 {
+                ndt_obs::incr_process("tmp_swept", swept as u64);
+            }
+        }
+        let mut store =
+            CheckpointStore { dir, fingerprint, retry, vfs, entries: BTreeMap::new() };
         store.entries = store.read_manifest();
         Ok(store)
     }
@@ -285,7 +312,7 @@ impl CheckpointStore {
     /// Parses the manifest; any mismatch (missing, malformed, different
     /// fingerprint) yields an empty map — resume then recomputes all.
     fn read_manifest(&self) -> BTreeMap<String, u64> {
-        let text = match fs::read_to_string(self.manifest_path()) {
+        let text = match self.vfs.read_to_string(&self.manifest_path()) {
             Ok(t) => t,
             Err(_) => return BTreeMap::new(),
         };
@@ -317,7 +344,7 @@ impl CheckpointStore {
 
     fn write_manifest(&self) -> io::Result<()> {
         retry_io(&self.retry, || {
-            let mut f = AtomicFile::create(self.manifest_path())?;
+            let mut f = AtomicFile::create_with(&self.vfs, self.manifest_path())?;
             writeln!(f, "{MANIFEST_HEADER}")?;
             writeln!(f, "fingerprint {:016x}", self.fingerprint)?;
             for (name, sum) in &self.entries {
@@ -333,7 +360,7 @@ impl CheckpointStore {
     /// fingerprint mismatch, undecodable — and the caller recomputes.
     pub fn load<T: Checkpointable>(&self, stage: &str) -> Option<(T, ObsDelta)> {
         let expected = *self.entries.get(stage)?;
-        let raw = fs::read(self.stage_path(stage)).ok()?;
+        let raw = self.vfs.read(&self.stage_path(stage)).ok()?;
         // Layout: magic(8) fingerprint(8) body checksum(8), where body is
         // delta_len(8) delta payload_len(8) payload. The checksum covers
         // the whole body, so the delta is integrity-checked too.
@@ -395,7 +422,7 @@ impl CheckpointStore {
         let checksum = wire::fnv1a64(&raw[16..]);
         wire::put_u64(&mut raw, checksum);
         let path = self.stage_path(stage);
-        retry_io(&self.retry, || crate::atomic::write_atomic(&path, &raw))?;
+        retry_io(&self.retry, || crate::atomic::write_atomic_with(&self.vfs, &path, &raw))?;
         self.entries.insert(stage.to_string(), checksum);
         self.write_manifest()
     }
@@ -404,6 +431,7 @@ impl CheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use ndt_analysis::run_analysis_stage;
     use ndt_analysis::StudyData;
     use ndt_mlab::Simulator;
@@ -442,7 +470,7 @@ mod tests {
         let d = tmpdir("roundtrip");
         let cfg = SimConfig { scale: 0.01, ..SimConfig::small(11) };
         let mut store =
-            CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE).expect("open");
+            CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE, VfsHandle::real()).expect("open");
         let text = "== stage ==\nbody\n".to_string();
         store.store("render", &text, &ObsDelta::default()).expect("store string");
         assert_eq!(store.load::<String>("render").expect("load").0, text);
@@ -459,7 +487,7 @@ mod tests {
         let d = tmpdir("delta");
         let cfg = SimConfig { scale: 0.01, ..SimConfig::small(17) };
         let mut store =
-            CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE).expect("open");
+            CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE, VfsHandle::real()).expect("open");
         let mut delta = ObsDelta::default();
         delta.counters.insert("sim.tests".to_string(), 123);
         delta.counters.insert("sim.traces".to_string(), 45);
@@ -477,7 +505,7 @@ mod tests {
         let data = StudyData::from_dataset(Simulator::new(cfg).run());
         let out = run_analysis_stage("fig2", &data).expect("fig2");
         let mut store =
-            CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE).expect("open");
+            CheckpointStore::open(&d, config_fingerprint(&cfg), RetryPolicy::NONE, VfsHandle::real()).expect("open");
         store.store("fig2", &out, &ObsDelta::default()).expect("store");
         let (back, _): (StageOutput, ObsDelta) = store.load("fig2").expect("load");
         assert_eq!(out, back, "StageOutput resumes exactly");
@@ -489,14 +517,14 @@ mod tests {
         let d = tmpdir("mismatch");
         let cfg = SimConfig::small(7);
         let fp = config_fingerprint(&cfg);
-        let mut store = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("open");
+        let mut store = CheckpointStore::open(&d, fp, RetryPolicy::NONE, VfsHandle::real()).expect("open");
         store.store("render", &"cached".to_string(), &ObsDelta::default()).expect("store");
         // Same fingerprint: visible.
-        let again = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("reopen");
+        let again = CheckpointStore::open(&d, fp, RetryPolicy::NONE, VfsHandle::real()).expect("reopen");
         assert_eq!(again.load::<String>("render").map(|(v, _)| v).as_deref(), Some("cached"));
         // Different fingerprint (e.g. a new seed): invisible.
         let other_fp = config_fingerprint(&SimConfig { seed: 8, ..cfg });
-        let other = CheckpointStore::open(&d, other_fp, RetryPolicy::NONE).expect("reopen");
+        let other = CheckpointStore::open(&d, other_fp, RetryPolicy::NONE, VfsHandle::real()).expect("reopen");
         assert!(other.load::<String>("render").is_none());
         assert_eq!(other.known_stages().count(), 0);
         let _ = fs::remove_dir_all(&d);
@@ -507,14 +535,14 @@ mod tests {
         let d = tmpdir("corrupt");
         let cfg = SimConfig::small(7);
         let fp = config_fingerprint(&cfg);
-        let mut store = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("open");
+        let mut store = CheckpointStore::open(&d, fp, RetryPolicy::NONE, VfsHandle::real()).expect("open");
         store.store("render", &"precious".to_string(), &ObsDelta::default()).expect("store");
         let path = store.stage_path("render");
         let mut raw = fs::read(&path).expect("read");
         let last = raw.len() - 9; // inside the payload, before the checksum
         raw[last] ^= 0xff;
         fs::write(&path, &raw).expect("rewrite");
-        let again = CheckpointStore::open(&d, fp, RetryPolicy::NONE).expect("reopen");
+        let again = CheckpointStore::open(&d, fp, RetryPolicy::NONE, VfsHandle::real()).expect("reopen");
         assert!(again.load::<String>("render").is_none(), "flipped byte must not verify");
         // Truncation too.
         fs::write(&path, &fs::read(&path).expect("read")[..10]).expect("truncate");

@@ -219,7 +219,11 @@ mod tests {
     fn fast_policy() -> ExecPolicy {
         ExecPolicy {
             deadline: Duration::from_secs(10),
-            retry: RetryPolicy { max_attempts: 3, initial_backoff: Duration::from_millis(1) },
+            retry: RetryPolicy {
+                max_attempts: 3,
+                initial_backoff: Duration::from_millis(1),
+                jitter_seed: 0,
+            },
         }
     }
 

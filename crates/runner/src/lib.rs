@@ -29,8 +29,9 @@
 //!   under `catch_unwind` with a wall-clock deadline; panics and hangs
 //!   become per-stage failures surfaced in the report (like PR 1's
 //!   coverage footers), not aborted runs;
-//! * [`retry`] — transient I/O errors are retried with bounded
-//!   exponential backoff;
+//! * [`retry`] — transient I/O errors are retried with bounded,
+//!   deterministically-jittered backoff (decorrelated jitter keyed per
+//!   worker, so concurrent writers never retry in lockstep);
 //! * [`checkpoint`] — completed stages persist to `<out>/.ukraine-ndt/`
 //!   under a content checksum and a run manifest keyed by a config
 //!   fingerprint (scale, seed, scenario, fault plan, crate version), so
@@ -57,7 +58,9 @@ pub mod pipeline;
 pub mod retry;
 pub mod store;
 
-pub use atomic::{write_atomic, AtomicFile};
+pub use atomic::{
+    rename_reliable, sweep_orphan_temps, write_atomic, write_atomic_with, AtomicFile,
+};
 pub use checkpoint::{config_fingerprint, Checkpointable, CheckpointStore, CHECKPOINT_DIR};
 pub use executor::{run_isolated, CancelToken, ExecPolicy, StageError, StageFault};
 pub use pipeline::{
@@ -66,5 +69,6 @@ pub use pipeline::{
 };
 pub use retry::{retry_io, RetryPolicy};
 pub use store::{
-    load_study_data, run_report_from_store, run_store_generate, StoreSummary, STORE_MANIFEST,
+    load_study_data, run_report_from_store, run_store_generate, StoreSummary, QUARANTINE_DIR,
+    STORE_MANIFEST,
 };

@@ -24,6 +24,7 @@ use ndt_mlab::schema::Dataset;
 use ndt_mlab::sim::SimConfig;
 use ndt_mlab::Simulator;
 use ndt_topology::{build_topology, to_dot, TopologyConfig};
+use ndt_vfs::VfsHandle;
 
 use crate::checkpoint::{config_fingerprint, Checkpointable, CheckpointStore};
 use crate::executor::{run_isolated, CancelToken, ExecPolicy, StageError, StageFault};
@@ -46,6 +47,10 @@ pub struct PipelineConfig {
     pub resume: bool,
     /// Per-stage execution limits.
     pub exec: ExecPolicy,
+    /// Filesystem the run's checkpoints, artifacts and store traffic go
+    /// through. [`VfsHandle::real`] in production; a fault-injecting
+    /// handle under chaos testing (`--io-faults`).
+    pub vfs: VfsHandle,
 }
 
 impl PipelineConfig {
@@ -57,6 +62,7 @@ impl PipelineConfig {
             checkpoints: true,
             resume: false,
             exec: ExecPolicy::default(),
+            vfs: VfsHandle::real(),
         }
     }
 }
@@ -151,6 +157,7 @@ impl Pipeline {
                 &cfg.out,
                 config_fingerprint(&cfg.sim),
                 cfg.exec.retry,
+                cfg.vfs.clone(),
             )?)
         } else {
             None

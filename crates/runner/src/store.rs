@@ -19,7 +19,7 @@
 //! are byte-identical to `report`'s at every scale/faults/threads
 //! combination (enforced by `tests/store.rs`).
 
-use std::io::{self, Read};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread;
@@ -28,17 +28,21 @@ use ndt_analysis::{assemble_staged_report, StudyDataBuilder};
 use ndt_mlab::columnar::{scan_traces, scan_unified, write_traces, write_unified, RowFilter};
 use ndt_mlab::sim::SimConfig;
 use ndt_mlab::Simulator;
-use ndt_store::{Shard, WriteStats};
+use ndt_store::{wire, Shard, WriteStats};
+use ndt_vfs::VfsHandle;
 
-use crate::atomic::AtomicFile;
+use crate::atomic::{rename_reliable, sweep_orphan_temps, AtomicFile};
 use crate::checkpoint::config_fingerprint;
-use crate::executor::ExecPolicy;
+use crate::executor::{ExecPolicy, StageError};
+use crate::retry::retry_io;
 use crate::pipeline::{
     Pipeline, PipelineConfig, PipelineOutcome, StageRecord, StageStatus, CORPUS_SHARD_DAYS,
 };
 
 /// Manifest file name inside a store directory.
 pub const STORE_MANIFEST: &str = "STORE.txt";
+/// Directory (under the store) that damaged shard files are moved into.
+pub const QUARANTINE_DIR: &str = ".quarantine";
 /// First line of a valid manifest.
 const MANIFEST_HEADER: &str = "ukraine-ndt store v1";
 /// Writer threads kept in flight while the simulator works ahead.
@@ -61,6 +65,17 @@ fn shard_stem(lo: i64, hi: i64, fingerprint: u64) -> String {
     format!("shard-{lo:03}-{hi:03}-{fingerprint:016x}")
 }
 
+/// Parses the `[lo, hi)` day range back out of a shard stem.
+fn stem_day_range(stem: &str) -> Option<(i64, i64)> {
+    let mut parts = stem.split('-');
+    if parts.next() != Some("shard") {
+        return None;
+    }
+    let lo = parts.next()?.parse().ok()?;
+    let hi = parts.next()?.parse().ok()?;
+    (lo < hi).then_some((lo, hi))
+}
+
 fn unified_name(stem: &str) -> String {
     format!("{stem}.unified.ndts")
 }
@@ -74,9 +89,9 @@ fn traces_name(stem: &str) -> String {
 /// one shard. The payload sweep matters: [`Shard::open`] alone accepts a
 /// file whose page bodies were corrupted in place (structure and footer
 /// intact), which resume must rewrite rather than trust.
-fn shard_is_complete(dir: &Path, stem: &str) -> bool {
+fn shard_is_complete(vfs: &VfsHandle, dir: &Path, stem: &str) -> bool {
     let ok = |name: String| {
-        Shard::open(dir.join(name)).and_then(|s| s.verify_payloads()).is_ok()
+        Shard::open_with(vfs, dir.join(name)).and_then(|s| s.verify_payloads()).is_ok()
     };
     ok(unified_name(stem)) && ok(traces_name(stem))
 }
@@ -92,7 +107,15 @@ pub fn run_store_generate(
     cfg: &PipelineConfig,
     store_dir: &Path,
 ) -> io::Result<(StoreSummary, Vec<StageRecord>)> {
-    std::fs::create_dir_all(store_dir)?;
+    let vfs = &cfg.vfs;
+    vfs.create_dir_all(store_dir)?;
+    // A killed predecessor may have left hidden atomic-write temporaries;
+    // clear them before this run creates its own.
+    if let Ok(swept) = sweep_orphan_temps(vfs, store_dir) {
+        if swept > 0 {
+            ndt_obs::incr_process("tmp_swept", swept as u64);
+        }
+    }
     let fingerprint = config_fingerprint(&cfg.sim);
     let sim_cfg: SimConfig = cfg.sim;
     let mut records = Vec::new();
@@ -113,7 +136,7 @@ pub fn run_store_generate(
     for range in sim_cfg.shards(CORPUS_SHARD_DAYS) {
         let stem = shard_stem(range.start, range.end, fingerprint);
         let name = format!("store:{}-{}", range.start, range.end);
-        if cfg.resume && shard_is_complete(store_dir, &stem) {
+        if cfg.resume && shard_is_complete(vfs, store_dir, &stem) {
             ndt_obs::incr_process("store.shards_resumed", 1);
             ndt_obs::info!("[runner] stage {name}: shard files validated, resumed");
             records.push(StageRecord { name, status: StageStatus::Resumed });
@@ -132,18 +155,29 @@ pub fn run_store_generate(
         // more work.
         let dir = store_dir.to_path_buf();
         let wstem = stem.clone();
+        let wvfs = vfs.clone();
+        // Key each writer's retry jitter by its stem, so concurrent
+        // writers hitting the same transient stall back off on distinct
+        // schedules instead of retrying in lockstep.
+        let retry = cfg.exec.retry.with_jitter_key(wire::fnv1a64(stem.as_bytes()));
         let handle = thread::spawn(move || -> io::Result<WriteStats> {
             let _span = ndt_obs::span("store.write");
-            let unified = AtomicFile::create(dir.join(unified_name(&wstem)))?;
-            let (unified, ustats) =
-                write_unified(unified, &part.ndt).map_err(|e| e.into_io())?;
-            unified.commit()?;
-            let traces = AtomicFile::create(dir.join(traces_name(&wstem)))?;
-            let (traces, tstats) = write_traces(traces, &part.traces).map_err(|e| e.into_io())?;
-            traces.commit()?;
-            let mut stats = ustats;
-            stats.merge(&tstats);
-            Ok(stats)
+            retry_io(&retry, || {
+                // Retry the whole pair: a failed attempt's temporaries are
+                // discarded by AtomicFile, so re-running from scratch is
+                // idempotent and the destination only ever sees a commit.
+                let unified = AtomicFile::create_with(&wvfs, dir.join(unified_name(&wstem)))?;
+                let (unified, ustats) =
+                    write_unified(unified, &part.ndt).map_err(|e| e.into_io())?;
+                unified.commit()?;
+                let traces = AtomicFile::create_with(&wvfs, dir.join(traces_name(&wstem)))?;
+                let (traces, tstats) =
+                    write_traces(traces, &part.traces).map_err(|e| e.into_io())?;
+                traces.commit()?;
+                let mut stats = ustats;
+                stats.merge(&tstats);
+                Ok(stats)
+            })
         });
         in_flight.push(handle);
         if in_flight.len() >= WRITERS_IN_FLIGHT {
@@ -171,23 +205,20 @@ pub fn run_store_generate(
     for stem in &stems {
         manifest.push_str(&format!("shard {stem}\n"));
     }
-    crate::atomic::write_atomic(store_dir.join(STORE_MANIFEST), manifest.as_bytes())?;
+    crate::atomic::write_atomic_with(vfs, store_dir.join(STORE_MANIFEST), manifest.as_bytes())?;
 
     Ok((StoreSummary { dir: store_dir.to_path_buf(), stats: total, shards: stems }, records))
 }
 
 /// Parses a store manifest into shard stems (day order).
-fn read_manifest(store_dir: &Path) -> io::Result<Vec<String>> {
+fn read_manifest(vfs: &VfsHandle, store_dir: &Path) -> io::Result<Vec<String>> {
     let path = store_dir.join(STORE_MANIFEST);
-    let mut text = String::new();
-    std::fs::File::open(&path)
-        .map_err(|e| {
-            io::Error::new(
-                e.kind(),
-                format!("cannot open store manifest {}: {e}", path.display()),
-            )
-        })?
-        .read_to_string(&mut text)?;
+    let text = vfs.read_to_string(&path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!("cannot open store manifest {}: {e}", path.display()),
+        )
+    })?;
     let mut lines = text.lines();
     if lines.next() != Some(MANIFEST_HEADER) {
         return Err(io::Error::new(
@@ -219,31 +250,91 @@ fn read_manifest(store_dir: &Path) -> io::Result<Vec<String>> {
     Ok(stems)
 }
 
-/// Streams a store directory back into a [`ndt_analysis::StudyData`], in manifest
-/// (day) order. Any structural or payload corruption surfaces as a
-/// typed `InvalidData` error — never a panic, never silently short rows.
-pub fn load_study_data(store_dir: &Path) -> io::Result<ndt_analysis::StudyData> {
-    let stems = read_manifest(store_dir)?;
+/// Reads both files of one shard fully into memory — nothing is ingested
+/// until the whole pair decoded cleanly, so a mid-shard failure never
+/// leaves half a shard's rows in the builder.
+fn read_shard_pair(
+    vfs: &VfsHandle,
+    store_dir: &Path,
+    stem: &str,
+) -> Result<(Vec<ndt_mlab::UnifiedDownloadRow>, Vec<ndt_mlab::Scamper1Row>), io::Error> {
+    let unified =
+        Shard::open_with(vfs, store_dir.join(unified_name(stem))).map_err(|e| e.into_io())?;
+    let ndt_rows = scan_unified(&unified, RowFilter::default()).map_err(|e| e.into_io())?;
+    let traces =
+        Shard::open_with(vfs, store_dir.join(traces_name(stem))).map_err(|e| e.into_io())?;
+    let trace_rows = scan_traces(&traces, RowFilter::default()).map_err(|e| e.into_io())?;
+    Ok((ndt_rows, trace_rows))
+}
+
+/// Moves both files of a damaged shard into `<store>/.quarantine/` so the
+/// next read doesn't trip over them again. Best-effort: a file that
+/// cannot be moved (already gone, or the move itself faults) is left
+/// behind — quarantine is bookkeeping, never a second failure source.
+fn quarantine_shard(vfs: &VfsHandle, store_dir: &Path, stem: &str) {
+    let qdir = store_dir.join(QUARANTINE_DIR);
+    if vfs.create_dir_all(&qdir).is_err() {
+        return;
+    }
+    for name in [unified_name(stem), traces_name(stem)] {
+        let from = store_dir.join(&name);
+        if vfs.exists(&from) {
+            let _ = rename_reliable(vfs, &from, &qdir.join(&name), &crate::RetryPolicy::DEFAULT);
+        }
+    }
+}
+
+/// Streams a store directory back into a [`ndt_analysis::StudyData`], in
+/// manifest (day) order, **degrading instead of dying**: a shard that is
+/// missing, truncated, or fails its payload checksums is quarantined
+/// (moved to `<store>/.quarantine/`, counted under
+/// `store.shards_quarantined` / `store.days_missing`) and the load
+/// continues with the surviving shards. Each quarantined shard is
+/// returned as a failed `store:<stem>` [`StageRecord`], so the caller
+/// exits with the partial-success code; the surviving rows are exactly
+/// what a clean store holding only those shards would yield, which is
+/// what keeps a degraded report byte-identical to a clean run over the
+/// same survivors. Only a missing or malformed *manifest* is a hard
+/// error — without it there is no shard list to degrade over.
+pub fn load_study_data(
+    vfs: &VfsHandle,
+    store_dir: &Path,
+) -> io::Result<(ndt_analysis::StudyData, Vec<StageRecord>)> {
+    let stems = read_manifest(vfs, store_dir)?;
     let _span = ndt_obs::span("stage.store-read");
     let started = std::time::Instant::now();
     let mut builder = StudyDataBuilder::new();
+    let mut records = Vec::new();
     let mut rows_total: u64 = 0;
     for stem in &stems {
-        let unified = Shard::open(store_dir.join(unified_name(stem))).map_err(|e| e.into_io())?;
-        let ndt_rows = scan_unified(&unified, RowFilter::default()).map_err(|e| e.into_io())?;
-        rows_total += ndt_rows.len() as u64;
-        builder.push_ndt_rows(ndt_rows);
-        let traces = Shard::open(store_dir.join(traces_name(stem))).map_err(|e| e.into_io())?;
-        let trace_rows = scan_traces(&traces, RowFilter::default()).map_err(|e| e.into_io())?;
-        rows_total += trace_rows.len() as u64;
-        builder.push_trace_rows(trace_rows);
+        match read_shard_pair(vfs, store_dir, stem) {
+            Ok((ndt_rows, trace_rows)) => {
+                rows_total += ndt_rows.len() as u64 + trace_rows.len() as u64;
+                builder.push_ndt_rows(ndt_rows);
+                builder.push_trace_rows(trace_rows);
+            }
+            Err(e) => {
+                quarantine_shard(vfs, store_dir, stem);
+                ndt_obs::incr("store.shards_quarantined", 1);
+                if let Some((lo, hi)) = stem_day_range(stem) {
+                    ndt_obs::incr("store.days_missing", (hi - lo) as u64);
+                }
+                ndt_obs::error!("[runner] shard {stem}: quarantined: {e}");
+                records.push(StageRecord {
+                    name: format!("store:{stem}"),
+                    status: StageStatus::Failed(StageError::Failed(format!(
+                        "shard quarantined: {e}"
+                    ))),
+                });
+            }
+        }
     }
     // Wall-clock throughput is machine-dependent: process namespace only.
     let secs = started.elapsed().as_secs_f64();
     if secs > 0.0 {
         ndt_obs::incr_process("store.scan_rows_per_sec", (rows_total as f64 / secs) as u64);
     }
-    Ok(builder.finish())
+    Ok((builder.finish(), records))
 }
 
 /// The `report --from-store` command: stream the corpus from a columnar
@@ -252,18 +343,29 @@ pub fn load_study_data(store_dir: &Path) -> io::Result<ndt_analysis::StudyData> 
 /// the config that generated the store.
 ///
 /// [`run_report`]: crate::pipeline::run_report
-pub fn run_report_from_store(store_dir: &Path, exec: ExecPolicy) -> io::Result<PipelineOutcome> {
-    let data = load_study_data(store_dir)?;
+pub fn run_report_from_store(
+    store_dir: &Path,
+    exec: ExecPolicy,
+    vfs: &VfsHandle,
+) -> io::Result<PipelineOutcome> {
+    let (data, quarantined) = load_study_data(vfs, store_dir)?;
     // No checkpoint store: the shard files are the persistent form, and
     // analyses over them are cheaper to re-run than to verify.
     let mut p = Pipeline { store: None, resume: false, exec, records: Vec::new() };
     let outputs = p.analyses(Arc::new(data));
+    // Quarantined shards are *data* degradation, not analysis failures:
+    // they surface through the coverage machinery (missing day ranges in
+    // the report footer), while the report body stays byte-identical to a
+    // clean run over the surviving shards. Their failed records still
+    // join the ledger so the CLI exits with the partial-success code.
     let report = assemble_staged_report(&outputs, &p.failures());
     let artifacts = outputs
         .iter()
         .flat_map(|o| o.artifacts.iter().map(|(f, c)| (f.to_string(), c.clone())))
         .collect();
-    Ok(PipelineOutcome { report, artifacts, records: p.records })
+    let mut records = quarantined;
+    records.append(&mut p.records);
+    Ok(PipelineOutcome { report, artifacts, records })
 }
 
 #[cfg(test)]
@@ -296,7 +398,7 @@ mod tests {
         assert!(records.iter().all(|r| r.status == StageStatus::Computed));
         assert!(summary.stats.rows > 0);
         let from_store =
-            run_report_from_store(&store_dir, ExecPolicy::default()).expect("store report");
+            run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real()).expect("store report");
         assert!(from_store.is_complete());
         assert_eq!(in_memory.report, from_store.report, "report text must be byte-identical");
         assert_eq!(in_memory.artifacts, from_store.artifacts, "artifacts must be byte-identical");
@@ -333,7 +435,7 @@ mod tests {
             "undamaged shards resume: {r3:?}"
         );
         // And the repaired store still reports identically.
-        let report = run_report_from_store(&store_dir, ExecPolicy::default()).expect("report");
+        let report = run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real()).expect("report");
         assert!(report.is_complete());
         let _ = std::fs::remove_dir_all(&d);
     }
@@ -341,7 +443,7 @@ mod tests {
     #[test]
     fn from_store_fails_cleanly_without_manifest() {
         let d = tmpdir("nomanifest");
-        let err = run_report_from_store(&d, ExecPolicy::default())
+        let err = run_report_from_store(&d, ExecPolicy::default(), &VfsHandle::real())
             .expect_err("empty dir has no manifest");
         assert!(err.to_string().contains("manifest"), "unhelpful error: {err}");
         let _ = std::fs::remove_dir_all(&d);

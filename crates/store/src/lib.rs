@@ -27,7 +27,9 @@
 //! * [`shard`] — shard files (`Header Group* Footer`), streaming
 //!   [`ShardWriter`], structural validation at [`Shard::open`] so
 //!   corruption is detected at open, not mid-scan, plus a deep payload
-//!   sweep ([`Shard::verify_payloads`]) for resume decisions;
+//!   sweep ([`Shard::verify_payloads`]) for resume decisions; all reads
+//!   route through an `ndt-vfs` handle ([`Shard::open_with`]) so
+//!   storage faults can be injected deterministically under test;
 //! * [`scan`] — streaming [`Scan`] iterator with column projection and
 //!   group-granular predicate pushdown on day ranges and categorical
 //!   equality;
@@ -210,6 +212,40 @@ mod tests {
             "unexpected error {err:?}"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_injected_open_surfaces_rot_as_typed_errors() {
+        let dir = std::env::temp_dir().join(format!(
+            "ndt-store-test-vfs-rot-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("rot.ndts");
+        write_shard(&path, &[group(&[0, 1, 2], &[1, 2, 3], &[4, 5, 6], &[0.5, 0.25, 0.125])]);
+
+        // A flipped byte must surface as a typed StoreError — never a
+        // panic — unless it lands in a page header's pruning statistics,
+        // the one region the checksums deliberately don't cover. Sweep
+        // seeds so the flip visits several offsets; most must be caught.
+        let mut caught = 0;
+        for seed in 1..=8u64 {
+            let vfs = ndt_vfs::VfsHandle::faulty(ndt_vfs::IoFaultPlan {
+                io_seed: seed,
+                bit_rot: 1.0,
+                ..ndt_vfs::IoFaultPlan::NONE
+            });
+            let outcome = Shard::open_with(&vfs, &path).and_then(|s| {
+                s.verify_payloads()?;
+                Scan::new(&s, ScanOptions::default())?
+                    .collect::<Result<Vec<Batch>, StoreError>>()?;
+                Ok(())
+            });
+            caught += outcome.is_err() as usize;
+        }
+        assert!(caught >= 6, "only {caught}/8 rotten opens were caught");
+        Shard::open(&path).expect("real filesystem still opens the shard");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

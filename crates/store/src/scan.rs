@@ -12,8 +12,9 @@
 //! disk, so their payload checksums are not verified; decoded pages
 //! always are.
 
-use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
+
+use ndt_vfs::VfsFile;
 
 use crate::error::StoreError;
 use crate::page::{decode_page, ColType, ColumnData};
@@ -125,7 +126,7 @@ impl CompiledPred {
 /// each call to `next` yields the next surviving group.
 pub struct Scan<'a> {
     shard: &'a Shard,
-    reader: BufReader<File>,
+    reader: BufReader<Box<dyn VfsFile>>,
     pos: u64,
     next_group: usize,
     /// Schema indices to decode; always sorted ascending.
@@ -188,7 +189,9 @@ impl<'a> Scan<'a> {
                 }
             }
         }
-        let reader = BufReader::new(File::open(shard.path())?);
+        // Reuse the shard's VFS: a shard opened under fault injection
+        // keeps its faults (bit rot in particular) when scanned.
+        let reader = BufReader::new(shard.vfs().open(shard.path())?);
         Ok(Self {
             shard,
             reader,

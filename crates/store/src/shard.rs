@@ -22,9 +22,10 @@
 //! column, e.g. AS-path hops); all other columns must agree with the
 //! group row count exactly.
 
-use std::fs::File;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
+
+use ndt_vfs::{VfsFile, VfsHandle};
 
 use crate::error::{PageError, StoreError};
 use crate::page::{encode_page, ColType, ColumnData, PageHeader, PAGE_HEADER_LEN};
@@ -282,12 +283,13 @@ pub struct Shard {
     schema: Schema,
     groups: Vec<GroupMeta>,
     rows: u64,
+    vfs: VfsHandle,
 }
 
 /// Bounds-checked reads over a buffered file, mirroring
 /// [`wire::Reader`] for streaming sources.
 struct FileCursor {
-    inner: BufReader<File>,
+    inner: BufReader<Box<dyn VfsFile>>,
     pos: u64,
 }
 
@@ -349,16 +351,34 @@ impl FileCursor {
     }
 
     fn at_eof(&mut self) -> Result<bool, StoreError> {
-        Ok(self.inner.fill_buf().map_err(StoreError::Io)?.is_empty())
+        // `fill_buf` propagates `Interrupted` (unlike `read_exact`, which
+        // retries it internally), so absorb EINTR here too — otherwise a
+        // transient signal would masquerade as shard corruption.
+        loop {
+            match self.inner.fill_buf() {
+                Ok(buf) => return Ok(buf.is_empty()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(StoreError::Io(e)),
+            }
+        }
     }
 }
 
 impl Shard {
-    /// Opens and structurally validates a shard file.
+    /// Opens and structurally validates a shard file on the real
+    /// filesystem. See [`Shard::open_with`] for the VFS-routed form.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(&VfsHandle::real(), path)
+    }
+
+    /// Opens and structurally validates a shard file, routing every read
+    /// — this structural pass, later [`Scan`](crate::scan::Scan)s, and
+    /// [`Shard::verify_payloads`] sweeps — through `vfs` so storage
+    /// faults can be injected under test.
+    pub fn open_with(vfs: &VfsHandle, path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
-        let file = File::open(&path)?;
-        let file_len = file.metadata()?.len();
+        let file_len = vfs.file_len(&path)?;
+        let file = vfs.open(&path)?;
         let mut cur = FileCursor { inner: BufReader::new(file), pos: 0 };
 
         let mut magic = [0u8; 4];
@@ -465,7 +485,13 @@ impl Shard {
                             (file_len - cur.pos) as usize,
                         )));
                     }
-                    return Ok(Self { path, schema, groups, rows: total_rows });
+                    return Ok(Self {
+                        path,
+                        schema,
+                        groups,
+                        rows: total_rows,
+                        vfs: vfs.clone(),
+                    });
                 }
                 other => {
                     return Err(StoreError::Corrupt(CodecError::InvalidValue {
@@ -484,7 +510,7 @@ impl Shard {
     /// file must be trusted *in full* before anything reads it — e.g.
     /// shard-level resume deciding whether to regenerate.
     pub fn verify_payloads(&self) -> Result<(), StoreError> {
-        let file = File::open(&self.path)?;
+        let file = self.vfs.open(&self.path)?;
         let mut reader = BufReader::new(file);
         let mut pos: u64 = 0;
         let mut buf = Vec::new();
@@ -517,6 +543,12 @@ impl Shard {
     /// The file this shard was opened from.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The VFS this shard was opened through; scans reuse it so a
+    /// fault-injected open stays fault-injected when its pages are read.
+    pub fn vfs(&self) -> &VfsHandle {
+        &self.vfs
     }
 
     /// The shard's schema.

@@ -1,0 +1,867 @@
+//! Keyed, reproducible filesystem fault injection.
+//!
+//! [`FaultFs`] wraps another [`Vfs`] and decides, per operation, whether
+//! to fail it — the same way `ndt-mlab`'s `FaultPlan` degrades the
+//! *dataset*, an [`IoFaultPlan`] degrades the *storage layer*. Every
+//! decision is a pure splitmix64 hash of:
+//!
+//! * the plan's `io_seed`,
+//! * a domain separator per fault kind (so raising the EINTR rate never
+//!   moves which writes tear),
+//! * the file's identity — FNV-1a of its final path component, with any
+//!   `.tmp.<pid>` suffix stripped so atomic-write temporaries key the
+//!   same across processes, and
+//! * a per-`(file, operation)` sequence number, so a retried operation
+//!   draws a fresh coin (retries can heal, exactly like real storage).
+//!
+//! The injected failures and where they surface:
+//!
+//! * **short reads** — `read` fills a strict prefix of the buffer; legal
+//!   POSIX behavior that `read_exact` discipline must absorb;
+//! * **EINTR bursts** — `read`/`write`/`fsync`/`rename`/`remove` fail
+//!   with `ErrorKind::Interrupted`, sometimes twice in a row; std's
+//!   `read_exact`/`write_all` and the runner's `retry_io` absorb them;
+//! * **ENOSPC** — `create`/`write` fail with the raw `ENOSPC` errno;
+//!   permanent, so retry layers must *not* spin on it;
+//! * **torn writes** — `write` persists a keyed prefix of the buffer and
+//!   then errors, modeling a crash mid-`write(2)`; the atomic-write
+//!   protocol must keep the destination untouched;
+//! * **fsync failure** — `sync_all` errors after data may or may not
+//!   have reached disk; treated as fatal for that artifact attempt;
+//! * **ghost renames** — the rename *succeeds* but reports EINTR, so a
+//!   naive retry observes the source missing and mistakes success for
+//!   failure (the `rename_reliable` regression case);
+//! * **bit rot** — an opened file's read stream has one keyed byte
+//!   XOR-flipped at a keyed offset, consistently on every open: the
+//!   on-disk file is untouched, but every reader of that file sees the
+//!   same persistent corruption, modeling post-commit media decay.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::{RealFs, Vfs, VfsFile};
+#[cfg(test)]
+use crate::VfsHandle;
+
+/// SplitMix64 finalizer — the workspace's standard keyed-coin hash,
+/// matching `ndt-mlab::fault`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over bytes — file-name keys.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Domain separators so each fault kind has an independent coin stream.
+mod domain {
+    pub const READ: u64 = 0x10fa_0000_0000_0001;
+    pub const WRITE: u64 = 0x10fa_0000_0000_0002;
+    pub const FSYNC: u64 = 0x10fa_0000_0000_0003;
+    pub const RENAME: u64 = 0x10fa_0000_0000_0004;
+    pub const REMOVE: u64 = 0x10fa_0000_0000_0005;
+    pub const CREATE: u64 = 0x10fa_0000_0000_0006;
+    pub const EINTR: u64 = 0x10fa_0000_0000_0007;
+    pub const SHORT: u64 = 0x10fa_0000_0000_0008;
+    pub const ENOSPC: u64 = 0x10fa_0000_0000_0009;
+    pub const TORN: u64 = 0x10fa_0000_0000_000a;
+    pub const ROT: u64 = 0x10fa_0000_0000_000b;
+    pub const GHOST: u64 = 0x10fa_0000_0000_000c;
+    pub const VARIANT: u64 = 0x10fa_0000_0000_000d;
+}
+
+/// The raw `errno` for "no space left on device" on Linux.
+/// (`io::ErrorKind::StorageFull` is not stable at this crate's MSRV.)
+const ENOSPC_ERRNO: i32 = 28;
+
+/// A deterministic plan of storage failures. All fields are independent
+/// probabilities in `[0, 1]` except [`IoFaultPlan::io_seed`], which keys
+/// the coin streams — mirror of `ndt-mlab::FaultPlan` for the I/O layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoFaultPlan {
+    /// Seed for the fault coin streams; independent of every simulation
+    /// seed, so the same corpus can be stressed many different ways.
+    pub io_seed: u64,
+    /// P(a `read` call fills only a strict prefix of the buffer).
+    pub short_read: f64,
+    /// P(an I/O call fails with transient `EINTR`), sometimes as a
+    /// burst of two consecutive failures on the same operation.
+    pub eintr: f64,
+    /// P(a `create`/`write` call fails with `ENOSPC`); nothing is
+    /// written by a failing call.
+    pub enospc: f64,
+    /// P(a `write` call persists a keyed byte prefix and then errors).
+    pub torn_write: f64,
+    /// P(an `fsync` fails after data may have been buffered).
+    pub fsync_fail: f64,
+    /// P(a `rename` succeeds on disk but reports transient `EINTR`).
+    pub rename_ghost: f64,
+    /// P(an opened file's read stream carries one flipped byte at a
+    /// keyed offset — the same flip on every open of that file).
+    pub bit_rot: f64,
+}
+
+impl IoFaultPlan {
+    /// No faults — byte-identical behavior to the real filesystem.
+    pub const NONE: IoFaultPlan = IoFaultPlan {
+        io_seed: 0,
+        short_read: 0.0,
+        eintr: 0.0,
+        enospc: 0.0,
+        torn_write: 0.0,
+        fsync_fail: 0.0,
+        rename_ghost: 0.0,
+        bit_rot: 0.0,
+    };
+
+    /// Transient noise only — short reads, EINTR bursts, ghost renames.
+    /// Everything here is absorbable by correct retry discipline, so a
+    /// pipeline under `flaky` must still fully succeed.
+    pub const FLAKY: IoFaultPlan = IoFaultPlan {
+        io_seed: 0xA1,
+        short_read: 0.20,
+        eintr: 0.15,
+        enospc: 0.0,
+        torn_write: 0.0,
+        fsync_fail: 0.0,
+        rename_ghost: 0.20,
+        bit_rot: 0.0,
+    };
+
+    /// Writes in trouble: torn writes, ENOSPC, failing fsyncs, plus the
+    /// transient noise. Individual artifact attempts fail; the atomic
+    /// protocol must keep every visible file complete and a rerun must
+    /// converge.
+    pub const TORN: IoFaultPlan = IoFaultPlan {
+        io_seed: 0xB2,
+        short_read: 0.10,
+        eintr: 0.10,
+        enospc: 0.04,
+        torn_write: 0.06,
+        fsync_fail: 0.04,
+        rename_ghost: 0.10,
+        bit_rot: 0.0,
+    };
+
+    /// Post-commit media decay: roughly a third of opened files read
+    /// back with one flipped byte. Checksummed readers must quarantine,
+    /// not crash.
+    pub const ROT: IoFaultPlan = IoFaultPlan {
+        io_seed: 0xC3,
+        short_read: 0.0,
+        eintr: 0.0,
+        enospc: 0.0,
+        torn_write: 0.0,
+        fsync_fail: 0.0,
+        rename_ghost: 0.0,
+        bit_rot: 0.35,
+    };
+
+    /// Everything at once, at rates a robust pipeline should survive
+    /// with degraded-but-correct output.
+    pub const CHAOS: IoFaultPlan = IoFaultPlan {
+        io_seed: 0xD4,
+        short_read: 0.15,
+        eintr: 0.10,
+        enospc: 0.03,
+        torn_write: 0.04,
+        fsync_fail: 0.03,
+        rename_ghost: 0.10,
+        bit_rot: 0.10,
+    };
+
+    /// The built-in plans with their CLI names, in escalation order.
+    pub const BUILTIN: [(&'static str, IoFaultPlan); 5] = [
+        ("none", IoFaultPlan::NONE),
+        ("flaky", IoFaultPlan::FLAKY),
+        ("torn", IoFaultPlan::TORN),
+        ("rot", IoFaultPlan::ROT),
+        ("chaos", IoFaultPlan::CHAOS),
+    ];
+
+    /// Looks up a built-in plan by its CLI name.
+    pub fn by_name(name: &str) -> Option<IoFaultPlan> {
+        IoFaultPlan::BUILTIN.iter().find(|(n, _)| *n == name).map(|(_, p)| *p)
+    }
+
+    /// Whether this plan injects nothing (fast-path check; a `none` plan
+    /// collapses [`VfsHandle::faulty`](crate::VfsHandle::faulty) to the
+    /// real filesystem).
+    pub fn is_none(&self) -> bool {
+        self.short_read == 0.0
+            && self.eintr == 0.0
+            && self.enospc == 0.0
+            && self.torn_write == 0.0
+            && self.fsync_fail == 0.0
+            && self.rename_ghost == 0.0
+            && self.bit_rot == 0.0
+    }
+
+    /// One keyed draw: a 64-bit hash that is a pure function of
+    /// `(io_seed, domain, key)`.
+    fn draw(&self, domain: u64, key: u64) -> u64 {
+        splitmix64(self.io_seed ^ splitmix64(domain ^ splitmix64(key)))
+    }
+
+    /// Converts a draw to a coin with probability `p`.
+    fn hit(h: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl Default for IoFaultPlan {
+    fn default() -> Self {
+        IoFaultPlan::NONE
+    }
+}
+
+/// The stable identity of a file under fault keying: FNV-1a of its final
+/// path component with any `.tmp.<pid>` suffix stripped, so the same
+/// logical file draws the same coins regardless of directory or process.
+fn file_key(path: &Path) -> u64 {
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let base = match name.rfind(".tmp.") {
+        Some(i)
+            if !name[i + 5..].is_empty()
+                && name[i + 5..].bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            &name[..i + 4]
+        }
+        _ => name.as_str(),
+    };
+    fnv1a64(base.as_bytes())
+}
+
+/// Mutable fault-stream state shared by a [`FaultFs`] and its files.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Per-`(file, domain)` operation counters.
+    seq: BTreeMap<u64, u64>,
+    /// Remaining forced-EINTR repeats per `(file, domain)` (burst tail).
+    pending_eintr: BTreeMap<u64, u32>,
+    /// Consecutive EINTRs injected per `(file, domain)` so far — the
+    /// burst-bound enforcement counter (see [`MAX_EINTR_BURST`]).
+    eintr_streak: BTreeMap<u64, u32>,
+}
+
+/// Hard ceiling on consecutive injected EINTRs per `(file, domain)`
+/// site. EINTR is the one *guaranteed-transient* fault in every plan:
+/// callers are entitled to absorb it with bounded retries (std's
+/// `read_exact`/`write_all` loops, `retry_io`'s 3 attempts), so the
+/// injector must never manufacture an infinite interruption storm —
+/// that would be a different fault class, not EINTR.
+const MAX_EINTR_BURST: u32 = 2;
+
+/// A fault-injecting [`Vfs`] wrapping another implementation
+/// (the real filesystem unless constructed with [`FaultFs::over`]).
+#[derive(Debug)]
+pub struct FaultFs {
+    inner: Arc<dyn Vfs>,
+    plan: IoFaultPlan,
+    state: Arc<Mutex<FaultState>>,
+}
+
+fn eintr_err() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, "injected EINTR")
+}
+
+fn enospc_err() -> io::Error {
+    io::Error::from_raw_os_error(ENOSPC_ERRNO)
+}
+
+impl FaultFs {
+    /// A fault layer over the real filesystem.
+    pub fn new(plan: IoFaultPlan) -> Self {
+        Self::over(Arc::new(RealFs), plan)
+    }
+
+    /// A fault layer over an arbitrary inner [`Vfs`].
+    pub fn over(inner: Arc<dyn Vfs>, plan: IoFaultPlan) -> Self {
+        Self { inner, plan, state: Arc::new(Mutex::new(FaultState::default())) }
+    }
+
+    /// The plan this layer injects.
+    pub fn plan(&self) -> IoFaultPlan {
+        self.plan
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        // A panic while holding this lock cannot corrupt the counters
+        // (plain integer maps), so a poisoned lock is still usable.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Bumps and returns the operation index for `(file, domain)`.
+    fn op_seq(&self, key: u64, domain: u64) -> u64 {
+        let mut st = self.lock();
+        let c = st.seq.entry(key ^ domain).or_insert(0);
+        let n = *c;
+        *c += 1;
+        n
+    }
+
+    /// The transient-EINTR gate for one operation. Draws a fresh coin
+    /// per `(file, domain, seq)`; a hit fails this call and may queue
+    /// one forced repeat so retry loops see a burst, not a single blip.
+    fn eintr_gate(&self, key: u64, domain: u64, seq: u64) -> io::Result<()> {
+        if self.plan.eintr <= 0.0 {
+            return Ok(());
+        }
+        let slot = key ^ domain;
+        {
+            let mut st = self.lock();
+            // A streak at the ceiling must end: the retry lands, and the
+            // next interruption (if any) starts a fresh burst.
+            if st.eintr_streak.get(&slot).copied().unwrap_or(0) >= MAX_EINTR_BURST {
+                st.eintr_streak.insert(slot, 0);
+                st.pending_eintr.remove(&slot);
+                return Ok(());
+            }
+            if let Some(p) = st.pending_eintr.get_mut(&slot) {
+                if *p > 0 {
+                    *p -= 1;
+                    *st.eintr_streak.entry(slot).or_insert(0) += 1;
+                    return Err(eintr_err());
+                }
+            }
+        }
+        let h = self.plan.draw(domain::EINTR ^ domain, key.wrapping_add(splitmix64(seq)));
+        if IoFaultPlan::hit(h, self.plan.eintr) {
+            let mut st = self.lock();
+            *st.eintr_streak.entry(slot).or_insert(0) += 1;
+            if (h >> 17) & 1 == 1 {
+                st.pending_eintr.insert(slot, 1);
+            }
+            return Err(eintr_err());
+        }
+        self.lock().eintr_streak.insert(slot, 0);
+        Ok(())
+    }
+
+    /// The persistent bit-rot decision for a file: `None` when clean,
+    /// otherwise the flipped offset and XOR mask. Keyed by file identity
+    /// only, so every open of the same file sees the same damage.
+    fn rot_for(&self, key: u64, len: u64) -> Option<(u64, u8)> {
+        if len == 0 || !IoFaultPlan::hit(self.plan.draw(domain::ROT, key), self.plan.bit_rot) {
+            return None;
+        }
+        let h = self.plan.draw(domain::ROT ^ domain::VARIANT, key);
+        let offset = h % len;
+        let mask = 1u8 << ((h >> 37) % 8) as u32;
+        Some((offset, mask))
+    }
+}
+
+impl Vfs for FaultFs {
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let key = file_key(path);
+        let rot = if self.plan.bit_rot > 0.0 {
+            let len = self.inner.file_len(path).unwrap_or(0);
+            self.rot_for(key, len)
+        } else {
+            None
+        };
+        let inner = self.inner.open(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            fs_plan: self.plan,
+            state: Arc::clone(&self.state),
+            key,
+            pos: 0,
+            rot,
+        }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let key = file_key(path);
+        let seq = self.op_seq(key, domain::CREATE);
+        if IoFaultPlan::hit(
+            self.plan.draw(domain::ENOSPC ^ domain::CREATE, key.wrapping_add(splitmix64(seq))),
+            self.plan.enospc,
+        ) {
+            return Err(enospc_err());
+        }
+        let inner = self.inner.create(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            fs_plan: self.plan,
+            state: Arc::clone(&self.state),
+            key,
+            pos: 0,
+            rot: None,
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        // Renames are keyed by the destination: that is the name whose
+        // visibility the operation decides.
+        let key = file_key(to);
+        let seq = self.op_seq(key, domain::RENAME);
+        self.eintr_gate(key, domain::RENAME, seq)?;
+        if IoFaultPlan::hit(
+            self.plan.draw(domain::GHOST, key.wrapping_add(splitmix64(seq))),
+            self.plan.rename_ghost,
+        ) {
+            // Ghost success: the rename lands on disk but the caller is
+            // told it was interrupted.
+            self.inner.rename(from, to)?;
+            return Err(eintr_err());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let key = file_key(path);
+        let seq = self.op_seq(key, domain::REMOVE);
+        self.eintr_gate(key, domain::REMOVE, seq)?;
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.read_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.inner.sync_dir(path)
+    }
+}
+
+/// An open file under fault injection. Tracks its own stream position so
+/// bit rot stays anchored to a file *offset* across seeks.
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    fs_plan: IoFaultPlan,
+    state: Arc<Mutex<FaultState>>,
+    key: u64,
+    pos: u64,
+    rot: Option<(u64, u8)>,
+}
+
+impl FaultFile {
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn op_seq(&self, domain: u64) -> u64 {
+        let mut st = self.lock();
+        let c = st.seq.entry(self.key ^ domain).or_insert(0);
+        let n = *c;
+        *c += 1;
+        n
+    }
+
+    fn eintr_gate(&self, domain: u64, seq: u64) -> io::Result<()> {
+        if self.fs_plan.eintr <= 0.0 {
+            return Ok(());
+        }
+        let slot = self.key ^ domain;
+        {
+            let mut st = self.lock();
+            // Same burst ceiling as the filesystem-level gate: a streak
+            // at MAX_EINTR_BURST ends here, the retry lands.
+            if st.eintr_streak.get(&slot).copied().unwrap_or(0) >= MAX_EINTR_BURST {
+                st.eintr_streak.insert(slot, 0);
+                st.pending_eintr.remove(&slot);
+                return Ok(());
+            }
+            if let Some(p) = st.pending_eintr.get_mut(&slot) {
+                if *p > 0 {
+                    *p -= 1;
+                    *st.eintr_streak.entry(slot).or_insert(0) += 1;
+                    return Err(eintr_err());
+                }
+            }
+        }
+        let h = self
+            .fs_plan
+            .draw(domain::EINTR ^ domain, self.key.wrapping_add(splitmix64(seq)));
+        if IoFaultPlan::hit(h, self.fs_plan.eintr) {
+            let mut st = self.lock();
+            *st.eintr_streak.entry(slot).or_insert(0) += 1;
+            if (h >> 17) & 1 == 1 {
+                st.pending_eintr.insert(slot, 1);
+            }
+            return Err(eintr_err());
+        }
+        self.lock().eintr_streak.insert(slot, 0);
+        Ok(())
+    }
+}
+
+impl Read for FaultFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let seq = self.op_seq(domain::READ);
+        self.eintr_gate(domain::READ, seq)?;
+        let mut want = buf.len();
+        if want > 1 && self.fs_plan.short_read > 0.0 {
+            let h = self
+                .fs_plan
+                .draw(domain::SHORT, self.key.wrapping_add(splitmix64(seq)));
+            if IoFaultPlan::hit(h, self.fs_plan.short_read) {
+                want = 1 + (splitmix64(h) % (want as u64 - 1)) as usize;
+            }
+        }
+        let n = self.inner.read(&mut buf[..want])?;
+        if let Some((offset, mask)) = self.rot {
+            if offset >= self.pos && offset < self.pos + n as u64 {
+                buf[(offset - self.pos) as usize] ^= mask;
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl Write for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let seq = self.op_seq(domain::WRITE);
+        self.eintr_gate(domain::WRITE, seq)?;
+        let salt = self.key.wrapping_add(splitmix64(seq));
+        if IoFaultPlan::hit(
+            self.fs_plan.draw(domain::ENOSPC, salt),
+            self.fs_plan.enospc,
+        ) {
+            return Err(enospc_err());
+        }
+        if !buf.is_empty()
+            && IoFaultPlan::hit(self.fs_plan.draw(domain::TORN, salt), self.fs_plan.torn_write)
+        {
+            // Persist a keyed strict prefix, then fail: a crash mid-write.
+            let keep =
+                (self.fs_plan.draw(domain::TORN ^ domain::VARIANT, salt) % buf.len() as u64)
+                    as usize;
+            if keep > 0 {
+                self.inner.write_all(&buf[..keep])?;
+                self.pos += keep as u64;
+            }
+            return Err(io::Error::other("injected torn write"));
+        }
+        let n = self.inner.write(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Seek for FaultFile {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        let p = self.inner.seek(pos)?;
+        self.pos = p;
+        Ok(p)
+    }
+}
+
+impl VfsFile for FaultFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        let seq = self.op_seq(domain::FSYNC);
+        self.eintr_gate(domain::FSYNC, seq)?;
+        if IoFaultPlan::hit(
+            self.fs_plan
+                .draw(domain::FSYNC, self.key.wrapping_add(splitmix64(seq))),
+            self.fs_plan.fsync_fail,
+        ) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.inner.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("ndt-vfs-fault-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn by_name_resolves_all_builtins() {
+        for (name, plan) in IoFaultPlan::BUILTIN {
+            assert_eq!(IoFaultPlan::by_name(name), Some(plan));
+        }
+        assert_eq!(IoFaultPlan::by_name("meteor-strike"), None);
+        assert!(IoFaultPlan::by_name("none").is_some_and(|p| p.is_none()));
+        assert!(IoFaultPlan::by_name("chaos").is_some_and(|p| !p.is_none()));
+    }
+
+    #[test]
+    fn short_reads_are_strict_prefixes_absorbed_by_read_exact() {
+        let d = tmpdir("short");
+        let path = d.join("data.bin");
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        fs::write(&path, &payload).expect("seed file");
+        let vfs = VfsHandle::faulty(IoFaultPlan {
+            io_seed: 7,
+            short_read: 1.0,
+            ..IoFaultPlan::NONE
+        });
+        let mut f = vfs.open(&path).expect("open");
+        let mut buf = vec![0u8; 1024];
+        let n = f.read(&mut buf).expect("read");
+        assert!(n >= 1 && n < 1024, "short read returned {n}");
+        // read_exact discipline still recovers the full contents.
+        let mut f = vfs.open(&path).expect("reopen");
+        let mut all = vec![0u8; payload.len()];
+        f.read_exact(&mut all).expect("read_exact absorbs short reads");
+        assert_eq!(all, payload);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn eintr_bursts_are_transient_and_bounded() {
+        let d = tmpdir("eintr");
+        let path = d.join("data.bin");
+        fs::write(&path, vec![9u8; 64]).expect("seed file");
+        let vfs =
+            VfsHandle::faulty(IoFaultPlan { io_seed: 3, eintr: 0.5, ..IoFaultPlan::NONE });
+        // Every injected failure heals within a bounded number of raw
+        // retries (burst length <= 2), and std read_exact absorbs them.
+        let mut f = vfs.open(&path).expect("open");
+        let mut buf = [0u8; 64];
+        f.read_exact(&mut buf).expect("read_exact ignores EINTR");
+        assert_eq!(buf, [9u8; 64]);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn eintr_storms_are_hard_bounded_per_site() {
+        // Worst case — every roll wants an interruption. The gate must
+        // still cap consecutive EINTRs at MAX_EINTR_BURST so bounded
+        // retry disciplines (3 attempts) are provably sufficient.
+        let d = tmpdir("eintr-storm");
+        let path = d.join("data.bin");
+        fs::write(&path, vec![7u8; 32]).expect("seed file");
+        let vfs =
+            VfsHandle::faulty(IoFaultPlan { io_seed: 13, eintr: 1.0, ..IoFaultPlan::NONE });
+        let mut f = vfs.open(&path).expect("open");
+        let mut buf = [0u8; 32];
+        let (mut read, mut streak, mut longest) = (0usize, 0u32, 0u32);
+        while read < buf.len() {
+            match f.read(&mut buf[read..]) {
+                Ok(n) => {
+                    assert!(n > 0, "no EOF before the file is consumed");
+                    read += n;
+                    streak = 0;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    streak += 1;
+                    longest = longest.max(streak);
+                    assert!(streak <= 2, "EINTR burst exceeded the bound");
+                }
+                Err(e) => panic!("only EINTR is injected here: {e}"),
+            }
+        }
+        assert_eq!(buf, [7u8; 32]);
+        assert!(longest == 2, "at probability 1.0 the full burst must occur");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_write_persists_a_strict_prefix_then_errors() {
+        let d = tmpdir("torn");
+        let path = d.join("out.bin");
+        let vfs = VfsHandle::faulty(IoFaultPlan {
+            io_seed: 11,
+            torn_write: 1.0,
+            ..IoFaultPlan::NONE
+        });
+        let payload = vec![0xABu8; 512];
+        let mut f = vfs.create(&path).expect("create");
+        let err = f.write(&payload).expect_err("torn write must error");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        drop(f);
+        let on_disk = fs::read(&path).expect("read back");
+        assert!(on_disk.len() < payload.len(), "wrote {} bytes", on_disk.len());
+        assert_eq!(on_disk, payload[..on_disk.len()], "prefix only");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn enospc_is_permanent_and_writes_nothing() {
+        let d = tmpdir("enospc");
+        let path = d.join("out.bin");
+        let vfs = VfsHandle::faulty(IoFaultPlan {
+            io_seed: 13,
+            enospc: 1.0,
+            ..IoFaultPlan::NONE
+        });
+        let err = match vfs.create(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("create must hit ENOSPC"),
+        };
+        assert_eq!(err.raw_os_error(), Some(ENOSPC_ERRNO));
+        assert!(!path.exists(), "failed create must not leave a file");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn fsync_failure_is_injected() {
+        let d = tmpdir("fsync");
+        let path = d.join("out.bin");
+        let vfs = VfsHandle::faulty(IoFaultPlan {
+            io_seed: 17,
+            fsync_fail: 1.0,
+            ..IoFaultPlan::NONE
+        });
+        let mut f = vfs.create(&path).expect("create");
+        f.write_all(b"data").expect("write");
+        assert!(f.sync_all().is_err(), "fsync must fail");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn ghost_rename_lands_but_reports_eintr() {
+        let d = tmpdir("ghost");
+        let from = d.join("a");
+        let to = d.join("b");
+        fs::write(&from, b"x").expect("seed");
+        let vfs = VfsHandle::faulty(IoFaultPlan {
+            io_seed: 19,
+            rename_ghost: 1.0,
+            ..IoFaultPlan::NONE
+        });
+        let err = vfs.rename(&from, &to).expect_err("ghost reports failure");
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert!(!from.exists() && to.exists(), "rename actually happened");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn bit_rot_is_consistent_across_opens_and_leaves_disk_clean() {
+        let d = tmpdir("rot");
+        let path = d.join("data.bin");
+        let payload = vec![0u8; 256];
+        fs::write(&path, &payload).expect("seed");
+        let vfs = VfsHandle::faulty(IoFaultPlan {
+            io_seed: 23,
+            bit_rot: 1.0,
+            ..IoFaultPlan::NONE
+        });
+        let read_all = || {
+            let mut f = vfs.open(&path).expect("open");
+            let mut buf = vec![0u8; payload.len()];
+            f.read_exact(&mut buf).expect("read");
+            buf
+        };
+        let a = read_all();
+        let b = read_all();
+        assert_eq!(a, b, "rot must be identical on every open");
+        let flipped: Vec<usize> = a.iter().enumerate().filter(|(_, &v)| v != 0).map(|(i, _)| i).collect();
+        assert_eq!(flipped.len(), 1, "exactly one rotten byte, got {flipped:?}");
+        assert_eq!(fs::read(&path).expect("reread"), payload, "disk untouched");
+        // Rot survives seeking back over the damaged offset.
+        let mut f = vfs.open(&path).expect("open");
+        let mut buf = vec![0u8; payload.len()];
+        f.read_exact(&mut buf).expect("read");
+        f.seek(SeekFrom::Start(0)).expect("rewind");
+        let mut again = vec![0u8; payload.len()];
+        f.read_exact(&mut again).expect("reread");
+        assert_eq!(buf, again, "rot anchored to file offset");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn temp_suffix_is_stripped_from_file_identity() {
+        let a = file_key(Path::new("/x/.manifest.txt.tmp.1234"));
+        let b = file_key(Path::new("/y/.manifest.txt.tmp.99"));
+        let c = file_key(Path::new("/x/.manifest.txt.tmp.v2"));
+        assert_eq!(a, b, "pid suffix must not change identity");
+        assert_ne!(a, c, "non-numeric suffix is part of the name");
+        assert_eq!(
+            file_key(Path::new("/p/shard-000-027-abc.unified.ndts")),
+            file_key(Path::new("/q/shard-000-027-abc.unified.ndts")),
+            "directory must not change identity"
+        );
+    }
+
+    #[test]
+    fn fault_kinds_draw_independent_streams() {
+        let plan = IoFaultPlan {
+            io_seed: 29,
+            enospc: 0.5,
+            torn_write: 0.5,
+            ..IoFaultPlan::NONE
+        };
+        let mut enospc_hits = 0;
+        let mut torn_hits = 0;
+        let mut differs = false;
+        for i in 0..512u64 {
+            let salt = splitmix64(i);
+            let e = IoFaultPlan::hit(plan.draw(domain::ENOSPC, salt), plan.enospc);
+            let t = IoFaultPlan::hit(plan.draw(domain::TORN, salt), plan.torn_write);
+            enospc_hits += e as usize;
+            torn_hits += t as usize;
+            differs |= e != t;
+        }
+        assert!(differs, "fault kinds share a coin stream");
+        for (name, hits) in [("enospc", enospc_hits), ("torn", torn_hits)] {
+            let rate = hits as f64 / 512.0;
+            assert!((rate - 0.5).abs() < 0.1, "{name} rate = {rate}");
+        }
+    }
+
+    #[test]
+    fn same_plan_replays_identical_outcomes() {
+        let d = tmpdir("replay");
+        let path = d.join("data.bin");
+        fs::write(&path, vec![5u8; 1024]).expect("seed");
+        let run = || {
+            let vfs = VfsHandle::faulty(IoFaultPlan {
+                io_seed: 31,
+                short_read: 0.5,
+                eintr: 0.3,
+                ..IoFaultPlan::NONE
+            });
+            let mut f = vfs.open(&path).expect("open");
+            let mut log = Vec::new();
+            let mut buf = [0u8; 64];
+            for _ in 0..40 {
+                match f.read(&mut buf) {
+                    Ok(n) => log.push(n as i64),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => log.push(-1),
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run(), "fault stream must replay bit-identically");
+        let _ = fs::remove_dir_all(&d);
+    }
+}

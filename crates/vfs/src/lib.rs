@@ -1,0 +1,250 @@
+//! `ndt-vfs` — the filesystem seam of the ukraine-ndt reproduction.
+//!
+//! Every byte the pipeline persists or reads back — checkpoints, shard
+//! files, store manifests, exported artifacts — goes through a [`Vfs`]
+//! so that storage failures can be injected *deterministically* under
+//! test. The crate provides two implementations:
+//!
+//! * [`RealFs`] — a zero-cost passthrough to `std::fs`; the production
+//!   path and the [`VfsHandle::default`].
+//! * [`FaultFs`] — wraps another `Vfs` and injects keyed, reproducible
+//!   failures (short reads, torn writes, fsync failure, ENOSPC,
+//!   transient EINTR bursts, ghost renames, post-commit bit rot) from a
+//!   splitmix64-seeded [`IoFaultPlan`], mirroring the data-level
+//!   `FaultPlan` design in `ndt-mlab`: every fault decision is a pure
+//!   hash of `(io_seed, fault kind, file identity, operation index)`,
+//!   so the same plan replays the same failures at any thread count.
+//!
+//! Call sites hold a cheaply-cloneable [`VfsHandle`]; the runner threads
+//! one handle from the CLI down through `runner::atomic`,
+//! `runner::checkpoint`, `runner::store` and the `ndt-store` shard
+//! open/scan paths. Nothing in this crate panics on injected failure —
+//! faults surface as ordinary `io::Error`s for the layers above to
+//! retry, quarantine, or degrade around.
+
+pub mod fault;
+
+pub use fault::{FaultFs, IoFaultPlan};
+
+use std::fmt::Debug;
+use std::fs::{self, File};
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An open file behind the VFS: positioned reads/writes plus durability.
+///
+/// `Seek` is part of the contract because shard scans jump between page
+/// payloads; implementations must keep injected faults consistent with
+/// the seek position (a rotten byte lives at a fixed file offset, not a
+/// fixed read index).
+pub trait VfsFile: Read + Write + Seek + Send {
+    /// Flushes file content and metadata to stable storage (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+impl VfsFile for File {
+    fn sync_all(&mut self) -> io::Result<()> {
+        File::sync_all(self)
+    }
+}
+
+/// The filesystem operations the pipeline performs, as a seam.
+///
+/// The surface is deliberately small: open/create/rename/remove plus the
+/// directory and metadata queries the runner's resume logic needs. All
+/// paths are plain `std::path` values — a `Vfs` maps them to real files
+/// (or injects failure on the way).
+pub trait Vfs: Debug + Send + Sync {
+    /// Opens an existing file for reading.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Creates (or truncates) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Atomically renames `from` to `to` (same-filesystem `rename(2)`).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Recursively creates a directory.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists a directory's entries, sorted by file name so callers that
+    /// iterate (orphan sweeps, quarantine scans) behave deterministically.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Whether a path exists (file or directory).
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Length of a file in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+
+    /// Best-effort fsync of a directory so renames inside it survive a
+    /// power loss. Implementations may no-op where unsupported.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+/// A shared, cheaply-cloneable handle to a [`Vfs`] implementation.
+///
+/// This is what flows through `PipelineConfig` and the store/checkpoint
+/// constructors; `Default` is the passthrough [`RealFs`].
+#[derive(Clone)]
+pub struct VfsHandle(Arc<dyn Vfs>);
+
+impl VfsHandle {
+    /// Wraps any [`Vfs`] implementation.
+    pub fn new(vfs: impl Vfs + 'static) -> Self {
+        Self(Arc::new(vfs))
+    }
+
+    /// The passthrough real filesystem.
+    pub fn real() -> Self {
+        Self::new(RealFs)
+    }
+
+    /// A fault-injecting filesystem over the real one. A plan that
+    /// injects nothing collapses to [`VfsHandle::real`] so the hot path
+    /// pays no wrapper cost when faults are off.
+    pub fn faulty(plan: IoFaultPlan) -> Self {
+        if plan.is_none() {
+            Self::real()
+        } else {
+            Self::new(FaultFs::new(plan))
+        }
+    }
+
+    /// Reads a whole file into memory (convenience over `open`).
+    pub fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut f = self.open(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads a whole file as UTF-8 (convenience over `open`).
+    pub fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let bytes = self.read(path)?;
+        String::from_utf8(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl std::ops::Deref for VfsHandle {
+    type Target = dyn Vfs;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl Debug for VfsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl Default for VfsHandle {
+    fn default() -> Self {
+        Self::real()
+    }
+}
+
+/// Passthrough to `std::fs` — the production filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl Vfs for RealFs {
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(File::open(path)?))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(File::create(path)?))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut entries: Vec<PathBuf> = Vec::new();
+        for entry in fs::read_dir(path)? {
+            entries.push(entry?.path());
+        }
+        entries.sort_by(|a, b| a.file_name().cmp(&b.file_name()));
+        Ok(entries)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Some filesystems refuse fsync on a directory handle; rename
+        // atomicity does not depend on it, so failures are reported but
+        // callers treat them as best-effort.
+        let d = File::open(path)?;
+        d.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ndt-vfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn realfs_roundtrips_and_lists_sorted() {
+        let d = tmpdir("real");
+        let vfs = VfsHandle::real();
+        for name in ["b.txt", "a.txt", "c.txt"] {
+            let mut f = vfs.create(&d.join(name)).expect("create");
+            f.write_all(name.as_bytes()).expect("write");
+            f.sync_all().expect("fsync");
+        }
+        assert_eq!(vfs.read(&d.join("a.txt")).expect("read"), b"a.txt");
+        assert_eq!(vfs.read_to_string(&d.join("b.txt")).expect("read"), "b.txt");
+        let names: Vec<String> = vfs
+            .read_dir(&d)
+            .expect("readdir")
+            .iter()
+            .map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default())
+            .collect();
+        assert_eq!(names, ["a.txt", "b.txt", "c.txt"], "entries sorted by name");
+        assert_eq!(vfs.file_len(&d.join("c.txt")).expect("len"), 5);
+        assert!(vfs.exists(&d.join("a.txt")));
+        vfs.rename(&d.join("a.txt"), &d.join("d.txt")).expect("rename");
+        assert!(!vfs.exists(&d.join("a.txt")));
+        vfs.remove_file(&d.join("d.txt")).expect("remove");
+        assert!(!vfs.exists(&d.join("d.txt")));
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn default_handle_is_real() {
+        let vfs = VfsHandle::default();
+        assert!(format!("{vfs:?}").contains("RealFs"));
+        assert!(format!("{:?}", VfsHandle::faulty(IoFaultPlan::NONE)).contains("RealFs"));
+        assert!(format!("{:?}", VfsHandle::faulty(IoFaultPlan::FLAKY)).contains("FaultFs"));
+    }
+}

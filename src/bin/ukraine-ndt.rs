@@ -31,6 +31,13 @@
 //! `sidecar-blackout` — deterministic platform-fault injection; degraded
 //! results carry coverage annotations instead of failing.
 //!
+//! Chaos testing: `--io-faults none|flaky|torn|rot|chaos` (or the
+//! `UKRAINE_NDT_IO_FAULTS` environment variable; the flag wins) routes all
+//! checkpoint and store I/O through a deterministic fault-injecting VFS
+//! (`ndt-vfs`). Shards that fail validation under injected faults are
+//! quarantined under `<store>/.quarantine/` and the report degrades
+//! (coverage footers, exit code 3) instead of dying.
+//!
 //! Execution is staged and crash-safe (see the `ndt-runner` crate and
 //! `DESIGN.md`): `export`/`generate` checkpoint each completed stage under
 //! `<out>/.ukraine-ndt/`, every artifact is written atomically, and
@@ -82,6 +89,8 @@ struct Options {
     metrics: Option<PathBuf>,
     /// Event-log verbosity (`--quiet` → Warn, `--verbose` → Debug).
     verbosity: ukraine_ndt::obs::Level,
+    /// Deterministic I/O fault plan (`--io-faults`, chaos testing).
+    io_faults: IoFaultPlan,
 }
 
 impl Default for Options {
@@ -99,8 +108,19 @@ impl Default for Options {
             threads: 0,
             metrics: None,
             verbosity: ukraine_ndt::obs::Level::Info,
+            io_faults: default_io_faults(),
         }
     }
+}
+
+/// Default I/O fault plan: the `UKRAINE_NDT_IO_FAULTS` environment
+/// variable when set to a known plan name, else none. The `--io-faults`
+/// flag overrides the environment.
+fn default_io_faults() -> IoFaultPlan {
+    std::env::var("UKRAINE_NDT_IO_FAULTS")
+        .ok()
+        .and_then(|name| IoFaultPlan::by_name(&name))
+        .unwrap_or(IoFaultPlan::NONE)
 }
 
 fn usage() -> ExitCode {
@@ -110,6 +130,7 @@ fn usage() -> ExitCode {
          [--faults none|light|moderate|severe|sidecar-blackout] \
          [--out DIR] [--date YYYY-MM-DD] [--resume] \
          [--format csv|columnar] [--from-store DIR] \
+         [--io-faults none|flaky|torn|rot|chaos] \
          [--threads N] [--metrics PATH] [--quiet] [--verbose]"
     );
     ExitCode::FAILURE
@@ -160,6 +181,7 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
             "--threads" => opts.threads = value.parse().ok()?,
             "--metrics" => opts.metrics = Some(PathBuf::from(value)),
             "--faults" => opts.faults = FaultPlan::by_name(value)?,
+            "--io-faults" => opts.io_faults = IoFaultPlan::by_name(value)?,
             "--out" => opts.out = PathBuf::from(value),
             "--from-store" => opts.from_store = Some(PathBuf::from(value)),
             "--format" => {
@@ -203,6 +225,7 @@ fn pipeline_config(opts: &Options, checkpoints: bool) -> PipelineConfig {
     let mut cfg = PipelineConfig::new(sim_config(opts), &opts.out);
     cfg.checkpoints = checkpoints;
     cfg.resume = opts.resume;
+    cfg.vfs = VfsHandle::faulty(opts.io_faults);
     cfg
 }
 
@@ -243,7 +266,8 @@ fn cmd_report(opts: &Options) -> Result<ExitCode, NdtError> {
     // --scale/--seed/--faults are ignored in this mode.
     if let Some(store_dir) = &opts.from_store {
         eprintln!("streaming corpus from store {} ...", store_dir.display());
-        let outcome = run_report_from_store(store_dir, ExecPolicy::default())?;
+        let vfs = VfsHandle::faulty(opts.io_faults);
+        let outcome = run_report_from_store(store_dir, ExecPolicy::default(), &vfs)?;
         println!("{}", outcome.report);
         return Ok(run_status(&outcome.records));
     }
@@ -398,6 +422,15 @@ mod tests {
         assert_eq!(o.verbosity, ukraine_ndt::obs::Level::Info);
         assert_eq!(o.format, CorpusFormat::Csv);
         assert_eq!(o.from_store, None);
+        assert!(o.io_faults.is_none());
+    }
+
+    #[test]
+    fn parses_io_fault_plans() {
+        let (_, o) = parse(&args(&["report", "--io-faults", "chaos"])).expect("parses");
+        assert_eq!(o.io_faults, IoFaultPlan::CHAOS);
+        let (_, o) = parse(&args(&["report", "--io-faults", "none"])).expect("parses");
+        assert!(o.io_faults.is_none());
     }
 
     #[test]
@@ -463,6 +496,8 @@ mod tests {
         assert!(parse(&args(&["report", "--metrics"])).is_none(), "missing value");
         assert!(parse(&args(&["generate", "--format", "parquet"])).is_none(), "unknown format");
         assert!(parse(&args(&["report", "--from-store"])).is_none(), "missing value");
+        assert!(parse(&args(&["report", "--io-faults", "meteor-strike"])).is_none());
+        assert!(parse(&args(&["report", "--io-faults"])).is_none(), "missing value");
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub use ndt_stats as stats;
 pub use ndt_store as store;
 pub use ndt_tcp as tcp;
 pub use ndt_topology as topology;
+pub use ndt_vfs as vfs;
 
 /// Workspace-level error facade: every way the reproduction can fail,
 /// under one type. Degraded *data* never lands here — the analysis layer
@@ -115,4 +116,5 @@ pub mod prelude {
     pub use ndt_runner::{write_atomic, PipelineConfig, PipelineOutcome};
     pub use ndt_stats::{welch_t_test, WelchTTest};
     pub use ndt_topology::{build_topology, Asn, TopologyConfig};
+    pub use ndt_vfs::{IoFaultPlan, VfsHandle};
 }

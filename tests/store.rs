@@ -1,8 +1,9 @@
 //! Columnar-store acceptance suite: the load-bearing invariant is that
 //! `report --from-store` is **byte-identical** to the in-memory pipeline
 //! at every `--scale`/`--threads`/`--faults` combination, and that the
-//! store detects its own corruption with typed errors instead of
-//! producing a silently different report.
+//! store detects its own corruption — quarantining damaged shards and
+//! degrading the report (coverage footers, partial-success records)
+//! instead of producing a silently different one.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -10,7 +11,8 @@ use std::process::{Command, Output};
 use ukraine_ndt::mlab::FaultPlan;
 use ukraine_ndt::prelude::*;
 use ukraine_ndt::runner::{
-    run_report, run_report_from_store, run_store_generate, ExecPolicy, StageStatus, STORE_MANIFEST,
+    run_report, run_report_from_store, run_store_generate, ExecPolicy, StageStatus, QUARANTINE_DIR,
+    STORE_MANIFEST,
 };
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -59,7 +61,7 @@ fn report_from_store_is_byte_identical_across_the_grid() {
                     summary.stats.bytes_raw
                 );
                 let from_store =
-                    run_report_from_store(&store_dir, ExecPolicy::default()).expect("store report");
+                    run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real()).expect("store report");
                 assert!(from_store.is_complete(), "{tag}: {:?}", from_store.failed());
                 assert_eq!(in_memory.report, from_store.report, "{tag}: report text differs");
                 assert_eq!(in_memory.artifacts, from_store.artifacts, "{tag}: artifacts differ");
@@ -78,7 +80,7 @@ fn resumed_store_rewrites_nothing_and_reports_identically() {
     let store_dir = d.join("store");
     let (_, first) = run_store_generate(&cfg, &store_dir).expect("first generate");
     assert!(first.iter().all(|r| r.status == StageStatus::Computed));
-    let baseline = run_report_from_store(&store_dir, ExecPolicy::default()).expect("report");
+    let baseline = run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real()).expect("report");
 
     cfg.resume = true;
     let (summary, second) = run_store_generate(&cfg, &store_dir).expect("resumed generate");
@@ -87,20 +89,27 @@ fn resumed_store_rewrites_nothing_and_reports_identically() {
         "complete store resumes all shards: {second:?}"
     );
     assert_eq!(summary.stats.rows, 0, "nothing rewritten");
-    let again = run_report_from_store(&store_dir, ExecPolicy::default()).expect("report");
+    let again = run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real()).expect("report");
     assert_eq!(baseline.report, again.report);
     assert_eq!(baseline.artifacts, again.artifacts);
     let _ = std::fs::remove_dir_all(&d);
 }
 
-/// A flipped byte inside a shard surfaces as a typed I/O error from the
-/// report path — never a panic, never a silently different report.
+/// A flipped byte inside a shard never panics and never silently alters
+/// the report: the damaged shard is quarantined, the report recomputes
+/// over the survivors with the missing days called out in its coverage
+/// footer, and the run carries a failed `store:` record (exit code 3 at
+/// the CLI).
 #[test]
-fn corrupted_shard_yields_a_typed_error_not_a_panic() {
+fn corrupted_shard_is_quarantined_and_the_report_degrades() {
     let d = tmpdir("corrupt");
     let cfg = mem_cfg(sim(0.01, 0, FaultPlan::NONE), &d.join("out"));
     let store_dir = d.join("store");
     run_store_generate(&cfg, &store_dir).expect("generate");
+    let clean = run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real())
+        .expect("clean report");
+    assert!(clean.is_complete());
+
     let shard = std::fs::read_dir(&store_dir)
         .expect("readdir")
         .filter_map(|e| e.ok())
@@ -111,22 +120,40 @@ fn corrupted_shard_yields_a_typed_error_not_a_panic() {
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
     std::fs::write(&shard, &bytes).expect("write corrupted shard");
-    let err = run_report_from_store(&store_dir, ExecPolicy::default())
-        .expect_err("corruption must not pass");
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "typed error, got: {err}");
 
-    // A resume over the damaged store must notice the payload flip
-    // (structure and footer still validate) and rewrite that shard,
-    // after which the report streams cleanly again.
+    let degraded = run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real())
+        .expect("corruption degrades the report, it does not kill it");
+    let failed = degraded.failed();
+    assert_eq!(failed.len(), 1, "exactly the damaged shard fails: {failed:?}");
+    assert!(failed[0].name.starts_with("store:shard-"), "failure names the shard: {failed:?}");
+    assert!(
+        degraded.report.contains("day(s) missing from input"),
+        "missing days surface in the coverage footer"
+    );
+    assert_ne!(clean.report, degraded.report, "the degradation must be visible");
+
+    // Both files of the damaged shard moved into quarantine; the
+    // surviving shards stayed in place.
+    let quarantined: Vec<String> = std::fs::read_dir(store_dir.join(QUARANTINE_DIR))
+        .expect("quarantine dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(quarantined.len(), 2, "unified + traces file: {quarantined:?}");
+
+    // A resume sees the quarantined shard as missing and regenerates it,
+    // after which the report is byte-identical to the original clean one.
     let mut resume_cfg = cfg;
     resume_cfg.resume = true;
     let (_, records) = run_store_generate(&resume_cfg, &store_dir).expect("resume generate");
     assert!(
         records.iter().any(|r| r.status == StageStatus::Computed),
-        "corrupted shard must be regenerated, not resumed: {records:?}"
+        "quarantined shard must be regenerated, not resumed: {records:?}"
     );
-    run_report_from_store(&store_dir, ExecPolicy::default())
+    let healed = run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real())
         .expect("repaired store must report cleanly");
+    assert!(healed.is_complete());
+    assert_eq!(clean.report, healed.report, "healed store reproduces the clean report");
     let _ = std::fs::remove_dir_all(&d);
 }
 
@@ -138,7 +165,7 @@ fn missing_manifest_is_a_clear_error() {
     let store_dir = d.join("store");
     run_store_generate(&cfg, &store_dir).expect("generate");
     std::fs::remove_file(store_dir.join(STORE_MANIFEST)).expect("remove manifest");
-    let err = run_report_from_store(&store_dir, ExecPolicy::default()).expect_err("no manifest");
+    let err = run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real()).expect_err("no manifest");
     assert!(err.to_string().contains("manifest"), "unhelpful error: {err}");
     let _ = std::fs::remove_dir_all(&d);
 }
