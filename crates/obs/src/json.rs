@@ -15,10 +15,21 @@
 use std::collections::BTreeMap;
 
 use crate::event::Level;
-use crate::registry::SpanStat;
 
-/// Artifact format tag; bump when the shape changes.
-pub const FORMAT: &str = "ndt-obs-v1";
+/// Artifact format tag; bump when the shape changes. v2 added per-span
+/// `p50_ms`/`p99_ms` percentile fields (nearest-rank over retained
+/// duration samples).
+pub const FORMAT: &str = "ndt-obs-v2";
+
+/// One span's artifact line: aggregate plus percentile estimates, all in
+/// nanoseconds (rendered as milliseconds).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SpanLine {
+    pub count: u64,
+    pub total_nanos: u64,
+    pub p50_nanos: u64,
+    pub p99_nanos: u64,
+}
 
 /// Escapes a string for embedding in a JSON document.
 fn escape(s: &str) -> String {
@@ -66,7 +77,7 @@ pub(crate) fn render(
     counters: &BTreeMap<String, u64>,
     gauges: &BTreeMap<String, u64>,
     process: &BTreeMap<String, u64>,
-    spans: &BTreeMap<String, SpanStat>,
+    spans: &BTreeMap<String, SpanLine>,
     events: &[(Level, String)],
     events_dropped: u64,
 ) -> String {
@@ -87,10 +98,12 @@ pub(crate) fn render(
         }
         first = false;
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"count\": {}, \"wall_ms\": {}}}",
+            "    {{\"name\": \"{}\", \"count\": {}, \"wall_ms\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}",
             escape(name),
             stat.count,
-            wall_ms(stat.total_nanos)
+            wall_ms(stat.total_nanos),
+            wall_ms(stat.p50_nanos),
+            wall_ms(stat.p99_nanos)
         ));
     }
     if !first {
@@ -119,15 +132,21 @@ pub(crate) fn render(
     out
 }
 
-/// Replaces every `"wall_ms": <number>` value in an artifact with `0.000`,
-/// leaving everything else byte-for-byte intact. Two runs of the same
-/// workload then byte-compare equal regardless of timing.
+/// Replaces every `"wall_ms"`, `"p50_ms"` and `"p99_ms"` value in an
+/// artifact with `0.000`, leaving everything else byte-for-byte intact.
+/// Two runs of the same workload then byte-compare equal regardless of
+/// timing.
 pub fn zero_wall_times(artifact: &str) -> String {
-    const KEY: &str = "\"wall_ms\": ";
+    const KEYS: [&str; 3] = ["\"wall_ms\": ", "\"p50_ms\": ", "\"p99_ms\": "];
     let mut out = String::with_capacity(artifact.len());
     let mut rest = artifact;
-    while let Some(pos) = rest.find(KEY) {
-        let after = pos + KEY.len();
+    // Zero whichever duration key comes next in the document, repeatedly.
+    while let Some((pos, key)) = KEYS
+        .iter()
+        .filter_map(|k| rest.find(k).map(|p| (p, *k)))
+        .min_by_key(|(p, _)| *p)
+    {
+        let after = pos + key.len();
         out.push_str(&rest[..after]);
         rest = &rest[after..];
         let end = rest
@@ -183,11 +202,11 @@ mod tests {
         let mut spans = BTreeMap::new();
         spans.insert(
             "stage.corpus".to_string(),
-            SpanStat { count: 1, total_nanos: 1_234_567 },
+            SpanLine { count: 1, total_nanos: 1_234_567, p50_nanos: 1_234_567, p99_nanos: 1_234_567 },
         );
         spans.insert(
             "stage.corpus/simulate".to_string(),
-            SpanStat { count: 3, total_nanos: 999 },
+            SpanLine { count: 3, total_nanos: 999, p50_nanos: 333, p99_nanos: 500 },
         );
         let events = vec![(Level::Info, "hello \"world\"\n".to_string())];
         render(&counters, &gauges, &process, &spans, &events, 0)
@@ -223,7 +242,9 @@ mod tests {
     fn zero_wall_times_blanks_only_durations() {
         let doc = sample();
         let zeroed = zero_wall_times(&doc);
-        assert!(zeroed.contains("\"wall_ms\": 0.000}"));
+        assert!(zeroed.contains("\"wall_ms\": 0.000,"));
+        assert!(zeroed.contains("\"p50_ms\": 0.000,"));
+        assert!(zeroed.contains("\"p99_ms\": 0.000}"));
         assert!(!zeroed.contains("1.235"));
         // Counter values untouched.
         assert!(zeroed.contains("\"sim.tests\": 42"));
@@ -234,9 +255,15 @@ mod tests {
     #[test]
     fn zeroed_docs_compare_equal_when_only_durations_differ() {
         let mut spans_a = BTreeMap::new();
-        spans_a.insert("stage.x".to_string(), SpanStat { count: 1, total_nanos: 10 });
+        spans_a.insert(
+            "stage.x".to_string(),
+            SpanLine { count: 1, total_nanos: 10, p50_nanos: 10, p99_nanos: 10 },
+        );
         let mut spans_b = BTreeMap::new();
-        spans_b.insert("stage.x".to_string(), SpanStat { count: 1, total_nanos: 99_999 });
+        spans_b.insert(
+            "stage.x".to_string(),
+            SpanLine { count: 1, total_nanos: 99_999, p50_nanos: 9_999, p99_nanos: 99_999 },
+        );
         let empty = BTreeMap::new();
         let a = render(&empty, &empty, &empty, &spans_a, &[], 0);
         let b = render(&empty, &empty, &empty, &spans_b, &[], 0);
@@ -257,7 +284,7 @@ mod tests {
     #[test]
     fn empty_registry_renders_valid_shape() {
         let empty = BTreeMap::new();
-        let spans = BTreeMap::new();
+        let spans: BTreeMap<String, SpanLine> = BTreeMap::new();
         let doc = render(&empty, &empty, &empty, &spans, &[], 0);
         assert!(doc.contains("\"counters\": {"));
         assert!(doc.contains("\"events_dropped\": 0"));

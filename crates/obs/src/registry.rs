@@ -29,12 +29,38 @@ pub struct SpanStat {
 /// Cap on buffered events; beyond it only `events_dropped` grows.
 const MAX_EVENTS: usize = 1024;
 
+/// Cap on retained per-span duration samples. Spans that fire more often
+/// (e.g. `serve.request` under load) keep the first `MAX_SPAN_SAMPLES`
+/// durations for percentile estimation; `count`/`total_nanos` keep
+/// aggregating past the cap, so totals stay exact while percentiles
+/// become a prefix estimate.
+const MAX_SPAN_SAMPLES: usize = 4096;
+
+/// One span name's aggregate plus the retained duration samples behind
+/// its percentile estimates.
+#[derive(Debug, Default)]
+struct SpanAgg {
+    stat: SpanStat,
+    /// Nanosecond durations, insertion order, capped at
+    /// `MAX_SPAN_SAMPLES`.
+    samples: Vec<u64>,
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) over a *sorted* slice.
+fn percentile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     process: BTreeMap<String, u64>,
-    spans: BTreeMap<String, SpanStat>,
+    spans: BTreeMap<String, SpanAgg>,
     events: Vec<(Level, String)>,
     events_dropped: u64,
 }
@@ -116,12 +142,25 @@ impl Registry {
         self.lock().gauges.insert(name.to_string(), value);
     }
 
+    /// Sets a point-in-time value in the `process` section (a process
+    /// gauge). The `gauges` section carries simulated-world facts under
+    /// the determinism contract; run-shape observations that are gauges
+    /// rather than monotonic counts — peak queue depth, high-water marks —
+    /// belong here instead.
+    pub fn set_process(&self, name: &str, value: u64) {
+        self.lock().process.insert(name.to_string(), value);
+    }
+
     /// Records one completed span scope.
     pub fn record_span(&self, path: &str, elapsed: Duration) {
         let mut g = self.lock();
-        let stat = g.spans.entry(path.to_string()).or_default();
-        stat.count += 1;
-        stat.total_nanos = stat.total_nanos.saturating_add(elapsed.as_nanos() as u64);
+        let agg = g.spans.entry(path.to_string()).or_default();
+        let nanos = elapsed.as_nanos() as u64;
+        agg.stat.count += 1;
+        agg.stat.total_nanos = agg.stat.total_nanos.saturating_add(nanos);
+        if agg.samples.len() < MAX_SPAN_SAMPLES {
+            agg.samples.push(nanos);
+        }
     }
 
     /// Buffers one event line for the artifact's event log.
@@ -191,7 +230,17 @@ impl Registry {
 
     /// Aggregated stats for a span name, if any scope completed.
     pub fn span_stat(&self, path: &str) -> Option<SpanStat> {
-        self.lock().spans.get(path).copied()
+        self.lock().spans.get(path).map(|a| a.stat)
+    }
+
+    /// `(p50, p99)` duration in nanoseconds for a span name, nearest-rank
+    /// over the retained samples (the first `MAX_SPAN_SAMPLES` scopes).
+    pub fn span_percentiles(&self, path: &str) -> Option<(u64, u64)> {
+        let g = self.lock();
+        let agg = g.spans.get(path)?;
+        let mut sorted = agg.samples.clone();
+        sorted.sort_unstable();
+        Some((percentile_sorted(&sorted, 0.50), percentile_sorted(&sorted, 0.99)))
     }
 
     /// Clears every section (test support).
@@ -203,11 +252,26 @@ impl Registry {
     /// Renders the artifact JSON; see the `json` module for the format.
     pub fn render_json(&self) -> String {
         let g = self.lock();
+        let spans: BTreeMap<String, crate::json::SpanLine> = g
+            .spans
+            .iter()
+            .map(|(name, agg)| {
+                let mut sorted = agg.samples.clone();
+                sorted.sort_unstable();
+                let line = crate::json::SpanLine {
+                    count: agg.stat.count,
+                    total_nanos: agg.stat.total_nanos,
+                    p50_nanos: percentile_sorted(&sorted, 0.50),
+                    p99_nanos: percentile_sorted(&sorted, 0.99),
+                };
+                (name.clone(), line)
+            })
+            .collect();
         crate::json::render(
             &g.counters,
             &g.gauges,
             &g.process,
-            &g.spans,
+            &spans,
             &g.events,
             g.events_dropped,
         )
@@ -233,6 +297,12 @@ pub fn incr_process(name: &str, n: u64) {
 /// Sets a named gauge on the global registry.
 pub fn set_gauge(name: &str, value: u64) {
     global().set_gauge(name, value);
+}
+
+/// Sets a point-in-time value in the global registry's `process` section
+/// (a process gauge — outside the determinism contract).
+pub fn set_process(name: &str, value: u64) {
+    global().set_process(name, value);
 }
 
 /// Snapshot of the global registry's deterministic sections.
@@ -328,6 +398,44 @@ mod tests {
         let stat = r.span_stat("a/b").expect("recorded");
         assert_eq!(stat.count, 2);
         assert_eq!(stat.total_nanos, 5_000_000);
+    }
+
+    #[test]
+    fn span_percentiles_are_nearest_rank() {
+        let r = Registry::new();
+        for ms in 1..=100u64 {
+            r.record_span("serve.request", Duration::from_millis(ms));
+        }
+        let (p50, p99) = r.span_percentiles("serve.request").expect("recorded");
+        assert_eq!(p50, Duration::from_millis(50).as_nanos() as u64);
+        assert_eq!(p99, Duration::from_millis(99).as_nanos() as u64);
+        assert_eq!(r.span_percentiles("never"), None);
+        // A single sample is its own p50 and p99.
+        r.record_span("one", Duration::from_millis(7));
+        assert_eq!(
+            r.span_percentiles("one"),
+            Some((7_000_000, 7_000_000))
+        );
+    }
+
+    #[test]
+    fn span_sample_retention_is_bounded_but_totals_stay_exact() {
+        let r = Registry::new();
+        for _ in 0..(MAX_SPAN_SAMPLES + 500) {
+            r.record_span("hot", Duration::from_nanos(10));
+        }
+        let stat = r.span_stat("hot").expect("recorded");
+        assert_eq!(stat.count, (MAX_SPAN_SAMPLES + 500) as u64);
+        assert_eq!(stat.total_nanos, 10 * (MAX_SPAN_SAMPLES + 500) as u64);
+        assert_eq!(r.lock().spans.get("hot").expect("agg").samples.len(), MAX_SPAN_SAMPLES);
+    }
+
+    #[test]
+    fn process_gauges_set_rather_than_accumulate() {
+        let r = Registry::new();
+        r.set_process("serve.queue_depth_peak", 5);
+        r.set_process("serve.queue_depth_peak", 3);
+        assert_eq!(r.process_counter("serve.queue_depth_peak"), 3);
     }
 
     #[test]

@@ -69,6 +69,6 @@ pub use pipeline::{
 };
 pub use retry::{retry_io, RetryPolicy};
 pub use store::{
-    load_study_data, run_report_from_store, run_store_generate, StoreSummary, QUARANTINE_DIR,
-    STORE_MANIFEST,
+    load_study_data, read_store_fingerprint, run_report_from_store, run_store_generate,
+    StoreSummary, QUARANTINE_DIR, STORE_MANIFEST,
 };

@@ -194,6 +194,40 @@ mod tests {
     }
 
     #[test]
+    fn backoff_stays_inside_the_decorrelated_jitter_envelope() {
+        // The decorrelated-jitter recurrence d_i ∈ [base, 3·d_{i-1}]
+        // implies a closed-form envelope: base ≤ d(a) ≤ min(base·3^a, cap)
+        // for every key and attempt. Sweep keys × attempts against it —
+        // a regression that, say, drops the lower bound or lets the
+        // upper bound compound past the cap lands outside immediately.
+        let base = Duration::from_millis(10);
+        for key in 0..32u64 {
+            let p = RetryPolicy {
+                max_attempts: 16,
+                initial_backoff: base,
+                jitter_seed: key,
+            };
+            for attempt in 1..=16u32 {
+                let d = p.backoff(attempt);
+                let ceiling = base
+                    .saturating_mul(3u32.saturating_pow(attempt))
+                    .min(Duration::from_secs(2));
+                assert!(
+                    d >= base,
+                    "key {key} attempt {attempt}: {d:?} under the base floor {base:?}"
+                );
+                assert!(
+                    d <= ceiling,
+                    "key {key} attempt {attempt}: {d:?} over the 3^a envelope {ceiling:?}"
+                );
+            }
+            // By attempt 16 the ceiling is the 2 s cap itself; the draw
+            // must never exceed it no matter the key.
+            assert!(p.backoff(16) <= Duration::from_secs(2), "key {key}: cap violated");
+        }
+    }
+
+    #[test]
     fn jitter_keys_decorrelate_workers() {
         let p = RetryPolicy {
             max_attempts: 8,

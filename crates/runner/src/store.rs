@@ -250,6 +250,30 @@ fn read_manifest(vfs: &VfsHandle, store_dir: &Path) -> io::Result<Vec<String>> {
     Ok(stems)
 }
 
+/// Reads the config fingerprint a store's manifest records — the same
+/// value [`config_fingerprint`] produced for the run that generated it.
+/// The serving layer keys its result cache on this: two stores generated
+/// from the same configuration answer identically, so their cache entries
+/// may as well.
+pub fn read_store_fingerprint(vfs: &VfsHandle, store_dir: &Path) -> io::Result<u64> {
+    let path = store_dir.join(STORE_MANIFEST);
+    let text = vfs.read_to_string(&path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!("cannot open store manifest {}: {e}", path.display()),
+        )
+    })?;
+    text.lines()
+        .find_map(|l| l.strip_prefix("fingerprint "))
+        .and_then(|hex| u64::from_str_radix(hex.trim(), 16).ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} records no fingerprint", path.display()),
+            )
+        })
+}
+
 /// Reads both files of one shard fully into memory — nothing is ingested
 /// until the whole pair decoded cleanly, so a mid-shard failure never
 /// leaves half a shard's rows in the builder.

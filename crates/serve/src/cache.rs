@@ -1,0 +1,226 @@
+//! Single-flight result cache.
+//!
+//! Responses are immutable for the lifetime of a server (the store is
+//! loaded once), so the cache is insert-only for successes: a `Ready`
+//! entry never changes and every later hit returns the same `Arc<str>` —
+//! which is what makes cached responses byte-identical to cold ones by
+//! construction.
+//!
+//! The single-flight half deduplicates *concurrent* identical requests:
+//! the first requester takes a [`Lease`] and executes; the rest wait on a
+//! condvar for the leader's outcome instead of queuing duplicate work. A
+//! leader that fails parks a `Failed` entry so current waiters see the
+//! error, and the *next* requester replaces it with a fresh lease —
+//! failures are never cached past the waiters they belong to.
+//!
+//! A dropped lease (response channel gone, worker thread died) fails the
+//! entry rather than leaving waiters parked forever: the `Drop` impl is
+//! the last line of defence, not a code path anything aims for.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::server::ServeError;
+
+#[derive(Debug, Clone)]
+enum Entry {
+    /// A leader holds the lease and is computing.
+    InFlight,
+    /// The response body; immutable once inserted.
+    Ready(Arc<str>),
+    /// The leader failed; waiters take the error, the next lookup retries.
+    Failed(ServeError),
+}
+
+#[derive(Debug, Default)]
+struct State {
+    map: Mutex<HashMap<String, Entry>>,
+    cv: Condvar,
+}
+
+/// What a cache lookup found; see [`Cache::lookup`].
+#[derive(Debug)]
+pub enum Lookup {
+    /// Cached response — return it, nothing to execute.
+    Hit(Arc<str>),
+    /// This requester is the leader: execute and settle the lease.
+    Lease(Lease),
+    /// Another requester is already computing this key; call
+    /// [`Cache::wait`].
+    Wait,
+}
+
+/// The leader's obligation to settle a cache key, one way or the other.
+#[derive(Debug)]
+pub struct Lease {
+    state: Arc<State>,
+    key: String,
+    settled: bool,
+}
+
+impl Lease {
+    /// Publishes the response and wakes every waiter.
+    pub fn fulfill(mut self, value: Arc<str>) {
+        self.settled = true;
+        self.state.settle(&self.key, Entry::Ready(value));
+    }
+
+    /// Fails the key for current waiters and wakes them; the next
+    /// requester will retry as a fresh leader.
+    pub fn fail(mut self, err: ServeError) {
+        self.settled = true;
+        self.state.settle(&self.key, Entry::Failed(err));
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.state.settle(
+                &self.key,
+                Entry::Failed(ServeError::Failed("request abandoned before completion".into())),
+            );
+        }
+    }
+}
+
+impl State {
+    fn settle(&self, key: &str, entry: Entry) {
+        let mut g = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        g.insert(key.to_string(), entry);
+        self.cv.notify_all();
+    }
+}
+
+/// Keyed single-flight response cache; cheap to clone, shared by value.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    state: Arc<State>,
+}
+
+impl Cache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`: a hit returns the cached response, a vacant (or
+    /// previously failed) key makes this caller the leader, an in-flight
+    /// key directs the caller to [`Cache::wait`].
+    pub fn lookup(&self, key: &str) -> Lookup {
+        let mut g = self.state.map.lock().unwrap_or_else(|p| p.into_inner());
+        match g.get(key) {
+            Some(Entry::Ready(v)) => Lookup::Hit(Arc::clone(v)),
+            Some(Entry::InFlight) => Lookup::Wait,
+            Some(Entry::Failed(_)) | None => {
+                g.insert(key.to_string(), Entry::InFlight);
+                Lookup::Lease(Lease {
+                    state: Arc::clone(&self.state),
+                    key: key.to_string(),
+                    settled: false,
+                })
+            }
+        }
+    }
+
+    /// Blocks until the in-flight leader for `key` settles, bounded by
+    /// `deadline`. Returns the leader's response or error; its own
+    /// expiry is [`ServeError::DeadlineExceeded`] (the leader keeps
+    /// computing — a waiter's deadline is its own).
+    pub fn wait(&self, key: &str, deadline: Duration) -> Result<Arc<str>, ServeError> {
+        let started = Instant::now();
+        let mut g = self.state.map.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match g.get(key) {
+                Some(Entry::Ready(v)) => return Ok(Arc::clone(v)),
+                Some(Entry::Failed(e)) => return Err(e.clone()),
+                Some(Entry::InFlight) => {}
+                // The leader's lease vanished without settling — only
+                // possible across a reset; treat as a failure.
+                None => return Err(ServeError::Failed("cache entry vanished".into())),
+            }
+            let remaining = deadline.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                return Err(ServeError::DeadlineExceeded);
+            }
+            g = self
+                .state
+                .cv
+                .wait_timeout(g, remaining)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn hit_after_fulfill_returns_the_same_allocation() {
+        let c = Cache::new();
+        let Lookup::Lease(lease) = c.lookup("k") else { panic!("vacant key leases") };
+        let body: Arc<str> = Arc::from("response bytes");
+        lease.fulfill(Arc::clone(&body));
+        match c.lookup("k") {
+            Lookup::Hit(v) => {
+                assert!(Arc::ptr_eq(&v, &body), "hit must be the identical allocation")
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_lookups_single_flight() {
+        let c = Cache::new();
+        let Lookup::Lease(lease) = c.lookup("k") else { panic!("leader leases") };
+        // Everyone after the leader is told to wait, not to lease.
+        assert!(matches!(c.lookup("k"), Lookup::Wait));
+        assert!(matches!(c.lookup("k"), Lookup::Wait));
+
+        let waiter = {
+            let c = c.clone();
+            thread::spawn(move || c.wait("k", Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(20));
+        lease.fulfill(Arc::from("v"));
+        let got = waiter.join().expect("no panic").expect("leader fulfilled");
+        assert_eq!(&*got, "v");
+    }
+
+    #[test]
+    fn failed_leader_wakes_waiters_with_the_error_and_next_lookup_retries() {
+        let c = Cache::new();
+        let Lookup::Lease(lease) = c.lookup("k") else { panic!("leader leases") };
+        let waiter = {
+            let c = c.clone();
+            thread::spawn(move || c.wait("k", Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(20));
+        lease.fail(ServeError::Panicked("boom".into()));
+        let err = waiter.join().expect("no panic").expect_err("leader failed");
+        assert!(matches!(err, ServeError::Panicked(_)), "{err:?}");
+        // The failure is not cached: the next requester becomes a leader.
+        assert!(matches!(c.lookup("k"), Lookup::Lease(_)));
+    }
+
+    #[test]
+    fn waiter_deadline_is_independent_of_the_leader() {
+        let c = Cache::new();
+        let Lookup::Lease(_lease) = c.lookup("k") else { panic!("leader leases") };
+        let err = c.wait("k", Duration::from_millis(30)).expect_err("times out");
+        assert!(matches!(err, ServeError::DeadlineExceeded), "{err:?}");
+    }
+
+    #[test]
+    fn dropped_lease_fails_the_key_instead_of_parking_waiters() {
+        let c = Cache::new();
+        let lookup = c.lookup("k");
+        drop(lookup);
+        let err = c.wait("k", Duration::from_secs(5)).expect_err("abandoned");
+        assert!(matches!(err, ServeError::Failed(_)), "{err:?}");
+    }
+}

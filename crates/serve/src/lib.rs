@@ -1,0 +1,58 @@
+//! # ndt-serve
+//!
+//! Long-running query/report serving for the reproduction: the
+//! `ukraine-ndt serve` command loads a columnar store once and then
+//! answers report-fragment requests over the [`ndt_analysis::ANALYSIS_STAGES`]
+//! registry until told to drain — the "serves heavy traffic" leg of the
+//! project's north star. Where the batch pipeline hardens against broken
+//! data (PR 1) and broken execution (PR 2), this crate hardens against
+//! **overload**: too many concurrent requests must degrade service
+//! deterministically, never collapse it.
+//!
+//! The overload contract, each clause carried by one mechanism:
+//!
+//! * **Bounded admission** ([`server`]) — requests enter a fixed-capacity
+//!   queue; when it is full they are *shed* with a typed
+//!   [`ServeError::Overloaded`] rejection carrying a retry-after hint.
+//!   Queue depth is bounded by construction, so accepted-request latency
+//!   stays bounded no matter the offered load.
+//! * **Deadline propagation** — every request carries a wall-clock budget
+//!   that starts at admission. Time spent queued counts against it; a
+//!   request that expires in the queue is failed without executing, and
+//!   the remaining budget is handed to the runner's executor
+//!   ([`ndt_runner::run_isolated`]), whose cancel-token machinery
+//!   guarantees an abandoned request can never commit a late result.
+//! * **Panic isolation** — request bodies run under the same
+//!   `catch_unwind` worker-thread isolation as pipeline stages: a
+//!   panicking stage fails *that request* ([`ServeError::Panicked`]) and
+//!   the server lives.
+//! * **Result cache + single-flight** ([`cache`]) — responses are cached
+//!   by store config fingerprint + stage name, and concurrent identical
+//!   requests deduplicate: one executes, the rest wait for its result.
+//!   Cached responses are byte-identical to cold ones (they are the same
+//!   `Arc<str>`).
+//! * **Graceful drain** — shutdown stops admission (typed
+//!   [`ServeError::Draining`] rejections), finishes every in-flight and
+//!   queued request, delivers their responses, then joins the workers.
+//!
+//! [`net`] puts a line-oriented TCP protocol in front of the server and
+//! [`loadgen`] drives it with hundreds of concurrent synthetic clients —
+//! mixed cache-hit/miss, tight-deadline ("slow") and panicking workloads —
+//! reporting client-side p50/p99 latency, throughput and shed rate.
+//!
+//! Every request is wired through `ndt-obs`: a `serve.request` span per
+//! executed request (p50/p99 in the metrics artifact) and `serve.*`
+//! counters for shed/timeout/panic/cache-hit accounting. All serve
+//! counters live in the **process** namespace: unlike simulation
+//! counters they depend on thread scheduling and offered load, so they
+//! sit deliberately outside the determinism contract (`DESIGN.md` §15).
+
+pub mod cache;
+pub mod loadgen;
+pub mod net;
+pub mod server;
+
+pub use cache::Cache;
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use net::{fetch, serve_tcp, Reply, Request};
+pub use server::{Server, ServerHandle, ServeConfig, ServeError, ServeStats};

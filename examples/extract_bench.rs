@@ -1,5 +1,5 @@
-//! Distill a `--metrics` artifact into the `BENCH_stage_times.json`
-//! per-stage wall-time snapshot, or verify one against a reference.
+//! Distill a `--metrics` artifact into a checked-in benchmark snapshot,
+//! or verify one against a reference.
 //!
 //! ```sh
 //! # Extract: metrics artifact in, bench snapshot out.
@@ -9,41 +9,172 @@
 //! # checked-in snapshot tracks artifact *shape* (the set of pipeline
 //! # stages and their span counts), not machine-dependent timings.
 //! cargo run --release --example extract_bench -- --check BENCH_stage_times.json fresh.json
+//!
+//! # Serve mode: distill a `serve` run's metrics into the
+//! # BENCH_serve_latency.json snapshot — p50/p99 over the repeated
+//! # `serve.request` span samples, throughput and shed rate from the
+//! # `serve.*` process counters.
+//! cargo run --release --example extract_bench -- --serve metrics.json BENCH_serve_latency.json
 //! ```
+//!
+//! Since the ndt-obs-v2 artifact, every span line carries `p50_ms` /
+//! `p99_ms` computed from its retained per-call duration samples; the
+//! extractors here only re-shape that JSON, they never re-derive
+//! statistics.
 
 use std::fs;
 use std::process::ExitCode;
 use ukraine_ndt::obs::{extract_bench, zero_wall_times};
 use ukraine_ndt::runner::write_atomic;
 
+/// Reads one `"key": value` integer out of the artifact's flat map
+/// sections (counters/gauges/process). Missing keys read as 0 so a
+/// serve run where nothing was shed still extracts.
+fn map_value(artifact: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    artifact
+        .find(&needle)
+        .map(|pos| &artifact[pos + needle.len()..])
+        .and_then(|rest| {
+            let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// Pulls one named span line's `(count, p50_ms, p99_ms)` out of the
+/// artifact.
+fn span_percentiles(artifact: &str, name: &str) -> Option<(u64, f64, f64)> {
+    let needle = format!("{{\"name\": \"{name}\", ");
+    let pos = artifact.find(&needle)?;
+    let line = artifact[pos..].lines().next()?;
+    let field = |key: &str| -> Option<f64> {
+        let k = format!("\"{key}\": ");
+        let rest = &line[line.find(&k)? + k.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    Some((field("count")? as u64, field("p50_ms")?, field("p99_ms")?))
+}
+
+/// Distills a `serve` run's metrics artifact into the serve-latency
+/// benchmark snapshot.
+fn extract_serve_bench(artifact: &str) -> String {
+    let accepted = map_value(artifact, "serve.accepted");
+    let executed = map_value(artifact, "serve.executed");
+    let cache_hits = map_value(artifact, "serve.cache_hits");
+    let singleflight = map_value(artifact, "serve.singleflight_waits");
+    let shed = map_value(artifact, "serve.shed");
+    let draining = map_value(artifact, "serve.draining_rejects");
+    let timeouts = map_value(artifact, "serve.timeouts");
+    let panics = map_value(artifact, "serve.panics");
+    let failures = map_value(artifact, "serve.failures");
+    let queue_peak = map_value(artifact, "serve.queue_depth_peak");
+    let lifetime_ms = map_value(artifact, "serve.lifetime_ms");
+
+    let (count, p50_ms, p99_ms) =
+        span_percentiles(artifact, "serve.request").unwrap_or((0, 0.0, 0.0));
+    let total = accepted + shed + draining + cache_hits + singleflight;
+    // Responses served from a computation or the cache; single-flight
+    // waiters share their leader's execution so they are not recounted.
+    let completed = executed + cache_hits;
+    let throughput_rps = if lifetime_ms > 0 {
+        completed as f64 * 1000.0 / lifetime_ms as f64
+    } else {
+        0.0
+    };
+    let shed_rate = if total > 0 { shed as f64 / total as f64 } else { 0.0 };
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"format\": \"ndt-bench-serve-latency-v1\",\n",
+            "  \"requests\": {{\n",
+            "    \"total\": {},\n",
+            "    \"accepted\": {},\n",
+            "    \"executed\": {},\n",
+            "    \"cache_hits\": {},\n",
+            "    \"singleflight_waits\": {},\n",
+            "    \"shed\": {},\n",
+            "    \"draining_rejects\": {},\n",
+            "    \"timeouts\": {},\n",
+            "    \"panics_contained\": {},\n",
+            "    \"failures\": {}\n",
+            "  }},\n",
+            "  \"request_span\": {{\"count\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n",
+            "  \"throughput_rps\": {:.1},\n",
+            "  \"shed_rate\": {:.4},\n",
+            "  \"queue_depth_peak\": {},\n",
+            "  \"lifetime_ms\": {}\n",
+            "}}\n"
+        ),
+        total,
+        accepted,
+        executed,
+        cache_hits,
+        singleflight,
+        shed,
+        draining,
+        timeouts,
+        panics,
+        failures,
+        count,
+        p50_ms,
+        p99_ms,
+        throughput_rps,
+        shed_rate,
+        queue_peak,
+        lifetime_ms,
+    )
+}
+
+fn read_or_complain(path: &str) -> Option<String> {
+    match fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            None
+        }
+    }
+}
+
+fn write_or_complain(path: &str, content: &str) -> bool {
+    if let Err(e) = write_atomic(path, content.as_bytes()) {
+        eprintln!("error: cannot write {path}: {e}");
+        return false;
+    }
+    eprintln!("wrote {path}");
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [input, output] => {
-            let artifact = match fs::read_to_string(input) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read {input}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let bench = extract_bench(&artifact);
-            if let Err(e) = write_atomic(output, bench.as_bytes()) {
-                eprintln!("error: cannot write {output}: {e}");
+            let Some(artifact) = read_or_complain(input) else {
                 return ExitCode::FAILURE;
+            };
+            if write_or_complain(output, &extract_bench(&artifact)) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
-            eprintln!("wrote {output}");
-            ExitCode::SUCCESS
+        }
+        [flag, input, output] if flag == "--serve" => {
+            let Some(artifact) = read_or_complain(input) else {
+                return ExitCode::FAILURE;
+            };
+            if write_or_complain(output, &extract_serve_bench(&artifact)) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         [flag, reference, fresh] if flag == "--check" => {
-            let read = |p: &str| match fs::read_to_string(p) {
-                Ok(s) => Some(s),
-                Err(e) => {
-                    eprintln!("error: cannot read {p}: {e}");
-                    None
-                }
-            };
-            let (Some(want), Some(got)) = (read(reference), read(fresh)) else {
+            let (Some(want), Some(got)) = (read_or_complain(reference), read_or_complain(fresh))
+            else {
                 return ExitCode::FAILURE;
             };
             if zero_wall_times(&want) == zero_wall_times(&got) {
@@ -60,6 +191,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: extract_bench <metrics.json> <bench-out.json>\n       \
+                 extract_bench --serve <metrics.json> <bench-out.json>\n       \
                  extract_bench --check <reference.json> <fresh.json>"
             );
             ExitCode::FAILURE

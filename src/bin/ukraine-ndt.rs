@@ -9,7 +9,21 @@
 //!                      [--format csv|columnar]
 //! ukraine-ndt map      [--date YYYY-MM-DD]
 //! ukraine-ndt topo     [--out DIR]          # Graphviz dot of the AS graph
+//! ukraine-ndt serve    --store DIR [--addr HOST:PORT] [--workers N] [--queue N]
+//!                      [--deadline-ms N] [--no-cache] [--shutdown SECS]
+//! ukraine-ndt loadgen  --addr HOST:PORT [--clients N] [--requests N]
+//!                      [--stages a,b,c] [--deadline-ms N]
 //! ```
+//!
+//! `serve` loads a columnar store once and answers report-fragment
+//! requests over a line-oriented TCP protocol (see the `ndt-serve`
+//! crate and `DESIGN.md` §15) until drained; it prints
+//! `SERVE_ADDR=<host:port>` on stdout once listening. Admission is a
+//! bounded queue: overload sheds requests with a typed retry-after
+//! rejection instead of queuing without bound. Drain happens after
+//! `--shutdown` seconds, or at stdin EOF when `--shutdown` is 0.
+//! `loadgen` drives such a server with `--clients` concurrent clients and
+//! prints a JSON latency/outcome report on stdout.
 //!
 //! `generate --format columnar` writes the corpus as `ndt-store` shard
 //! files (checksummed, encoded pages; see `DESIGN.md` §13) instead of CSV;
@@ -55,9 +69,10 @@ use ukraine_ndt::conflict::calendar::dates;
 use ukraine_ndt::mlab::Scenario;
 use ukraine_ndt::prelude::*;
 use ukraine_ndt::runner::{
-    run_export, run_generate, run_report, run_report_from_store, run_store_generate, AtomicFile,
-    ExecPolicy, StageRecord, StageStatus,
+    load_study_data, read_store_fingerprint, run_export, run_generate, run_report,
+    run_report_from_store, run_store_generate, AtomicFile, ExecPolicy, StageRecord, StageStatus,
 };
+use ukraine_ndt::serve::{run_load, serve_tcp, LoadConfig, ServeConfig, Server};
 
 /// Exit code when the run completed but one or more stages failed.
 const EXIT_PARTIAL: u8 = 3;
@@ -91,6 +106,27 @@ struct Options {
     verbosity: ukraine_ndt::obs::Level,
     /// Deterministic I/O fault plan (`--io-faults`, chaos testing).
     io_faults: IoFaultPlan,
+    /// `serve`: store directory to load and serve.
+    store: Option<PathBuf>,
+    /// `serve`: listen address; `loadgen`: server address.
+    addr: String,
+    /// `serve`: worker threads executing requests.
+    workers: usize,
+    /// `serve`: admission queue capacity.
+    queue: usize,
+    /// `serve`: default request deadline; `loadgen`: per-request
+    /// deadline sent on the wire (server default when absent).
+    deadline_ms: Option<u64>,
+    /// `serve`: disable the response cache (`--no-cache`).
+    cache: bool,
+    /// `serve`: drain after this many seconds (0 = drain at stdin EOF).
+    shutdown_secs: f64,
+    /// `loadgen`: concurrent client threads.
+    clients: usize,
+    /// `loadgen`: requests per client.
+    requests: usize,
+    /// `loadgen`: stage mix, consumed round-robin.
+    stages: Vec<String>,
 }
 
 impl Default for Options {
@@ -109,6 +145,21 @@ impl Default for Options {
             metrics: None,
             verbosity: ukraine_ndt::obs::Level::Info,
             io_faults: default_io_faults(),
+            store: None,
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue: 64,
+            deadline_ms: None,
+            cache: true,
+            shutdown_secs: 0.0,
+            clients: 32,
+            requests: 16,
+            stages: vec![
+                "fig2".to_string(),
+                "fig3".to_string(),
+                "table1".to_string(),
+                "fig4".to_string(),
+            ],
         }
     }
 }
@@ -125,13 +176,17 @@ fn default_io_faults() -> IoFaultPlan {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ukraine-ndt <report|export|resume|generate|map|topo> \
+        "usage: ukraine-ndt <report|export|resume|generate|map|topo|serve|loadgen> \
          [--scale S] [--seed N] [--scenario historical|no-war|edge-only|core-only] \
          [--faults none|light|moderate|severe|sidecar-blackout] \
          [--out DIR] [--date YYYY-MM-DD] [--resume] \
          [--format csv|columnar] [--from-store DIR] \
          [--io-faults none|flaky|torn|rot|chaos] \
-         [--threads N] [--metrics PATH] [--quiet] [--verbose]"
+         [--threads N] [--metrics PATH] [--quiet] [--verbose]\n\
+         serve:   --store DIR [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--deadline-ms N] [--no-cache] [--shutdown SECS]\n\
+         loadgen: --addr HOST:PORT [--clients N] [--requests N] \
+         [--stages a,b,c] [--deadline-ms N]"
     );
     ExitCode::FAILURE
 }
@@ -170,6 +225,11 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
                 i += 1;
                 continue;
             }
+            "--no-cache" => {
+                opts.cache = false;
+                i += 1;
+                continue;
+            }
             _ => {}
         }
         let value = args.get(i + 1)?;
@@ -192,6 +252,27 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
                 }
             }
             "--date" => opts.date = parse_date(value)?,
+            "--store" => opts.store = Some(PathBuf::from(value)),
+            "--addr" => opts.addr = value.clone(),
+            "--workers" => opts.workers = value.parse().ok().filter(|n: &usize| *n > 0)?,
+            "--queue" => opts.queue = value.parse().ok().filter(|n: &usize| *n > 0)?,
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(value.parse().ok().filter(|n: &u64| *n > 0)?)
+            }
+            "--shutdown" => {
+                opts.shutdown_secs =
+                    value.parse().ok().filter(|v: &f64| v.is_finite() && *v >= 0.0)?
+            }
+            "--clients" => opts.clients = value.parse().ok().filter(|n: &usize| *n > 0)?,
+            "--requests" => opts.requests = value.parse().ok().filter(|n: &usize| *n > 0)?,
+            "--stages" => {
+                let stages: Vec<String> =
+                    value.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect();
+                if stages.is_empty() {
+                    return None;
+                }
+                opts.stages = stages;
+            }
             "--scenario" => {
                 opts.scenario = match value.as_str() {
                     "historical" => Scenario::Historical,
@@ -401,6 +482,129 @@ fn cmd_map(opts: &Options) {
     println!("{}", map.render());
 }
 
+/// `serve --store DIR`: load the store once, answer report-fragment
+/// requests over TCP until drained. Prints `SERVE_ADDR=<host:port>` on
+/// stdout once listening. Exits 0 on a clean drain, [`EXIT_PARTIAL`]
+/// when the store loaded degraded (quarantined shards), 1 on fatal
+/// errors (no store, bind failure).
+fn cmd_serve(opts: &Options) -> Result<ExitCode, NdtError> {
+    let Some(store_dir) = &opts.store else {
+        eprintln!("error: serve requires --store DIR");
+        return Ok(ExitCode::FAILURE);
+    };
+    let vfs = VfsHandle::faulty(opts.io_faults);
+    let fingerprint = read_store_fingerprint(&vfs, store_dir)?;
+    eprintln!("loading store {} ...", store_dir.display());
+    let (data, records) = load_study_data(&vfs, store_dir)?;
+    let _lifetime = ukraine_ndt::obs::span("serve.lifetime");
+
+    // Test hooks, mirrored from the pipeline's fault-injection envs:
+    // UKRAINE_NDT_SERVE_STALL_MS slows every executed stage,
+    // UKRAINE_NDT_PANIC_STAGE panics matching stages.
+    let stall = std::env::var("UKRAINE_NDT_SERVE_STALL_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(std::time::Duration::from_millis);
+    let panic_stages: Vec<String> = std::env::var("UKRAINE_NDT_PANIC_STAGE")
+        .ok()
+        .map(|v| v.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect())
+        .unwrap_or_default();
+
+    let cfg = ServeConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        default_deadline: std::time::Duration::from_millis(opts.deadline_ms.unwrap_or(5000)),
+        cache: opts.cache,
+        stall,
+        panic_stages,
+    };
+    let server = Server::start(std::sync::Arc::new(data), fingerprint, cfg);
+
+    let listener = std::net::TcpListener::bind(&opts.addr)?;
+    let addr = listener.local_addr()?;
+    // Parsed by loadgen wrappers and the integration tests; keep stable.
+    println!("SERVE_ADDR={addr}");
+    std::io::Write::flush(&mut std::io::stdout())?;
+    eprintln!(
+        "serving on {addr} ({} workers, queue {}, cache {})",
+        opts.workers,
+        opts.queue,
+        if opts.cache { "on" } else { "off" }
+    );
+
+    let shutdown = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let net = {
+        let handle = server.handle();
+        let shutdown = std::sync::Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || serve_tcp(listener, handle, shutdown))?
+    };
+
+    if opts.shutdown_secs > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(opts.shutdown_secs));
+    } else {
+        // Drain when our caller closes stdin — the way the integration
+        // tests and the CI smoke step stop the server deterministically.
+        let mut sink = String::new();
+        while std::io::stdin().read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    }
+
+    // Stop accepting first (in-flight connections are joined, their
+    // responses delivered), then drain the server itself.
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    match net.join() {
+        Ok(res) => res?,
+        Err(_) => eprintln!("warning: accept loop panicked during shutdown"),
+    }
+    let stats = server.drain();
+    eprintln!(
+        "drained: accepted {}, executed {}, cache hits {}, shed {}, timeouts {}, \
+         panics contained {}, failures {}, peak queue depth {}",
+        stats.accepted,
+        stats.executed,
+        stats.cache_hits,
+        stats.shed,
+        stats.timeouts,
+        stats.panics,
+        stats.failures,
+        stats.queue_depth_peak
+    );
+    Ok(run_status(&records))
+}
+
+/// `loadgen --addr HOST:PORT`: drive a serve instance with concurrent
+/// clients and print a JSON latency/outcome report on stdout. Fails only
+/// when every request died on transport (server unreachable) — typed
+/// rejections (shed, deadline, panic) are measurements, not errors.
+fn cmd_loadgen(opts: &Options) -> ExitCode {
+    let cfg = LoadConfig {
+        addr: opts.addr.clone(),
+        clients: opts.clients,
+        requests_per_client: opts.requests,
+        stages: opts.stages.clone(),
+        deadline_ms: opts.deadline_ms,
+        socket_timeout: std::time::Duration::from_secs(30),
+    };
+    eprintln!(
+        "loadgen: {} clients x {} requests against {} (stages: {})",
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.addr,
+        cfg.stages.join(",")
+    );
+    let report = run_load(&cfg);
+    println!("{}", report.to_json());
+    if report.total > 0 && report.io_errors == report.total {
+        eprintln!("error: every request failed on transport — is the server up?");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +705,63 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_flags() {
+        let (cmd, o) = parse(&args(&[
+            "serve", "--store", "/tmp/store", "--addr", "127.0.0.1:8080", "--workers", "2",
+            "--queue", "8", "--deadline-ms", "250", "--no-cache", "--shutdown", "1.5",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd, "serve");
+        assert_eq!(o.store.as_deref(), Some(std::path::Path::new("/tmp/store")));
+        assert_eq!(o.addr, "127.0.0.1:8080");
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.queue, 8);
+        assert_eq!(o.deadline_ms, Some(250));
+        assert!(!o.cache);
+        assert_eq!(o.shutdown_secs, 1.5);
+    }
+
+    #[test]
+    fn parses_loadgen_flags() {
+        let (cmd, o) = parse(&args(&[
+            "loadgen", "--addr", "127.0.0.1:9999", "--clients", "64", "--requests", "5",
+            "--stages", "fig2,table1",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd, "loadgen");
+        assert_eq!(o.addr, "127.0.0.1:9999");
+        assert_eq!(o.clients, 64);
+        assert_eq!(o.requests, 5);
+        assert_eq!(o.stages, vec!["fig2".to_string(), "table1".to_string()]);
+        assert_eq!(o.deadline_ms, None, "deadline defaults to the server's");
+    }
+
+    #[test]
+    fn serve_defaults() {
+        let (_, o) = parse(&args(&["serve", "--store", "s"])).expect("parses");
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.queue, 64);
+        assert!(o.cache);
+        assert_eq!(o.shutdown_secs, 0.0);
+        assert_eq!(o.clients, 32);
+        assert_eq!(o.requests, 16);
+    }
+
+    #[test]
+    fn rejects_bad_serve_input() {
+        assert!(parse(&args(&["serve", "--workers", "0"])).is_none(), "zero workers");
+        assert!(parse(&args(&["serve", "--queue", "0"])).is_none(), "zero queue");
+        assert!(parse(&args(&["serve", "--deadline-ms", "0"])).is_none(), "zero deadline");
+        assert!(parse(&args(&["serve", "--shutdown", "-1"])).is_none(), "negative shutdown");
+        assert!(parse(&args(&["serve", "--shutdown", "NaN"])).is_none(), "NaN shutdown");
+        assert!(parse(&args(&["loadgen", "--clients", "0"])).is_none(), "zero clients");
+        assert!(parse(&args(&["loadgen", "--requests", "0"])).is_none(), "zero requests");
+        assert!(parse(&args(&["loadgen", "--stages", ""])).is_none(), "empty stage list");
+        assert!(parse(&args(&["serve", "--store"])).is_none(), "missing value");
+    }
+
+    #[test]
     fn date_parsing() {
         assert_eq!(parse_date("2022-02-24"), Some(Date::new(2022, 2, 24)));
         assert!(parse_date("2022-02").is_none());
@@ -546,6 +807,8 @@ fn main() -> ExitCode {
             Ok(ExitCode::SUCCESS)
         }
         "topo" => cmd_topo(&opts).map(|()| ExitCode::SUCCESS).map_err(NdtError::from),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => Ok(cmd_loadgen(&opts)),
         _ => return usage(),
     };
     if let Some(path) = &opts.metrics {

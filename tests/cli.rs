@@ -78,6 +78,98 @@ fn report_with_severe_faults_exits_zero_with_coverage() {
     assert!(!stderr(&out).contains("FAILED"), "data faults are not stage failures");
 }
 
+// ---------------------------------------------------------------------
+// The exit-code contract (documented in README.md): 0 = clean success,
+// 1 = fatal error (bad flags, missing inputs), 3 = completed but
+// degraded (failed stages / quarantined shards). One test per leg,
+// through the real binary.
+// ---------------------------------------------------------------------
+
+/// Builds a tiny columnar store through the binary itself.
+fn generate_store(dir: &std::path::Path) -> PathBuf {
+    let store = dir.join("store");
+    let out = run(&[
+        "generate", "--format", "columnar", "--scale", "0.01", "--seed", "7",
+        "--out", &store.display().to_string(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "store generate: {}", stderr(&out));
+    store
+}
+
+#[test]
+fn exit_contract_clean_report_is_zero() {
+    let out = run(&["report", "--scale", "0.01"]);
+    assert_eq!(out.status.code(), Some(0), "clean run exits 0; stderr: {}", stderr(&out));
+}
+
+#[test]
+fn exit_contract_missing_store_is_fatal_one() {
+    let d = tmpdir("exit-fatal");
+    let out = run(&["report", "--from-store", &d.join("nope").display().to_string()]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a store without a manifest is fatal (nothing to degrade over); stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn exit_contract_quarantined_shard_is_partial_three() {
+    let d = tmpdir("exit-partial");
+    std::fs::create_dir_all(&d).expect("mkdir");
+    let store = generate_store(&d);
+    // Truncate one shard: the loader quarantines it, serves the
+    // survivors, and the run completes degraded.
+    let shard = std::fs::read_dir(&store)
+        .expect("store dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "ndts"))
+        .expect("a shard file");
+    let bytes = std::fs::read(&shard).expect("read shard");
+    std::fs::write(&shard, &bytes[..bytes.len() / 2]).expect("truncate shard");
+
+    let out = run(&["report", "--from-store", &store.display().to_string()]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "degraded-but-completed exits 3; stderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        !stdout(&out).is_empty(),
+        "the degraded report is still produced on stdout"
+    );
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn exit_contract_serve_drain_on_clean_store_is_zero() {
+    let d = tmpdir("exit-serve");
+    std::fs::create_dir_all(&d).expect("mkdir");
+    let store = generate_store(&d);
+    // --shutdown drains on a timer (no stdin choreography needed): a
+    // clean store served and drained without incident exits 0.
+    let out = run(&[
+        "serve", "--store", &store.display().to_string(), "--workers", "1",
+        "--shutdown", "0.3",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean serve drain exits 0; stderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).contains("SERVE_ADDR="),
+        "serve must announce its address; stdout: {}",
+        stdout(&out)
+    );
+    assert!(stderr(&out).contains("drained:"), "stderr: {}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&d);
+}
+
 #[test]
 fn export_with_severe_faults_exits_zero_and_derives_artifact_count() {
     let d = tmpdir("severe-export");
