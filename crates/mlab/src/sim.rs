@@ -3,7 +3,7 @@
 use crate::client::{ClientPool, ClientPoolConfig};
 use crate::fault::{splitmix64, truncate_as_path, Corruption, FaultPlan};
 use crate::schema::{Dataset, Scamper1Row, UnifiedDownloadRow};
-use crate::site::LoadBalancer;
+use crate::site::{LoadBalancer, Site, SiteId};
 use ndt_conflict::calendar::Period;
 use ndt_conflict::damage::{
     as_profile, border_damage, client_profile, siege_boost, NATIONAL_COUNT_MULT,
@@ -150,6 +150,18 @@ impl SimConfig {
     }
 }
 
+/// Resolves a `threads` knob (0 = all available cores) to a concrete
+/// worker budget, at least 1. Callers that compose parallelism — the
+/// runner's shard fan-out dividing one budget between shard workers and
+/// per-shard engines — resolve once through this and never re-ask the OS.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
 /// Per-worker work counters for the sharded simulator.
 ///
 /// Each worker thread counts into plain integer fields of its own
@@ -219,6 +231,15 @@ pub struct Simulator {
     bt: BuiltTopology,
     lb: LoadBalancer,
     pool: ClientPool,
+    /// Worker-thread budget, resolved from `config.threads` exactly once at
+    /// construction (0 = all cores). Re-resolving `available_parallelism()`
+    /// per call would let one run observe two different budgets.
+    resolved_threads: usize,
+    /// Each client's dispatched site, precomputed at construction.
+    /// Dispatch is a pure function of (city location, client address), so
+    /// hoisting it out of the per-test hot path changes no output bytes —
+    /// it removes a 210-site haversine scan per simulated test.
+    client_sites: Vec<SiteId>,
     geodb: GeoDb,
     displacement: DisplacementModel,
     engine: RoutingEngine,
@@ -255,8 +276,12 @@ impl Simulator {
             bt.topology.links().iter().flat_map(|l| [l.a_if, l.b_if]).collect();
         let alias_clusters =
             AliasResolver::new(0.7).cluster_map(&bt.topology, &interfaces, &mut rng);
+        let client_sites =
+            pool.clients().iter().map(|c| lb.site_for_city(c.city, c.ip).id).collect();
         Self {
             config,
+            resolved_threads: resolve_threads(config.threads),
+            client_sites,
             lb,
             pool,
             geodb: GeoDb::new(geo_cfg),
@@ -273,11 +298,11 @@ impl Simulator {
     /// interfaces (never observed by the resolver) hash as themselves.
     fn resolved_fingerprint(&self, path: &ndt_topology::Path) -> u64 {
         let mut h: u64 = 0x6384_2232_5cbf_29ce;
-        for ip in path.ips(&self.bt.topology) {
+        path.for_each_ip(&self.bt.topology, |ip| {
             let id = self.alias_clusters.get(&ip).copied().unwrap_or(ip.0 as u64 | 1 << 63);
             h ^= id;
             h = h.wrapping_mul(0x1000_0000_01b3);
-        }
+        });
         h
     }
 
@@ -296,15 +321,19 @@ impl Simulator {
         &self.lb
     }
 
-    /// Fresh per-worker routing engines sized to the configured thread
-    /// count, as used by [`Simulator::run`].
+    /// The worker-thread budget this simulator was built with — `threads`
+    /// from the config, or all available cores when that was 0, resolved
+    /// once at construction.
+    pub fn resolved_threads(&self) -> usize {
+        self.resolved_threads
+    }
+
+    /// Fresh per-worker routing engines sized to the resolved thread
+    /// budget, as used by [`Simulator::run`].
     pub fn worker_engines(&self) -> Vec<RoutingEngine> {
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.config.threads
-        };
-        (0..threads).map(|_| RoutingEngine::with_config(*self.engine.config())).collect()
+        (0..self.resolved_threads)
+            .map(|_| RoutingEngine::with_config(*self.engine.config()))
+            .collect()
     }
 
     /// Runs the configured windows and returns the published dataset.
@@ -474,6 +503,18 @@ impl Simulator {
     ) -> SimCounters {
         let n_clients = self.pool.len();
         let threads = engines.len().max(1);
+        // Single-engine runs (e.g. shard-pool workers that each got one
+        // engine from the thread budget) skip the scoped-thread machinery;
+        // the merge below is a no-op reorder, so output bytes are identical.
+        if threads == 1 {
+            if let [engine] = engines {
+                let mut counters = SimCounters::default();
+                for ci in 0..n_clients {
+                    self.simulate_client_day(engine, ci, day, ds, &mut counters);
+                }
+                return counters;
+            }
+        }
         let chunk = n_clients.div_ceil(threads);
         let this: &Simulator = self;
         let mut buffers: Vec<(Dataset, SimCounters)> = Vec::new();
@@ -522,12 +563,13 @@ impl Simulator {
         if lambda <= 0.0 {
             return;
         }
+        let site = &self.lb.sites()[self.client_sites[ci].0 as usize];
         let mut rng = StdRng::seed_from_u64(splitmix64(
             splitmix64(self.config.seed ^ (day as u64)) ^ ci as u64,
         ));
         let n_tests = Poisson::new(lambda).sample_count(&mut rng);
         for k in 0..n_tests {
-            self.simulate_test(engine, client, day, k, out, &mut rng, counters);
+            self.simulate_test(engine, client, site, day, k, out, &mut rng, counters);
         }
     }
 
@@ -537,6 +579,7 @@ impl Simulator {
         &self,
         engine: &mut RoutingEngine,
         client: &crate::client::Client,
+        site: &Site,
         day: i64,
         test_index: u64,
         ds: &mut Dataset,
@@ -544,7 +587,6 @@ impl Simulator {
         counters: &mut SimCounters,
     ) {
         counters.tests += 1;
-        let site = self.lb.site_for_city(client.city, client.ip).clone();
         // Damaged edge infrastructure forces local rerouting: lower the
         // primary-route bias in proportion to the client's exposure and the
         // day's regional intensity.

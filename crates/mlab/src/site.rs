@@ -31,6 +31,10 @@ pub struct Site {
 #[derive(Debug, Clone)]
 pub struct LoadBalancer {
     sites: Vec<Site>,
+    /// Site indices grouped by metro, in site order — the dispatch set a
+    /// client is pinned into once its nearest metro is known. Built once so
+    /// `site_for` never allocates.
+    metro_groups: Vec<(&'static str, Vec<u16>)>,
 }
 
 impl LoadBalancer {
@@ -53,7 +57,14 @@ impl LoadBalancer {
                 });
             }
         }
-        Self { sites }
+        let mut metro_groups: Vec<(&'static str, Vec<u16>)> = Vec::new();
+        for (i, s) in sites.iter().enumerate() {
+            match metro_groups.iter_mut().find(|(m, _)| *m == s.metro) {
+                Some((_, group)) => group.push(i as u16),
+                None => metro_groups.push((s.metro, vec![i as u16])),
+            }
+        }
+        Self { sites, metro_groups }
     }
 
     /// All sites.
@@ -63,16 +74,25 @@ impl LoadBalancer {
 
     /// The site a client at `loc` with address `client_ip` is dispatched to.
     pub fn site_for(&self, loc: LatLon, client_ip: Ipv4Addr) -> &Site {
-        let nearest_metro = self
-            .sites
+        // Single pass, one haversine per site. `<=` keeps the *last* minimum,
+        // matching `Iterator::min_by`'s tie-break (co-located sites tie).
+        let mut nearest_metro = "";
+        let mut best = f64::INFINITY;
+        for s in &self.sites {
+            let d = haversine_km(s.loc, loc);
+            if d <= best {
+                best = d;
+                nearest_metro = s.metro;
+            }
+        }
+        let (_, metro_sites) = self
+            .metro_groups
             .iter()
-            .min_by(|a, b| haversine_km(a.loc, loc).total_cmp(&haversine_km(b.loc, loc)))
-            .expect("platform has sites")
-            .metro;
-        let metro_sites: Vec<&Site> = self.sites.iter().filter(|s| s.metro == nearest_metro).collect();
+            .find(|(m, _)| *m == nearest_metro)
+            .expect("platform has sites");
         // Stable per-client pinning within the metro.
         let h = (client_ip.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        metro_sites[(h % metro_sites.len() as u64) as usize]
+        &self.sites[metro_sites[(h % metro_sites.len() as u64) as usize] as usize]
     }
 
     /// Dispatch for a client in a catalogue city.

@@ -116,7 +116,7 @@ impl PipelineOutcome {
     }
 }
 
-fn env_prefix_matches(var: &str, stage: &str) -> bool {
+pub(crate) fn env_prefix_matches(var: &str, stage: &str) -> bool {
     match std::env::var(var) {
         Ok(v) if !v.is_empty() => stage.starts_with(&v),
         _ => false,
@@ -125,7 +125,7 @@ fn env_prefix_matches(var: &str, stage: &str) -> bool {
 
 /// Test hook: `UKRAINE_NDT_PANIC_STAGE=<prefix>` panics inside the first
 /// matching stage body, exercising the panic-isolation path end to end.
-fn maybe_injected_panic(stage: &str) {
+pub(crate) fn maybe_injected_panic(stage: &str) {
     if env_prefix_matches("UKRAINE_NDT_PANIC_STAGE", stage) {
         panic!("injected panic in stage {stage} (UKRAINE_NDT_PANIC_STAGE)");
     }
@@ -136,7 +136,7 @@ fn maybe_injected_panic(stage: &str) {
 /// — a deterministic stand-in for `kill -9` mid-run. Resumed stages do
 /// not trigger it, so a resume with the variable still set makes
 /// progress past the original crash point.
-fn maybe_exit_after(stage: &str) {
+pub(crate) fn maybe_exit_after(stage: &str) {
     if env_prefix_matches("UKRAINE_NDT_EXIT_AFTER", stage) {
         ndt_obs::warn!("[runner] simulated crash after stage {stage} (UKRAINE_NDT_EXIT_AFTER)");
         std::process::exit(42);
@@ -259,7 +259,9 @@ impl Pipeline {
         let mut parts = Vec::new();
         let mut all_ok = true;
         for range in sim_cfg.shards(CORPUS_SHARD_DAYS) {
-            let name = format!("corpus:{}-{}", range.start, range.end);
+            // Zero-padded day labels so span names in bench artifacts sort
+            // numerically (054 before 365), matching shard-stem naming.
+            let name = format!("corpus:{:03}-{:03}", range.start, range.end);
             let cfg = *sim_cfg;
             let shared = Arc::clone(&shared);
             let part = self.stage::<Dataset>(&name, move |_cancel| {

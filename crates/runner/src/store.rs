@@ -4,10 +4,17 @@
 //! Corpus generation writes each day-range shard as a pair of `ndt-store`
 //! files — `<stem>.unified.ndts` and `<stem>.traces.ndts` — where the
 //! stem carries the day range and the run's config fingerprint:
-//! `shard-036-063-<fp16>`. Simulation stays sequential (one reused
-//! simulator, same bytes as the in-memory pipeline); encoding and I/O
-//! fan out to background writer threads, so shard N+1 simulates while
-//! shard N compresses. Every file goes through [`AtomicFile`], and the
+//! `shard-036-063-<fp16>`. Shards *simulate in parallel*: day-range
+//! shards are independent (per-(client, day) RNG streams; proven
+//! bit-identical to a slice of a full run), so a work-stealing pool of
+//! shard workers claims them in day order, each worker reusing its own
+//! `Simulator` across the shards it claims and handing finished datasets
+//! to background writer threads so its next shard simulates while the
+//! previous one encodes. The thread budget is resolved once:
+//! `shard_workers × engines_per_shard ≤ --threads` (or all cores), never
+//! oversubscribed. Results merge back in manifest (day) order, so
+//! `STORE.txt`, the summary stats and every counter are byte-identical
+//! to a sequential run. Every file goes through [`AtomicFile`], and the
 //! `STORE.txt` manifest is written **last**, so a killed run leaves
 //! either no manifest (partial store, next run resumes shard-by-shard)
 //! or a manifest describing only complete, validated files.
@@ -45,7 +52,8 @@ pub const STORE_MANIFEST: &str = "STORE.txt";
 pub const QUARANTINE_DIR: &str = ".quarantine";
 /// First line of a valid manifest.
 const MANIFEST_HEADER: &str = "ukraine-ndt store v1";
-/// Writer threads kept in flight while the simulator works ahead.
+/// Writer threads kept in flight while simulation works ahead, split
+/// across the shard workers (at least one each).
 const WRITERS_IN_FLIGHT: usize = 4;
 
 /// What `generate --format columnar` produced.
@@ -118,77 +126,102 @@ pub fn run_store_generate(
     }
     let fingerprint = config_fingerprint(&cfg.sim);
     let sim_cfg: SimConfig = cfg.sim;
-    let mut records = Vec::new();
-    let mut stems = Vec::new();
-    let mut total = WriteStats::default();
-    let mut sim: Option<Simulator> = None;
-    let mut in_flight: Vec<thread::JoinHandle<io::Result<WriteStats>>> = Vec::new();
+    let _gen_span = ndt_obs::span("stage.store-generate");
 
-    let drain_one =
-        |in_flight: &mut Vec<thread::JoinHandle<io::Result<WriteStats>>>| -> io::Result<WriteStats> {
-            let handle = in_flight.remove(0);
-            match handle.join() {
-                Ok(result) => result,
-                Err(_) => Err(io::Error::other("shard writer thread panicked")),
-            }
-        };
-
-    for range in sim_cfg.shards(CORPUS_SHARD_DAYS) {
+    // Phase 1 (coordinator, day order): resume validation. Complete,
+    // checksum-clean shard pairs are kept; everything else is queued for
+    // the pool. Validating here — not in the workers — keeps the resumed
+    // event log in day order, identical to a sequential run's.
+    let shards = sim_cfg.shards(CORPUS_SHARD_DAYS);
+    let mut stems = Vec::with_capacity(shards.len());
+    let mut resumed = vec![false; shards.len()];
+    let mut pending: Vec<(usize, std::ops::Range<i64>, String, String)> = Vec::new();
+    for (i, range) in shards.iter().enumerate() {
         let stem = shard_stem(range.start, range.end, fingerprint);
-        let name = format!("store:{}-{}", range.start, range.end);
+        // Zero-padded day labels so span names in bench artifacts sort
+        // numerically (054 before 365), matching the shard stems.
+        let name = format!("store:{:03}-{:03}", range.start, range.end);
         if cfg.resume && shard_is_complete(vfs, store_dir, &stem) {
             ndt_obs::incr_process("store.shards_resumed", 1);
             ndt_obs::info!("[runner] stage {name}: shard files validated, resumed");
-            records.push(StageRecord { name, status: StageStatus::Resumed });
-            stems.push(stem);
-            continue;
+            resumed[i] = true;
+        } else {
+            pending.push((i, range.clone(), stem.clone(), name));
         }
-        let span = ndt_obs::span(&format!("stage.{name}"));
-        let part = {
-            let sim = sim.get_or_insert_with(|| Simulator::new(sim_cfg));
-            sim.run_range(range.clone())
-        };
-        drop(span);
-        // Hand the dataset to a background writer so the next shard can
-        // simulate while this one encodes; keep a bounded number in
-        // flight and surface the oldest writer's error before queueing
-        // more work.
-        let dir = store_dir.to_path_buf();
-        let wstem = stem.clone();
-        let wvfs = vfs.clone();
-        // Key each writer's retry jitter by its stem, so concurrent
-        // writers hitting the same transient stall back off on distinct
-        // schedules instead of retrying in lockstep.
-        let retry = cfg.exec.retry.with_jitter_key(wire::fnv1a64(stem.as_bytes()));
-        let handle = thread::spawn(move || -> io::Result<WriteStats> {
-            let _span = ndt_obs::span("store.write");
-            retry_io(&retry, || {
-                // Retry the whole pair: a failed attempt's temporaries are
-                // discarded by AtomicFile, so re-running from scratch is
-                // idempotent and the destination only ever sees a commit.
-                let unified = AtomicFile::create_with(&wvfs, dir.join(unified_name(&wstem)))?;
-                let (unified, ustats) =
-                    write_unified(unified, &part.ndt).map_err(|e| e.into_io())?;
-                unified.commit()?;
-                let traces = AtomicFile::create_with(&wvfs, dir.join(traces_name(&wstem)))?;
-                let (traces, tstats) =
-                    write_traces(traces, &part.traces).map_err(|e| e.into_io())?;
-                traces.commit()?;
-                let mut stats = ustats;
-                stats.merge(&tstats);
-                Ok(stats)
-            })
-        });
-        in_flight.push(handle);
-        if in_flight.len() >= WRITERS_IN_FLIGHT {
-            total.merge(&drain_one(&mut in_flight)?);
-        }
-        ndt_obs::incr_process("store.shards_written", 1);
-        records.push(StageRecord { name, status: StageStatus::Computed });
         stems.push(stem);
     }
-    while !in_flight.is_empty() {
-        total.merge(&drain_one(&mut in_flight)?);
+
+    // Phase 2: fan the pending shards across a bounded work-stealing pool.
+    // One thread budget, resolved once, split between the two parallelism
+    // layers: shard workers × per-shard simulation engines ≤ budget.
+    let budget = ndt_mlab::sim::resolve_threads(sim_cfg.threads);
+    let shard_workers = pending.len().min(budget).max(1);
+    let engines_per_shard = (budget / shard_workers).max(1);
+    ndt_obs::set_process("gen.thread_budget", budget as u64);
+    ndt_obs::set_process("gen.shard_workers", shard_workers as u64);
+    ndt_obs::set_process("gen.engines_per_shard", engines_per_shard as u64);
+    let worker_cfg = SimConfig { threads: engines_per_shard, ..sim_cfg };
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let writers_cap = (WRITERS_IN_FLIGHT / shard_workers).max(1);
+    let mut outcomes: Vec<(usize, io::Result<WriteStats>)> = Vec::new();
+
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..shard_workers {
+            let next = &next;
+            let pending = &pending;
+            handles.push(scope.spawn(move || {
+                shard_worker(cfg, store_dir, worker_cfg, next, pending, writers_cap)
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(mut results) => outcomes.append(&mut results),
+                // A worker that dies outside its per-shard catch_unwind
+                // (pool bookkeeping itself) still surfaces its payload.
+                Err(payload) => {
+                    let msg = crate::executor::panic_message(payload);
+                    outcomes.push((
+                        usize::MAX,
+                        Err(io::Error::other(format!("shard worker panicked: {msg}"))),
+                    ));
+                }
+            }
+        }
+    });
+
+    // Phase 3 (coordinator, day order): merge the outcomes back in
+    // manifest order, so stats, records and the first-error contract are
+    // byte-identical to a sequential run.
+    let mut records = Vec::with_capacity(shards.len());
+    let mut total = WriteStats::default();
+    let mut by_index: std::collections::HashMap<usize, io::Result<WriteStats>> =
+        outcomes.into_iter().collect();
+    for (i, range) in shards.iter().enumerate() {
+        let name = format!("store:{:03}-{:03}", range.start, range.end);
+        if resumed[i] {
+            records.push(StageRecord { name, status: StageStatus::Resumed });
+            continue;
+        }
+        match by_index.remove(&i) {
+            Some(Ok(stats)) => {
+                total.merge(&stats);
+                ndt_obs::incr_process("store.shards_written", 1);
+                records.push(StageRecord { name, status: StageStatus::Computed });
+            }
+            Some(Err(e)) => return Err(e),
+            None => {
+                // Only reachable when a worker died before claiming this
+                // shard; the panic outcome above carries the real cause.
+                return Err(by_index
+                    .remove(&usize::MAX)
+                    .and_then(|r| r.err())
+                    .unwrap_or_else(|| io::Error::other(format!("shard {name} never ran"))));
+            }
+        }
+    }
+    if let Some(Err(e)) = by_index.remove(&usize::MAX) {
+        return Err(e);
     }
 
     // Deterministic ratio gauge: integer percent of raw-LE size. Only
@@ -208,6 +241,114 @@ pub fn run_store_generate(
     crate::atomic::write_atomic_with(vfs, store_dir.join(STORE_MANIFEST), manifest.as_bytes())?;
 
     Ok((StoreSummary { dir: store_dir.to_path_buf(), stats: total, shards: stems }, records))
+}
+
+/// One pool worker: claims pending shards in day order from the shared
+/// cursor, simulates each with its own simulator (reused across the
+/// shards it claims — proven bit-identical to fresh-per-shard), and hands
+/// each finished dataset to a background writer thread so its next shard
+/// simulates while the previous one encodes. Panics in the simulation
+/// body are caught per shard and surfaced with their payload; the worker
+/// moves on to the next shard with a fresh simulator.
+fn shard_worker(
+    cfg: &PipelineConfig,
+    store_dir: &Path,
+    worker_cfg: SimConfig,
+    next: &std::sync::atomic::AtomicUsize,
+    pending: &[(usize, std::ops::Range<i64>, String, String)],
+    writers_cap: usize,
+) -> Vec<(usize, io::Result<WriteStats>)> {
+    let mut results = Vec::new();
+    // Eager, outside any span: every worker builds exactly one simulator,
+    // so the artifact's `topology.build` span count is a deterministic
+    // function of the worker count, not of the shard-claim race.
+    let mut sim = Simulator::new(worker_cfg);
+    let mut in_flight: Vec<(usize, thread::JoinHandle<io::Result<WriteStats>>)> = Vec::new();
+    let drain_one = |in_flight: &mut Vec<(usize, thread::JoinHandle<io::Result<WriteStats>>)>| {
+        let (idx, handle) = in_flight.remove(0);
+        let res = match handle.join() {
+            Ok(result) => result,
+            Err(payload) => Err(io::Error::other(format!(
+                "shard writer thread panicked: {}",
+                crate::executor::panic_message(payload)
+            ))),
+        };
+        (idx, res)
+    };
+    loop {
+        let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let Some((idx, range, stem, name)) = pending.get(j) else { break };
+        let part = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Shard spans open on the worker thread, whose span stack is
+            // otherwise empty — names and counts match a sequential run.
+            let _span = ndt_obs::span(&format!("stage.{name}"));
+            crate::pipeline::maybe_injected_panic(name);
+            sim.run_range(range.clone())
+        }));
+        let part = match part {
+            Ok(part) => part,
+            Err(payload) => {
+                results.push((
+                    *idx,
+                    Err(io::Error::other(format!(
+                        "stage {name} panicked: {}",
+                        crate::executor::panic_message(payload)
+                    ))),
+                ));
+                // The simulator unwound mid-run; its state is suspect.
+                sim = Simulator::new(worker_cfg);
+                continue;
+            }
+        };
+        if crate::pipeline::env_prefix_matches("UKRAINE_NDT_EXIT_AFTER", name) {
+            // Crash hook: commit this shard synchronously, then die — a
+            // deterministic kill mid-fan-out while sibling workers and
+            // writers are still in flight.
+            let _ = write_shard_files(cfg, store_dir, stem, &part);
+            crate::pipeline::maybe_exit_after(name);
+        }
+        let dir = store_dir.to_path_buf();
+        let wstem = stem.clone();
+        let wcfg = cfg.clone();
+        let handle =
+            thread::spawn(move || write_shard_files(&wcfg, &dir, &wstem, &part));
+        in_flight.push((*idx, handle));
+        if in_flight.len() >= writers_cap {
+            results.push(drain_one(&mut in_flight));
+        }
+    }
+    while !in_flight.is_empty() {
+        results.push(drain_one(&mut in_flight));
+    }
+    results
+}
+
+/// Encodes and atomically commits one shard's file pair, with bounded
+/// transient-I/O retry. Retry jitter is keyed by the stem, so concurrent
+/// writers hitting the same transient stall back off on distinct
+/// schedules instead of retrying in lockstep.
+fn write_shard_files(
+    cfg: &PipelineConfig,
+    dir: &Path,
+    stem: &str,
+    part: &ndt_mlab::schema::Dataset,
+) -> io::Result<WriteStats> {
+    let _span = ndt_obs::span("store.write");
+    let retry = cfg.exec.retry.with_jitter_key(wire::fnv1a64(stem.as_bytes()));
+    retry_io(&retry, || {
+        // Retry the whole pair: a failed attempt's temporaries are
+        // discarded by AtomicFile, so re-running from scratch is
+        // idempotent and the destination only ever sees a commit.
+        let unified = AtomicFile::create_with(&cfg.vfs, dir.join(unified_name(stem)))?;
+        let (unified, ustats) = write_unified(unified, &part.ndt).map_err(|e| e.into_io())?;
+        unified.commit()?;
+        let traces = AtomicFile::create_with(&cfg.vfs, dir.join(traces_name(stem)))?;
+        let (traces, tstats) = write_traces(traces, &part.traces).map_err(|e| e.into_io())?;
+        traces.commit()?;
+        let mut stats = ustats;
+        stats.merge(&tstats);
+        Ok(stats)
+    })
 }
 
 /// Parses a store manifest into shard stems (day order).

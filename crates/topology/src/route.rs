@@ -86,6 +86,11 @@ impl Default for RoutingConfig {
 struct Candidate {
     links: Vec<LinkId>,
     cost: f64,
+    /// Per hop of `links`: the up links between that hop's AS pair, sorted
+    /// by latency. Parallels are a pure function of (AS pair, topology
+    /// version) — the same key the cache is under — so they are resolved
+    /// once here instead of rescanning the pair's links on every test.
+    hop_parallels: Vec<Vec<LinkId>>,
 }
 
 /// The routing engine with its per-version route cache.
@@ -142,38 +147,26 @@ impl RoutingEngine {
         bias: f64,
         rng: &mut R,
     ) -> Option<Path> {
-        let chosen: Vec<LinkId> = {
-            let candidates = self.candidates(topo, src, dst);
-            if candidates.is_empty() {
-                return None;
-            }
-            // Geometric preference over candidates.
-            let idx = pick_biased(candidates.len(), bias, rng);
-            candidates[idx].links.clone()
-        };
-        // Re-draw parallel interconnects per AS pair.
-        let mut cur = src;
-        let mut concrete = Vec::with_capacity(chosen.len());
-        for lid in chosen {
-            let link = topo.link(lid);
-            let next = link.peer_of(cur);
-            let mut parallels: Vec<LinkId> = topo
-                .links_between(cur, next)
-                .into_iter()
-                .filter(|id| topo.link(*id).state.up)
-                .collect();
-            // total_cmp: a NaN latency (degraded link metadata) must not
-            // panic the sort — it just ranks last.
-            parallels.sort_by(|a, b| {
-                topo.link(*a).latency_ms.total_cmp(&topo.link(*b).latency_ms)
-            });
+        let parallel_bias = self.config.parallel_primary_bias;
+        let candidates = self.candidates(topo, src, dst);
+        if candidates.is_empty() {
+            return None;
+        }
+        // Geometric preference over candidates.
+        let idx = pick_biased(candidates.len(), bias, rng);
+        let cand = &candidates[idx];
+        // Re-draw parallel interconnects per AS pair from the precomputed
+        // per-hop lists. Draw count depends only on each list's length, so
+        // the RNG stream is identical to recomputing the lists per test.
+        let mut concrete = Vec::with_capacity(cand.links.len());
+        for (hop, &lid) in cand.links.iter().enumerate() {
+            let parallels = &cand.hop_parallels[hop];
             let pick = if parallels.len() <= 1 {
                 lid
             } else {
-                parallels[pick_biased(parallels.len(), self.config.parallel_primary_bias, rng)]
+                parallels[pick_biased(parallels.len(), parallel_bias, rng)]
             };
             concrete.push(pick);
-            cur = next;
         }
         Some(Path::from_links(topo, src, &concrete))
     }
@@ -197,6 +190,26 @@ impl RoutingEngine {
     fn compute_candidates(&self, topo: &Topology, src: Asn, dst: Asn) -> Vec<Candidate> {
         let Some(best) = self.dijkstra(topo, src, dst, &HashSet::new()) else {
             return Vec::new();
+        };
+        let resolve_parallels = |links: &[LinkId]| -> Vec<Vec<LinkId>> {
+            let mut cur = src;
+            let mut per_hop = Vec::with_capacity(links.len());
+            for &lid in links {
+                let next = topo.link(lid).peer_of(cur);
+                let mut parallels: Vec<LinkId> = topo
+                    .links_between(cur, next)
+                    .into_iter()
+                    .filter(|id| topo.link(*id).state.up)
+                    .collect();
+                // total_cmp: a NaN latency (degraded link metadata) must not
+                // panic the sort — it just ranks last.
+                parallels.sort_by(|a, b| {
+                    topo.link(*a).latency_ms.total_cmp(&topo.link(*b).latency_ms)
+                });
+                per_hop.push(parallels);
+                cur = next;
+            }
+            per_hop
         };
         let mut seen: HashSet<Vec<LinkId>> = HashSet::new();
         let mut out = vec![];
@@ -225,6 +238,9 @@ impl RoutingEngine {
         }
         out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         out.truncate(self.config.k_alternatives.max(1));
+        for cand in &mut out {
+            cand.hop_parallels = resolve_parallels(&cand.links);
+        }
         out
     }
 
@@ -278,7 +294,7 @@ impl RoutingEngine {
                     cur = (pasn, pphase);
                 }
                 links.reverse();
-                return Some(Candidate { links, cost });
+                return Some(Candidate { links, cost, hop_parallels: Vec::new() });
             }
             if dist.get(&(asn, phase)).is_some_and(|&d| cost > d) {
                 continue;

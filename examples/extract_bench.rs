@@ -15,6 +15,12 @@
 //! # `serve.request` span samples, throughput and shed rate from the
 //! # `serve.*` process counters.
 //! cargo run --release --example extract_bench -- --serve metrics.json BENCH_serve_latency.json
+//!
+//! # Gen mode: distill one or more `generate --format columnar` runs
+//! # (typically at increasing `--threads`) into the gen-throughput
+//! # snapshot — tests/sec per run and speedup vs the first — failing
+//! # when a later run regresses below 90% of the best so far.
+//! cargo run --release --example extract_bench -- --gen BENCH_gen_throughput.json m1.json m2.json
 //! ```
 //!
 //! Since the ndt-obs-v2 artifact, every span line carries `p50_ms` /
@@ -130,6 +136,112 @@ fn extract_serve_bench(artifact: &str) -> String {
     )
 }
 
+/// One named span line's `wall_ms`.
+fn span_wall_ms(artifact: &str, name: &str) -> Option<f64> {
+    let needle = format!("{{\"name\": \"{name}\", ");
+    let pos = artifact.find(&needle)?;
+    let line = artifact[pos..].lines().next()?;
+    let k = "\"wall_ms\": ";
+    let rest = &line[line.find(k)? + k.len()..];
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Sum of `wall_ms` over every span whose name starts with `prefix`.
+fn sum_span_walls(artifact: &str, prefix: &str) -> f64 {
+    let needle = format!("{{\"name\": \"{prefix}");
+    artifact
+        .lines()
+        .filter(|l| l.trim_start().starts_with(&needle))
+        .filter_map(|line| {
+            let k = "\"wall_ms\": ";
+            let rest = &line[line.find(k)? + k.len()..];
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+                .unwrap_or(rest.len());
+            rest[..end].parse::<f64>().ok()
+        })
+        .sum()
+}
+
+/// One generation run's numbers, distilled from its metrics artifact.
+struct GenRun {
+    shard_workers: u64,
+    engines_per_shard: u64,
+    tests: u64,
+    wall_ms: f64,
+    tests_per_sec: f64,
+}
+
+fn gen_run(artifact: &str) -> GenRun {
+    let tests = map_value(artifact, "sim.tests");
+    // Wall: the generate umbrella span; artifacts from before it existed
+    // (seed baselines) fall back to the sum of per-shard spans.
+    let wall_ms = span_wall_ms(artifact, "stage.store-generate")
+        .unwrap_or_else(|| sum_span_walls(artifact, "stage.store:"));
+    let tests_per_sec = if wall_ms > 0.0 { tests as f64 * 1000.0 / wall_ms } else { 0.0 };
+    GenRun {
+        shard_workers: map_value(artifact, "gen.shard_workers").max(1),
+        engines_per_shard: map_value(artifact, "gen.engines_per_shard").max(1),
+        tests,
+        wall_ms,
+        tests_per_sec,
+    }
+}
+
+/// Distills one or more generation runs (typically at increasing shard
+/// worker counts) into the gen-throughput snapshot, asserting monotone
+/// non-regression in tests/sec across the given order. The 20% tolerance
+/// absorbs run-to-run noise and the oversubscription cost of more workers
+/// than cores (a single-core host pays ~13% at 4 workers); the check is
+/// for parallelization collapses, not scheduler jitter. Returns `None` —
+/// after printing why — on a regression, so the CI step fails.
+fn extract_gen_bench(artifacts: &[String]) -> Option<String> {
+    let runs: Vec<GenRun> = artifacts.iter().map(|a| gen_run(a)).collect();
+    let first_tps = runs.first().map(|r| r.tests_per_sec).unwrap_or(0.0);
+    let mut out = String::from("{\n  \"format\": \"ndt-bench-gen-throughput-v1\",\n  \"runs\": [\n");
+    let mut best_so_far: f64 = 0.0;
+    let mut ok = true;
+    for (i, r) in runs.iter().enumerate() {
+        let speedup = if first_tps > 0.0 { r.tests_per_sec / first_tps } else { 0.0 };
+        out.push_str(&format!(
+            "    {{\"shard_workers\": {}, \"engines_per_shard\": {}, \"tests\": {}, \
+             \"gen_wall_ms\": {:.1}, \"tests_per_sec\": {:.1}, \"speedup_vs_first\": {:.2}}}{}\n",
+            r.shard_workers,
+            r.engines_per_shard,
+            r.tests,
+            r.wall_ms,
+            r.tests_per_sec,
+            speedup,
+            if i + 1 < runs.len() { "," } else { "" },
+        ));
+        eprintln!(
+            "gen run {}: {} shard workers × {} engines — {} tests in {:.1}s = {:.0} tests/sec \
+             ({:.2}x vs first)",
+            i + 1,
+            r.shard_workers,
+            r.engines_per_shard,
+            r.tests,
+            r.wall_ms / 1000.0,
+            r.tests_per_sec,
+            speedup,
+        );
+        if r.tests_per_sec < best_so_far * 0.8 {
+            eprintln!(
+                "error: run {} regressed to {:.0} tests/sec (< 80% of the {:.0} best so far)",
+                i + 1,
+                r.tests_per_sec,
+                best_so_far,
+            );
+            ok = false;
+        }
+        best_so_far = best_so_far.max(r.tests_per_sec);
+    }
+    out.push_str("  ]\n}\n");
+    ok.then_some(out)
+}
+
 fn read_or_complain(path: &str) -> Option<String> {
     match fs::read_to_string(path) {
         Ok(s) => Some(s),
@@ -172,6 +284,20 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        [flag, rest @ ..] if flag == "--gen" && rest.len() >= 2 => {
+            let output = &rest[0];
+            let mut artifacts = Vec::new();
+            for input in &rest[1..] {
+                let Some(artifact) = read_or_complain(input) else {
+                    return ExitCode::FAILURE;
+                };
+                artifacts.push(artifact);
+            }
+            match extract_gen_bench(&artifacts) {
+                Some(snapshot) if write_or_complain(output, &snapshot) => ExitCode::SUCCESS,
+                _ => ExitCode::FAILURE,
+            }
+        }
         [flag, reference, fresh] if flag == "--check" => {
             let (Some(want), Some(got)) = (read_or_complain(reference), read_or_complain(fresh))
             else {
@@ -192,6 +318,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: extract_bench <metrics.json> <bench-out.json>\n       \
                  extract_bench --serve <metrics.json> <bench-out.json>\n       \
+                 extract_bench --gen <bench-out.json> <metrics.json>...\n       \
                  extract_bench --check <reference.json> <fresh.json>"
             );
             ExitCode::FAILURE

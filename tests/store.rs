@@ -5,7 +5,8 @@
 //! degrading the report (coverage footers, partial-success records)
 //! instead of producing a silently different one.
 
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
 use ukraine_ndt::mlab::FaultPlan;
@@ -31,6 +32,32 @@ fn mem_cfg(sim: SimConfig, out: &std::path::Path) -> PipelineConfig {
     let mut cfg = PipelineConfig::new(sim, out);
     cfg.checkpoints = false;
     cfg
+}
+
+/// Byte snapshot of a store's top-level files — every shard pair plus
+/// the manifest — for whole-store identity assertions.
+fn store_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .expect("readdir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_file())
+        .map(|e| {
+            (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).expect("read"))
+        })
+        .collect()
+}
+
+/// Asserts two store snapshots are byte-identical, naming the first
+/// divergent file instead of dumping megabytes of shard bytes.
+fn assert_same_store(want: &BTreeMap<String, Vec<u8>>, got: &BTreeMap<String, Vec<u8>>, tag: &str) {
+    assert_eq!(
+        want.keys().collect::<Vec<_>>(),
+        got.keys().collect::<Vec<_>>(),
+        "{tag}: store file sets differ"
+    );
+    for (name, bytes) in want {
+        assert!(got[name] == *bytes, "{tag}: {name} differs");
+    }
 }
 
 /// The acceptance grid: report-from-store must be byte-identical to the
@@ -157,6 +184,70 @@ fn corrupted_shard_is_quarantined_and_the_report_degrades() {
     let _ = std::fs::remove_dir_all(&d);
 }
 
+/// The parallel-pool invariant: generation through the shard pool is
+/// byte-identical — every shard file and the manifest — to sequential
+/// generation, across scales × worker counts × fault plans. The config
+/// fingerprint excludes `threads`, so the stems (and therefore the file
+/// sets) must already agree; this pins the *contents* too.
+#[test]
+fn parallel_generation_matches_sequential_byte_for_byte() {
+    let d = tmpdir("par-grid");
+    for (si, &scale) in [0.01, 0.04].iter().enumerate() {
+        for (fi, faults) in [FaultPlan::NONE, FaultPlan::MODERATE].into_iter().enumerate() {
+            let seq_dir = d.join(format!("seq-s{si}f{fi}"));
+            let cfg = mem_cfg(sim(scale, 1, faults), &d.join("out"));
+            run_store_generate(&cfg, &seq_dir).expect("sequential generate");
+            let want = store_bytes(&seq_dir);
+            assert!(want.contains_key(STORE_MANIFEST), "manifest present");
+
+            for threads in [2usize, 4] {
+                let tag = format!("s{si}f{fi}t{threads}");
+                let par_dir = d.join(format!("par-{tag}"));
+                let cfg = mem_cfg(sim(scale, threads, faults), &d.join("out"));
+                let (_, records) = run_store_generate(&cfg, &par_dir).expect("parallel generate");
+                assert!(
+                    records.iter().all(|r| r.status == StageStatus::Computed),
+                    "{tag}: {records:?}"
+                );
+                assert_same_store(&want, &store_bytes(&par_dir), &tag);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// Quarantine leg of the parallel grid: flip a byte in one shard of a
+/// pool-generated store; a parallel resume regenerates exactly that
+/// shard (payload checksums catch the damage) and restores the clean
+/// bytes everywhere.
+#[test]
+fn corrupted_parallel_store_heals_to_clean_bytes() {
+    let d = tmpdir("par-heal");
+    let store_dir = d.join("store");
+    let cfg = mem_cfg(sim(0.01, 4, FaultPlan::NONE), &d.join("out"));
+    run_store_generate(&cfg, &store_dir).expect("generate");
+    let want = store_bytes(&store_dir);
+
+    let victim = std::fs::read_dir(&store_dir)
+        .expect("readdir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.to_string_lossy().ends_with(".unified.ndts"))
+        .expect("a unified shard");
+    let mut bytes = std::fs::read(&victim).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, &bytes).expect("write corrupted shard");
+
+    let mut resume_cfg = cfg;
+    resume_cfg.resume = true;
+    let (_, records) = run_store_generate(&resume_cfg, &store_dir).expect("parallel resume");
+    let recomputed = records.iter().filter(|r| r.status == StageStatus::Computed).count();
+    assert_eq!(recomputed, 1, "exactly the damaged shard regenerates: {records:?}");
+    assert_same_store(&want, &store_bytes(&store_dir), "healed");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
 /// Deleting the manifest makes the store unreadable with a clear error.
 #[test]
 fn missing_manifest_is_a_clear_error() {
@@ -173,7 +264,11 @@ fn missing_manifest_is_a_clear_error() {
 // ---- CLI-level equivalence (subprocess) --------------------------------
 
 fn bin() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_ukraine-ndt"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ukraine-ndt"));
+    cmd.env_remove("UKRAINE_NDT_EXIT_AFTER")
+        .env_remove("UKRAINE_NDT_PANIC_STAGE")
+        .env_remove("UKRAINE_NDT_IO_FAULTS");
+    cmd
 }
 
 fn run_cli(args: &[&str]) -> Output {
@@ -220,5 +315,75 @@ fn cli_from_store_report_matches_cli_report() {
     for key in ["store.bytes_file", "store.bytes_raw", "store.encoded_pct_of_raw"] {
         assert!(metrics_json.contains(key), "metrics artifact missing {key}");
     }
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// A kill mid-fan-out — `UKRAINE_NDT_EXIT_AFTER` fires in one pool
+/// worker while its siblings and their writer threads are still in
+/// flight — leaves no manifest behind, and a parallel `--resume`
+/// completes the store to bytes identical to an uninterrupted
+/// single-worker run.
+#[test]
+fn killed_parallel_generation_resumes_byte_identically() {
+    let d = tmpdir("kill-resume");
+    let common = ["--scale", "0.01", "--seed", "7", "--quiet"];
+    let generate = |dir: &Path, extra: &[&str], env: &[(&str, &str)]| -> Output {
+        let mut cmd = bin();
+        cmd.args(["generate", "--format", "columnar", "--out"]).arg(dir).args(common).args(extra);
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        cmd.output().expect("binary runs")
+    };
+
+    let clean_dir = d.join("clean");
+    let clean = generate(&clean_dir, &["--threads", "1"], &[]);
+    assert_eq!(clean.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&clean.stderr));
+    let want = store_bytes(&clean_dir);
+
+    let killed_dir = d.join("killed");
+    let killed =
+        generate(&killed_dir, &["--threads", "4"], &[("UKRAINE_NDT_EXIT_AFTER", "store:")]);
+    assert_eq!(
+        killed.status.code(),
+        Some(42),
+        "simulated kill; stderr: {}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+    assert!(
+        !killed_dir.join(STORE_MANIFEST).exists(),
+        "the manifest is written last, so a killed run must not have one"
+    );
+
+    let resumed = generate(&killed_dir, &["--threads", "4", "--resume"], &[]);
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_same_store(&want, &store_bytes(&killed_dir), "kill+resume");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// An injected panic inside a pool worker's simulation surfaces its
+/// actual payload text through the join — not a generic "thread
+/// panicked" — proving the downcast propagation end to end.
+#[test]
+fn injected_shard_panic_surfaces_its_payload_text() {
+    let d = tmpdir("panic-payload");
+    let out = bin()
+        .args(["generate", "--format", "columnar", "--out"])
+        .arg(d.join("store"))
+        .args(["--scale", "0.01", "--seed", "7", "--threads", "4", "--quiet"])
+        .env("UKRAINE_NDT_PANIC_STAGE", "store:")
+        .output()
+        .expect("binary runs");
+    assert_ne!(out.status.code(), Some(0), "an injected panic must fail the run");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("panicked: injected panic in stage store:"),
+        "panic payload text must survive the pool join: {err}"
+    );
     let _ = std::fs::remove_dir_all(&d);
 }
