@@ -37,8 +37,9 @@ pub mod error;
 pub mod query;
 pub mod table;
 pub mod value;
+pub mod vectorized;
 
 pub use error::BqError;
 pub use query::Query;
-pub use table::{ColType, Column, Table};
+pub use table::{ColType, Column, DictColumn, Table, NULL_CODE};
 pub use value::Value;

@@ -7,7 +7,7 @@
 //! tests and fixtures with statically known schemas.
 
 use crate::error::BqError;
-use crate::table::Table;
+use crate::table::{Column, Table, NULL_CODE};
 use crate::value::Value;
 use std::collections::HashMap;
 
@@ -64,21 +64,50 @@ impl<'t> Query<'t> {
 
     /// Keeps rows where `col` equals `v` (nulls never match).
     pub fn filter_eq(self, col: &str, v: &Value) -> Self {
-        self.filter(col, |cell| !cell.is_null() && cell == v)
+        match self.try_filter_eq(col, v) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Fallible [`Query::filter_eq`].
-    pub fn try_filter_eq(self, col: &str, v: &Value) -> Result<Self, BqError> {
+    /// Fallible [`Query::filter_eq`]. On a dictionary-encoded column the
+    /// needle resolves to a code once and rows compare integers — no
+    /// per-row string materialization; a needle absent from the
+    /// dictionary short-circuits to an empty selection.
+    pub fn try_filter_eq(mut self, col: &str, v: &Value) -> Result<Self, BqError> {
+        if let Column::Dict(d) = self.table.try_column(col)? {
+            // Dict cells are only ever Str or Null, and nulls never
+            // match, so any non-string needle selects nothing.
+            match v {
+                Value::Str(s) => match d.code_of(s) {
+                    Some(code) => {
+                        let codes = d.codes();
+                        self.idx.retain(|&i| codes[i] == code);
+                    }
+                    None => self.idx.clear(),
+                },
+                _ => self.idx.clear(),
+            }
+            return Ok(self);
+        }
         self.try_filter(col, |cell| !cell.is_null() && cell == v)
     }
 
     /// Keeps rows whose integer `col` lies in `[lo, hi)`. Nulls drop.
     pub fn filter_int_range(self, col: &str, lo: i64, hi: i64) -> Self {
-        self.filter(col, move |cell| cell.as_int().is_some_and(|v| (lo..hi).contains(&v)))
+        match self.try_filter_int_range(col, lo, hi) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Fallible [`Query::filter_int_range`].
-    pub fn try_filter_int_range(self, col: &str, lo: i64, hi: i64) -> Result<Self, BqError> {
+    /// Fallible [`Query::filter_int_range`]. Integer columns compare the
+    /// stored values directly instead of boxing each cell.
+    pub fn try_filter_int_range(mut self, col: &str, lo: i64, hi: i64) -> Result<Self, BqError> {
+        if let Column::Int(c) = self.table.try_column(col)? {
+            self.idx.retain(|&i| c[i].is_some_and(|v| (lo..hi).contains(&v)));
+            return Ok(self);
+        }
         self.try_filter(col, move |cell| cell.as_int().is_some_and(|v| (lo..hi).contains(&v)))
     }
 
@@ -100,10 +129,14 @@ impl<'t> Query<'t> {
         }
     }
 
-    /// Fallible [`Query::floats`].
+    /// Fallible [`Query::floats`]. Float and integer columns read their
+    /// storage directly instead of boxing each cell into a [`Value`].
     pub fn try_floats(&self, col: &str) -> Result<Vec<f64>, BqError> {
-        let c = self.table.try_column(col)?;
-        Ok(self.idx.iter().filter_map(|&i| c.get(i).as_float()).collect())
+        match self.table.try_column(col)? {
+            Column::Float(c) => Ok(self.idx.iter().filter_map(|&i| c[i]).collect()),
+            Column::Int(c) => Ok(self.idx.iter().filter_map(|&i| c[i].map(|v| v as f64)).collect()),
+            c => Ok(self.idx.iter().filter_map(|&i| c.get(i).as_float()).collect()),
+        }
     }
 
     /// Finite (non-null, non-NaN, non-infinite) float values of `col`, plus
@@ -136,8 +169,10 @@ impl<'t> Query<'t> {
 
     /// Fallible [`Query::ints`].
     pub fn try_ints(&self, col: &str) -> Result<Vec<i64>, BqError> {
-        let c = self.table.try_column(col)?;
-        Ok(self.idx.iter().filter_map(|&i| c.get(i).as_int()).collect())
+        match self.table.try_column(col)? {
+            Column::Int(c) => Ok(self.idx.iter().filter_map(|&i| c[i]).collect()),
+            c => Ok(self.idx.iter().filter_map(|&i| c.get(i).as_int()).collect()),
+        }
     }
 
     /// Non-null string values of `col`.
@@ -150,8 +185,12 @@ impl<'t> Query<'t> {
 
     /// Fallible [`Query::strings`].
     pub fn try_strings(&self, col: &str) -> Result<Vec<String>, BqError> {
-        let c = self.table.try_column(col)?;
-        Ok(self.idx.iter().filter_map(|&i| c.get(i).as_str().map(str::to_string)).collect())
+        match self.table.try_column(col)? {
+            Column::Dict(d) => {
+                Ok(self.idx.iter().filter_map(|&i| d.get(i).map(str::to_string)).collect())
+            }
+            c => Ok(self.idx.iter().filter_map(|&i| c.get(i).as_str().map(str::to_string)).collect()),
+        }
     }
 
     /// Values (including nulls) of `col`.
@@ -282,9 +321,56 @@ impl<'t> Query<'t> {
         }
     }
 
-    /// Fallible [`Query::group_by`].
+    /// Fallible [`Query::group_by`]. Dictionary and integer columns bucket
+    /// by code / raw value instead of stringified keys; group contents and
+    /// first-appearance order are identical to the generic path.
     pub fn try_group_by(&self, col: &str) -> Result<Vec<(Value, Query<'t>)>, BqError> {
         let c = self.table.try_column(col)?;
+        if let Column::Dict(d) = c {
+            let codes = d.codes();
+            let mut order: Vec<u32> = Vec::new();
+            let mut buckets: HashMap<u32, Vec<usize>> = HashMap::new();
+            for &i in &self.idx {
+                let code = codes[i];
+                let bucket = buckets.entry(code).or_default();
+                if bucket.is_empty() {
+                    order.push(code);
+                }
+                bucket.push(i);
+            }
+            return Ok(order
+                .into_iter()
+                .map(|code| {
+                    let idx = buckets.remove(&code).expect("bucket exists");
+                    let v = if code == NULL_CODE {
+                        Value::Null
+                    } else {
+                        Value::Str(d.dict()[code as usize].clone())
+                    };
+                    (v, Query { table: self.table, idx })
+                })
+                .collect());
+        }
+        if let Column::Int(c) = c {
+            let mut order: Vec<Option<i64>> = Vec::new();
+            let mut buckets: HashMap<Option<i64>, Vec<usize>> = HashMap::new();
+            for &i in &self.idx {
+                let key = c[i];
+                let bucket = buckets.entry(key).or_default();
+                if bucket.is_empty() {
+                    order.push(key);
+                }
+                bucket.push(i);
+            }
+            return Ok(order
+                .into_iter()
+                .map(|key| {
+                    let idx = buckets.remove(&key).expect("bucket exists");
+                    let v = key.map_or(Value::Null, Value::Int);
+                    (v, Query { table: self.table, idx })
+                })
+                .collect());
+        }
         let mut order: Vec<Value> = Vec::new();
         let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
         for &i in &self.idx {
@@ -369,9 +455,34 @@ impl<'t> Query<'t> {
         }
     }
 
-    /// Fallible [`Query::distinct`].
+    /// Fallible [`Query::distinct`]. Dictionary and integer columns dedupe
+    /// on codes / raw values, skipping the stringified-key detour.
     pub fn try_distinct(&self, col: &str) -> Result<Vec<Value>, BqError> {
         let c = self.table.try_column(col)?;
+        if let Column::Dict(d) = c {
+            let codes = d.codes();
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for &i in &self.idx {
+                let code = codes[i];
+                if code != NULL_CODE && seen.insert(code) {
+                    out.push(Value::Str(d.dict()[code as usize].clone()));
+                }
+            }
+            return Ok(out);
+        }
+        if let Column::Int(c) = c {
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for &i in &self.idx {
+                if let Some(v) = c[i] {
+                    if seen.insert(v) {
+                        out.push(Value::Int(v));
+                    }
+                }
+            }
+            return Ok(out);
+        }
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for &i in &self.idx {

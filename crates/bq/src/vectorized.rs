@@ -1,0 +1,989 @@
+//! Vectorized, batch-at-a-time execution over columnar data.
+//!
+//! [`crate::Query`] materializes an index set over a fully-loaded
+//! [`Table`] — simple, but peak memory is O(corpus). This module provides
+//! the streaming counterpart the store scanner uses: predicates evaluated
+//! on dictionary codes and raw column storage (never per-row [`Value`]
+//! boxes), rows surviving all predicates fed into per-group **accumulators**,
+//! and only O(group cardinality) state retained between batches.
+//!
+//! The building blocks, bottom-up:
+//!
+//! * [`ExactSum`] — correctly-rounded f64 summation (Shewchuk expansion,
+//!   the `math.fsum` algorithm). Because the result is the exact real sum
+//!   rounded once, it is **bit-identical under any merge order** — the
+//!   property that lets parallel shard scans fold their partial sums in
+//!   completion order without perturbing output bytes.
+//! * [`AggState`] — count / sum / mean / min / max / percentile
+//!   accumulators with `push` / `merge` / `finish`. Numeric aggregates
+//!   consume finite values only (matching `Query::try_sum` /
+//!   `finite_floats` semantics); min/max/percentile order by
+//!   [`f64::total_cmp`], so merge is associative bit-for-bit.
+//! * [`SelVec`] — a selection vector of surviving row indices within one
+//!   batch; predicates narrow it in place.
+//! * [`GroupedAgg`] — first-appearance-ordered map from group key to
+//!   accumulator row; tracks its own peak cardinality.
+//! * [`ColumnarQuery`] / [`ScanState`] — a small query plan (filters +
+//!   group-by + aggregates) executed by feeding [`RowBatch`] views one at
+//!   a time. Batches borrow column storage — a scanner can decode one
+//!   page, feed it, and drop it.
+
+use crate::error::BqError;
+use crate::table::{ColType, Column, Table, NULL_CODE};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+// ---------------------------------------------------------------------------
+// ExactSum
+// ---------------------------------------------------------------------------
+
+/// Correctly-rounded floating-point summation via a non-overlapping
+/// expansion of partials (Shewchuk; the algorithm behind Python's
+/// `math.fsum`). The running state is exact, so [`ExactSum::value`] returns
+/// the true real-number sum rounded to nearest once — independent of the
+/// order values were pushed or partial sums merged.
+///
+/// Non-finite inputs fall out of the expansion invariants, so they are
+/// tracked separately with IEEE addition (itself order-invariant for the
+/// inf/NaN lattice) and dominate the result once present.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSum {
+    partials: Vec<f64>,
+    non_finite: Option<f64>,
+}
+
+impl ExactSum {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one value to the running exact sum.
+    pub fn add(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite = Some(self.non_finite.unwrap_or(0.0) + v);
+            return;
+        }
+        let mut x = v;
+        let mut i = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[i] = lo;
+                i += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(i);
+        self.partials.push(x);
+    }
+
+    /// Folds another exact sum into this one; exact, so associative and
+    /// commutative bit-for-bit.
+    pub fn merge(&mut self, other: &ExactSum) {
+        for &p in &other.partials {
+            self.add(p);
+        }
+        if let Some(nf) = other.non_finite {
+            self.non_finite = Some(self.non_finite.unwrap_or(0.0) + nf);
+        }
+    }
+
+    /// The exact sum, rounded to nearest-even once (fsum's final rounding,
+    /// including the two-partial tie correction).
+    pub fn value(&self) -> f64 {
+        if let Some(nf) = self.non_finite {
+            return nf;
+        }
+        let p = &self.partials;
+        let mut n = p.len();
+        if n == 0 {
+            return 0.0;
+        }
+        n -= 1;
+        let mut hi = p[n];
+        let mut lo = 0.0f64;
+        while n > 0 {
+            let x = hi;
+            n -= 1;
+            let y = p[n];
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            if lo != 0.0 {
+                break;
+            }
+        }
+        // Round-half-even across more than two partials: if the residue and
+        // the next partial push the same way, the half-ulp tie breaks up.
+        if n > 0 && ((lo < 0.0 && p[n - 1] < 0.0) || (lo > 0.0 && p[n - 1] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            if y == x - hi {
+                hi = x;
+            }
+        }
+        hi
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accumulators
+// ---------------------------------------------------------------------------
+
+/// Which aggregate an accumulator computes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggSpec {
+    /// Number of selected rows (nulls included), as f64.
+    Count,
+    /// Sum over finite values (`Query::try_sum` semantics; 0.0 when empty).
+    Sum,
+    /// Mean over finite values (NaN when empty).
+    Mean,
+    /// Minimum by `total_cmp` over finite values (NaN when empty).
+    Min,
+    /// Maximum by `total_cmp` over finite values (NaN when empty).
+    Max,
+    /// Quantile `q` in `[0, 1]` over finite values, sorted by `total_cmp`
+    /// with linear interpolation at rank `q * (n - 1)`; `Percentile(0.5)`
+    /// is bit-identical to `Query::median` over the same finite values.
+    Percentile(f64),
+}
+
+/// Mergeable state for one aggregate over one group. `push` consumes the
+/// value cell of each selected row; `merge` folds a sibling shard's state
+/// in; `finish` yields the aggregate. All three are deterministic, and
+/// `merge` is associative and commutative at the bit level: counts are
+/// integers, sums are [`ExactSum`], min/max/percentile order by
+/// [`f64::total_cmp`] (equality under which implies identical bits).
+#[derive(Debug, Clone)]
+pub enum AggState {
+    Count(u64),
+    Sum(ExactSum),
+    Mean(ExactSum, u64),
+    Min(Option<f64>),
+    Max(Option<f64>),
+    Percentile(f64, Vec<f64>),
+}
+
+impl AggState {
+    pub fn new(spec: AggSpec) -> Self {
+        match spec {
+            AggSpec::Count => AggState::Count(0),
+            AggSpec::Sum => AggState::Sum(ExactSum::new()),
+            AggSpec::Mean => AggState::Mean(ExactSum::new(), 0),
+            AggSpec::Min => AggState::Min(None),
+            AggSpec::Max => AggState::Max(None),
+            AggSpec::Percentile(q) => AggState::Percentile(q, Vec::new()),
+        }
+    }
+
+    /// Feeds one selected row's value cell (None = null).
+    pub fn push(&mut self, v: Option<f64>) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(s) => {
+                if let Some(v) = v.filter(|v| v.is_finite()) {
+                    s.add(v);
+                }
+            }
+            AggState::Mean(s, n) => {
+                if let Some(v) = v.filter(|v| v.is_finite()) {
+                    s.add(v);
+                    *n += 1;
+                }
+            }
+            AggState::Min(best) => {
+                if let Some(v) = v.filter(|v| v.is_finite()) {
+                    *best = Some(match *best {
+                        Some(b) if b.total_cmp(&v).is_le() => b,
+                        _ => v,
+                    });
+                }
+            }
+            AggState::Max(best) => {
+                if let Some(v) = v.filter(|v| v.is_finite()) {
+                    *best = Some(match *best {
+                        Some(b) if b.total_cmp(&v).is_ge() => b,
+                        _ => v,
+                    });
+                }
+            }
+            AggState::Percentile(_, vals) => {
+                if let Some(v) = v.filter(|v| v.is_finite()) {
+                    vals.push(v);
+                }
+            }
+        }
+    }
+
+    /// Folds a sibling state (same spec) into this one.
+    ///
+    /// # Panics
+    /// If the two states were built from different [`AggSpec`]s.
+    pub fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => a.merge(&b),
+            (AggState::Mean(a, an), AggState::Mean(b, bn)) => {
+                a.merge(&b);
+                *an += bn;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(v) = b {
+                    *a = Some(match *a {
+                        Some(x) if x.total_cmp(&v).is_le() => x,
+                        _ => v,
+                    });
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(v) = b {
+                    *a = Some(match *a {
+                        Some(x) if x.total_cmp(&v).is_ge() => x,
+                        _ => v,
+                    });
+                }
+            }
+            (AggState::Percentile(_, a), AggState::Percentile(_, b)) => a.extend(b),
+            _ => panic!("AggState::merge: mismatched accumulator kinds"),
+        }
+    }
+
+    /// The aggregate value (NaN for empty numeric aggregates).
+    pub fn finish(&self) -> f64 {
+        match self {
+            AggState::Count(n) => *n as f64,
+            AggState::Sum(s) => s.value(),
+            AggState::Mean(s, n) => {
+                if *n == 0 {
+                    f64::NAN
+                } else {
+                    s.value() / *n as f64
+                }
+            }
+            AggState::Min(best) | AggState::Max(best) => best.unwrap_or(f64::NAN),
+            AggState::Percentile(q, vals) => {
+                if vals.is_empty() {
+                    return f64::NAN;
+                }
+                let mut v = vals.clone();
+                v.sort_by(f64::total_cmp);
+                let rank = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                let frac = rank - lo as f64;
+                if frac == 0.0 {
+                    v[lo]
+                } else if frac == 0.5 {
+                    // Same expression as Query::median's even-length arm.
+                    0.5 * (v[lo] + v[hi])
+                } else {
+                    v[lo] * (1.0 - frac) + v[hi] * frac
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selection vectors and batch predicates
+// ---------------------------------------------------------------------------
+
+/// Indices (within one batch) of the rows still alive after the predicates
+/// applied so far. Predicates narrow it in place; later plan steps visit
+/// only surviving rows.
+#[derive(Debug, Clone, Default)]
+pub struct SelVec {
+    rows: Vec<u32>,
+}
+
+impl SelVec {
+    /// Every row of an `n`-row batch selected.
+    pub fn all(n: usize) -> Self {
+        debug_assert!(n <= u32::MAX as usize);
+        Self { rows: (0..n as u32).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Keeps only rows for which `keep` holds.
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        self.rows.retain(|&r| keep(r));
+    }
+}
+
+/// Narrows `sel` to rows whose dictionary code equals `needle`.
+/// `None` (needle absent from this batch's dictionary) clears the
+/// selection — the whole point of code-level filtering: one dictionary
+/// probe decides a 4096-row page without decoding a single string.
+pub fn filter_codes_eq(sel: &mut SelVec, codes: &[u32], needle: Option<u32>) {
+    match needle {
+        None => sel.clear(),
+        Some(c) => sel.retain(|r| codes[r as usize] == c),
+    }
+}
+
+/// Narrows `sel` to rows whose integer cell lies in `[lo, hi)`; nulls drop.
+pub fn filter_int_range(sel: &mut SelVec, col: &[Option<i64>], lo: i64, hi: i64) {
+    sel.retain(|r| col[r as usize].is_some_and(|v| (lo..hi).contains(&v)));
+}
+
+// ---------------------------------------------------------------------------
+// Grouped accumulation
+// ---------------------------------------------------------------------------
+
+/// Per-group accumulator rows in first-appearance order — the only state a
+/// streaming grouped aggregation retains, hence O(group cardinality) peak
+/// memory no matter how many rows flow through. Tracks its own peak
+/// cardinality for the `store.peak_group_count` gauge.
+#[derive(Debug, Clone)]
+pub struct GroupedAgg<K> {
+    specs: Vec<AggSpec>,
+    order: Vec<K>,
+    groups: HashMap<K, Vec<AggState>>,
+    peak: usize,
+}
+
+impl<K: Eq + Hash + Clone> GroupedAgg<K> {
+    pub fn new(specs: Vec<AggSpec>) -> Self {
+        Self { specs, order: Vec::new(), groups: HashMap::new(), peak: 0 }
+    }
+
+    /// The accumulator row for `key`, created on first sight.
+    pub fn accs(&mut self, key: &K) -> &mut Vec<AggState> {
+        if !self.groups.contains_key(key) {
+            self.order.push(key.clone());
+            let row = self.specs.iter().map(|&s| AggState::new(s)).collect();
+            self.groups.insert(key.clone(), row);
+            self.peak = self.peak.max(self.groups.len());
+        }
+        self.groups.get_mut(key).expect("group just ensured")
+    }
+
+    /// Number of groups seen so far.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Highest concurrent group cardinality reached (== `len()` here, but
+    /// stays meaningful if eviction is ever added).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Folds a sibling shard's groups in. Keys already present merge into
+    /// the existing accumulator row; new keys append in the sibling's
+    /// order — i.e. exactly the first-appearance order a sequential scan
+    /// of `self`'s rows followed by `other`'s rows would have produced.
+    pub fn merge(&mut self, other: GroupedAgg<K>) {
+        for key in other.order {
+            let theirs = other.groups.get(&key).cloned().expect("key listed in order");
+            let mine = self.accs(&key);
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                m.merge(t);
+            }
+        }
+    }
+
+    /// Groups in first-appearance order with their finished aggregates.
+    pub fn finish(&self) -> Vec<(K, Vec<f64>)> {
+        self.order
+            .iter()
+            .map(|k| {
+                let row = self.groups.get(k).expect("key listed in order");
+                (k.clone(), row.iter().map(AggState::finish).collect())
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row batches
+// ---------------------------------------------------------------------------
+
+/// One column of a batch, borrowing the producer's storage.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchCol<'a> {
+    Int(&'a [Option<i64>]),
+    Float(&'a [Option<f64>]),
+    /// Non-nullable integers, as page decoders produce them — saves the
+    /// producer re-wrapping every cell in `Some`.
+    IntDense(&'a [i64]),
+    /// Non-nullable floats (NaN is a value, not a null).
+    FloatDense(&'a [f64]),
+    /// Dictionary-encoded strings: per-row codes into `dict`,
+    /// [`NULL_CODE`] for null. This is the form predicates want.
+    Dict { dict: &'a [String], codes: &'a [u32] },
+    /// Decoded strings — the slow reference form, kept so tests can prove
+    /// code-level evaluation ≡ decoded-string evaluation.
+    Str(&'a [Option<String>]),
+}
+
+impl BatchCol<'_> {
+    fn len(&self) -> usize {
+        match self {
+            BatchCol::Int(c) => c.len(),
+            BatchCol::Float(c) => c.len(),
+            BatchCol::IntDense(c) => c.len(),
+            BatchCol::FloatDense(c) => c.len(),
+            BatchCol::Dict { codes, .. } => codes.len(),
+            BatchCol::Str(c) => c.len(),
+        }
+    }
+}
+
+/// A borrowed, named view of one batch of rows (typically one decoded
+/// row-group page set). Feeding a batch costs no ownership transfer — the
+/// scanner decodes, feeds, drops.
+pub struct RowBatch<'a> {
+    rows: usize,
+    cols: Vec<(&'a str, BatchCol<'a>)>,
+}
+
+impl<'a> RowBatch<'a> {
+    pub fn new(rows: usize) -> Self {
+        Self { rows, cols: Vec::new() }
+    }
+
+    /// Adds a column; panics if its length disagrees with the batch.
+    pub fn with(mut self, name: &'a str, col: BatchCol<'a>) -> Self {
+        assert_eq!(col.len(), self.rows, "batch column {name} length mismatch");
+        self.cols.push((name, col));
+        self
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn col(&self, table: &str, name: &str) -> Result<&BatchCol<'a>, BqError> {
+        self.cols.iter().find(|(n, _)| *n == name).map(|(_, c)| c).ok_or_else(|| {
+            BqError::NoSuchColumn {
+                table: table.to_string(),
+                column: name.to_string(),
+                available: self.cols.iter().map(|(n, _)| (*n).to_string()).collect(),
+            }
+        })
+    }
+
+    /// Views an entire [`Table`] as one batch (tests and benchmarks; real
+    /// scans feed page-sized batches).
+    pub fn from_table(t: &'a Table) -> Self {
+        let mut b = RowBatch::new(t.len());
+        for name in t.column_names() {
+            let col = match t.column(name) {
+                Column::Int(c) => BatchCol::Int(c),
+                Column::Float(c) => BatchCol::Float(c),
+                Column::Str(c) => BatchCol::Str(c),
+                Column::Dict(d) => BatchCol::Dict { dict: d.dict(), codes: d.codes() },
+                Column::Bool(_) => panic!("RowBatch::from_table: bool columns unsupported"),
+            };
+            b = b.with(name, col);
+        }
+        b
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ColumnarQuery
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Pred {
+    StrEq(String, String),
+    IntRange(String, i64, i64),
+}
+
+/// Interns group-key strings across batches so group identity survives
+/// per-batch dictionaries with different code assignments.
+#[derive(Debug, Clone, Default)]
+struct KeyInterner {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl KeyInterner {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(s.to_string());
+        self.ids.insert(s.to_string(), id);
+        id
+    }
+}
+
+/// A group key: either the whole selection (no group-by), an integer cell,
+/// or an interned string id ([`NULL_CODE`] = the null group).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    All,
+    Int(Option<i64>),
+    Str(u32),
+}
+
+/// A small streaming query plan: equality / range filters, an optional
+/// group-by column, and a list of aggregates. Build once, then run any
+/// number of [`ScanState`]s over batch streams (one per shard worker) and
+/// [`ScanState::merge`] them — results are bit-identical to a sequential
+/// scan in the same shard order, and the retained state is O(groups).
+///
+/// ```
+/// use ndt_bq::vectorized::{AggSpec, ColumnarQuery, RowBatch};
+/// use ndt_bq::{ColType, Table, Value};
+///
+/// let mut t = Table::new("ndt.unified_download", &[
+///     ("day", ColType::Int), ("oblast", ColType::Str), ("tput", ColType::Float),
+/// ]);
+/// t.dict_encode("oblast");
+/// t.push(vec![Value::Int(419), Value::from("Kiev City"), Value::Float(50.0)]);
+/// t.push(vec![Value::Int(420), Value::from("Kiev City"), Value::Float(30.0)]);
+/// t.push(vec![Value::Int(419), Value::from("L'viv"), Value::Float(37.2)]);
+///
+/// let q = ColumnarQuery::new()
+///     .filter_str_eq("oblast", "Kiev City")
+///     .group_by("day")
+///     .agg("tput", AggSpec::Mean);
+/// let mut st = q.start();
+/// q.feed(&mut st, &RowBatch::from_table(&t)).unwrap();
+/// let groups = st.finish();
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].1, vec![50.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarQuery {
+    preds: Vec<Pred>,
+    key: Option<String>,
+    aggs: Vec<(String, AggSpec)>,
+}
+
+/// Mutable per-scan state for one [`ColumnarQuery`] run.
+pub struct ScanState {
+    specs: Vec<AggSpec>,
+    interner: KeyInterner,
+    groups: GroupedAgg<GroupKey>,
+    rows_scanned: u64,
+    rows_matched: u64,
+}
+
+impl ColumnarQuery {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keep rows where string column `col` equals `needle` (nulls never
+    /// match — `Query::filter_eq` semantics). On dictionary batches this
+    /// is one dictionary probe plus integer compares.
+    pub fn filter_str_eq(mut self, col: &str, needle: &str) -> Self {
+        self.preds.push(Pred::StrEq(col.to_string(), needle.to_string()));
+        self
+    }
+
+    /// Keep rows whose integer `col` lies in `[lo, hi)`; nulls drop.
+    pub fn filter_int_range(mut self, col: &str, lo: i64, hi: i64) -> Self {
+        self.preds.push(Pred::IntRange(col.to_string(), lo, hi));
+        self
+    }
+
+    /// Group surviving rows by `col` (at most one group-by column; the
+    /// last call wins). Without a group-by all rows fold into one group
+    /// keyed [`GroupKey::All`].
+    pub fn group_by(mut self, col: &str) -> Self {
+        self.key = Some(col.to_string());
+        self
+    }
+
+    /// Adds an aggregate over `col` (the column is ignored for
+    /// [`AggSpec::Count`]).
+    pub fn agg(mut self, col: &str, spec: AggSpec) -> Self {
+        self.aggs.push((col.to_string(), spec));
+        self
+    }
+
+    /// Fresh state for one scan (one worker's shard subset).
+    pub fn start(&self) -> ScanState {
+        let specs: Vec<AggSpec> = self.aggs.iter().map(|&(_, s)| s).collect();
+        ScanState {
+            specs: specs.clone(),
+            interner: KeyInterner::default(),
+            groups: GroupedAgg::new(specs),
+            rows_scanned: 0,
+            rows_matched: 0,
+        }
+    }
+
+    /// Evaluates the plan over one batch, updating `st`. Strings are never
+    /// decoded on dictionary batches: predicates compare codes, and group
+    /// keys remap batch codes to interned ids once per batch dictionary.
+    pub fn feed(&self, st: &mut ScanState, batch: &RowBatch<'_>) -> Result<(), BqError> {
+        st.rows_scanned += batch.rows() as u64;
+        let mut sel = SelVec::all(batch.rows());
+        for pred in &self.preds {
+            if sel.is_empty() {
+                break;
+            }
+            match pred {
+                Pred::StrEq(col, needle) => match batch.col("batch", col)? {
+                    BatchCol::Dict { dict, codes } => {
+                        let code =
+                            dict.iter().position(|s| s == needle).map(|p| p as u32);
+                        filter_codes_eq(&mut sel, codes, code);
+                    }
+                    BatchCol::Str(c) => {
+                        sel.retain(|r| c[r as usize].as_deref() == Some(needle.as_str()));
+                    }
+                    other => return Err(type_mismatch(col, ColType::Str, other)),
+                },
+                Pred::IntRange(col, lo, hi) => match batch.col("batch", col)? {
+                    BatchCol::Int(c) => filter_int_range(&mut sel, c, *lo, *hi),
+                    BatchCol::IntDense(c) => {
+                        sel.retain(|r| (*lo..*hi).contains(&c[r as usize]));
+                    }
+                    other => return Err(type_mismatch(col, ColType::Int, other)),
+                },
+            }
+        }
+        st.rows_matched += sel.len() as u64;
+        if sel.is_empty() {
+            return Ok(());
+        }
+
+        // Resolve the group key per surviving row. Dictionary batches
+        // remap their local codes to interner ids once, so the per-row
+        // cost is an array index.
+        let keys: Vec<GroupKey> = match &self.key {
+            None => Vec::new(),
+            Some(col) => match batch.col("batch", col)? {
+                BatchCol::Dict { dict, codes } => {
+                    let remap: Vec<u32> =
+                        dict.iter().map(|s| st.interner.intern(s)).collect();
+                    sel.rows()
+                        .iter()
+                        .map(|&r| {
+                            let c = codes[r as usize];
+                            if c == NULL_CODE {
+                                GroupKey::Str(NULL_CODE)
+                            } else {
+                                GroupKey::Str(remap[c as usize])
+                            }
+                        })
+                        .collect()
+                }
+                BatchCol::Str(c) => sel
+                    .rows()
+                    .iter()
+                    .map(|&r| match &c[r as usize] {
+                        Some(s) => GroupKey::Str(st.interner.intern(s)),
+                        None => GroupKey::Str(NULL_CODE),
+                    })
+                    .collect(),
+                BatchCol::Int(c) => {
+                    sel.rows().iter().map(|&r| GroupKey::Int(c[r as usize])).collect()
+                }
+                BatchCol::IntDense(c) => {
+                    sel.rows().iter().map(|&r| GroupKey::Int(Some(c[r as usize]))).collect()
+                }
+                other => return Err(type_mismatch(col, ColType::Str, other)),
+            },
+        };
+
+        for (j, (col, spec)) in self.aggs.iter().enumerate() {
+            let values: Option<&BatchCol> = if matches!(spec, AggSpec::Count) {
+                None
+            } else {
+                Some(batch.col("batch", col)?)
+            };
+            for (k, &r) in sel.rows().iter().enumerate() {
+                let key = if self.key.is_none() { GroupKey::All } else { keys[k].clone() };
+                let v = match values {
+                    None => None,
+                    Some(BatchCol::Float(c)) => c[r as usize],
+                    Some(BatchCol::FloatDense(c)) => Some(c[r as usize]),
+                    Some(BatchCol::Int(c)) => c[r as usize].map(|v| v as f64),
+                    Some(BatchCol::IntDense(c)) => Some(c[r as usize] as f64),
+                    Some(other) => return Err(type_mismatch(col, ColType::Float, other)),
+                };
+                st.groups.accs(&key)[j].push(v);
+            }
+        }
+        // A plan with no aggregates still counts groups (distinct-style).
+        if self.aggs.is_empty() {
+            for (k, _) in sel.rows().iter().enumerate() {
+                let key = if self.key.is_none() { GroupKey::All } else { keys[k].clone() };
+                st.groups.accs(&key);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn type_mismatch(col: &str, expected: ColType, got: &BatchCol<'_>) -> BqError {
+    let got = match got {
+        BatchCol::Int(_) | BatchCol::IntDense(_) => "Int",
+        BatchCol::Float(_) | BatchCol::FloatDense(_) => "Float",
+        BatchCol::Dict { .. } => "Str(dict)",
+        BatchCol::Str(_) => "Str",
+    };
+    BqError::TypeMismatch {
+        table: "batch".to_string(),
+        column: col.to_string(),
+        expected,
+        got: got.to_string(),
+    }
+}
+
+impl ScanState {
+    /// Folds a sibling worker's state in. Aggregate values are
+    /// bit-identical under any fold order; group *listing* order follows
+    /// concatenation order (fold shards in manifest order for a
+    /// deterministic listing).
+    pub fn merge(&mut self, other: ScanState) {
+        debug_assert_eq!(self.specs.len(), other.specs.len());
+        self.rows_scanned += other.rows_scanned;
+        self.rows_matched += other.rows_matched;
+        // Remap the sibling's interned string ids into ours before its
+        // group keys can be compared with ours.
+        let remap: Vec<u32> =
+            other.interner.names.iter().map(|s| self.interner.intern(s)).collect();
+        let mut remapped = GroupedAgg::new(self.specs.clone());
+        for (key, row) in other.groups.finish_into() {
+            let key = match key {
+                GroupKey::Str(id) if id != NULL_CODE => GroupKey::Str(remap[id as usize]),
+                k => k,
+            };
+            let mine = remapped.accs(&key);
+            for (m, t) in mine.iter_mut().zip(row) {
+                m.merge(t);
+            }
+        }
+        self.groups.merge(remapped);
+    }
+
+    /// Rows fed so far (pre-predicate).
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned
+    }
+
+    /// Rows surviving all predicates so far.
+    pub fn rows_matched(&self) -> u64 {
+        self.rows_matched
+    }
+
+    /// Peak concurrent group cardinality — the O(groups) memory bound.
+    pub fn peak_groups(&self) -> usize {
+        self.groups.peak()
+    }
+
+    /// Finished groups in first-appearance order: `(key, aggregates)`,
+    /// string keys materialized (only here, once per group).
+    pub fn finish(&self) -> Vec<(Value, Vec<f64>)> {
+        self.groups
+            .finish()
+            .into_iter()
+            .map(|(key, aggs)| {
+                let v = match key {
+                    GroupKey::All => Value::Null,
+                    GroupKey::Int(i) => i.map_or(Value::Null, Value::Int),
+                    GroupKey::Str(NULL_CODE) => Value::Null,
+                    GroupKey::Str(id) => {
+                        Value::Str(self.interner.names[id as usize].clone())
+                    }
+                };
+                (v, aggs)
+            })
+            .collect()
+    }
+}
+
+impl<K: Eq + Hash + Clone> GroupedAgg<K> {
+    /// Consumes the map in first-appearance order (merge plumbing).
+    fn finish_into(mut self) -> Vec<(K, Vec<AggState>)> {
+        self.order
+            .drain(..)
+            .map(|k| {
+                let row = self.groups.remove(&k).expect("key listed in order");
+                (k, row)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sum_is_order_invariant() {
+        let xs = [1e16, 1.0, -1e16, 2.5e-8, 3.0, -7.25];
+        let mut fwd = ExactSum::new();
+        for &x in &xs {
+            fwd.add(x);
+        }
+        let mut rev = ExactSum::new();
+        for &x in xs.iter().rev() {
+            rev.add(x);
+        }
+        assert_eq!(fwd.value().to_bits(), rev.value().to_bits());
+        // Split + merge matches too.
+        let (mut a, mut b) = (ExactSum::new(), ExactSum::new());
+        for &x in &xs[..3] {
+            a.add(x);
+        }
+        for &x in &xs[3..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.value().to_bits(), fwd.value().to_bits());
+    }
+
+    #[test]
+    fn exact_sum_handles_non_finite() {
+        let mut s = ExactSum::new();
+        s.add(1.0);
+        s.add(f64::INFINITY);
+        assert_eq!(s.value(), f64::INFINITY);
+        s.add(f64::NEG_INFINITY);
+        assert!(s.value().is_nan());
+    }
+
+    #[test]
+    fn percentile_half_matches_query_median() {
+        use crate::{ColType, Table, Value};
+        let mut t = Table::new("t", &[("x", ColType::Float)]);
+        for v in [10.0, 40.0, 20.0, 30.0] {
+            t.push(vec![Value::Float(v)]);
+        }
+        let mut acc = AggState::new(AggSpec::Percentile(0.5));
+        for v in [10.0, 40.0, 20.0, 30.0] {
+            acc.push(Some(v));
+        }
+        assert_eq!(acc.finish().to_bits(), t.query().median("x").to_bits());
+    }
+
+    #[test]
+    fn columnar_query_matches_materialized_query() {
+        use crate::{ColType, Table, Value};
+        let mut t = Table::new("t", &[
+            ("day", ColType::Int),
+            ("oblast", ColType::Str),
+            ("tput", ColType::Float),
+        ]);
+        t.dict_encode("oblast");
+        let rows: &[(i64, Option<&str>, Option<f64>)] = &[
+            (419, Some("Kiev City"), Some(50.0)),
+            (419, Some("L'viv"), Some(37.2)),
+            (420, Some("Kiev City"), Some(30.0)),
+            (420, None, Some(9.0)),
+            (421, Some("Kiev City"), None),
+        ];
+        for &(d, o, v) in rows {
+            t.push(vec![
+                Value::Int(d),
+                o.map_or(Value::Null, Value::from),
+                v.map_or(Value::Null, Value::Float),
+            ]);
+        }
+
+        let plan = ColumnarQuery::new()
+            .filter_str_eq("oblast", "Kiev City")
+            .group_by("day")
+            .agg("tput", AggSpec::Count)
+            .agg("tput", AggSpec::Mean);
+        let mut st = plan.start();
+        plan.feed(&mut st, &RowBatch::from_table(&t)).expect("feed");
+        let got = st.finish();
+
+        let reference: Vec<(Value, Vec<f64>)> = t
+            .query()
+            .filter_eq("oblast", &Value::from("Kiev City"))
+            .group_by("day")
+            .into_iter()
+            .map(|(k, q)| {
+                let mean = q.mean("tput");
+                (k, vec![q.count() as f64, mean])
+            })
+            .collect();
+        assert_eq!(got.len(), reference.len());
+        for ((gk, ga), (rk, ra)) in got.iter().zip(&reference) {
+            assert_eq!(gk, rk);
+            assert_eq!(ga[0], ra[0]);
+            // Mean may be NaN on both sides for the empty day-421 group.
+            assert!(ga[1] == ra[1] || (ga[1].is_nan() && ra[1].is_nan()));
+        }
+        assert_eq!(st.rows_scanned(), 5);
+        assert_eq!(st.rows_matched(), 3);
+        assert_eq!(st.peak_groups(), 3);
+    }
+
+    #[test]
+    fn absent_needle_clears_without_decoding() {
+        use crate::{ColType, Table, Value};
+        let mut t = Table::new("t", &[("oblast", ColType::Str), ("x", ColType::Float)]);
+        t.dict_encode("oblast");
+        t.push(vec![Value::from("Kharkiv"), Value::Float(1.0)]);
+        let plan =
+            ColumnarQuery::new().filter_str_eq("oblast", "Atlantis").agg("x", AggSpec::Count);
+        let mut st = plan.start();
+        plan.feed(&mut st, &RowBatch::from_table(&t)).expect("feed");
+        assert_eq!(st.rows_matched(), 0);
+        assert!(st.finish().is_empty());
+    }
+
+    #[test]
+    fn shard_merge_is_order_invariant_for_values() {
+        let plan = ColumnarQuery::new().group_by("k").agg("v", AggSpec::Sum);
+        let shard = |vals: &[(i64, f64)]| {
+            let ks: Vec<Option<i64>> = vals.iter().map(|&(k, _)| Some(k)).collect();
+            let vs: Vec<Option<f64>> = vals.iter().map(|&(_, v)| Some(v)).collect();
+            let mut st = plan.start();
+            let b = RowBatch::new(vals.len())
+                .with("k", BatchCol::Int(&ks))
+                .with("v", BatchCol::Float(&vs));
+            plan.feed(&mut st, &b).expect("feed");
+            st
+        };
+        let a = [(1, 1e16), (2, 2.0)];
+        let b = [(1, 1.0), (2, -2.0)];
+        let c = [(1, -1e16), (3, 0.125)];
+
+        let mut ab_c = shard(&a);
+        ab_c.merge(shard(&b));
+        ab_c.merge(shard(&c));
+        let mut a_bc = shard(&a);
+        let mut bc = shard(&b);
+        bc.merge(shard(&c));
+        a_bc.merge(bc);
+
+        let (x, y) = (ab_c.finish(), a_bc.finish());
+        assert_eq!(x.len(), y.len());
+        for ((kx, vx), (ky, vy)) in x.iter().zip(&y) {
+            assert_eq!(kx, ky);
+            assert_eq!(vx[0].to_bits(), vy[0].to_bits());
+        }
+    }
+}

@@ -25,6 +25,13 @@ pub struct StudyData {
 /// windows that hold at least one. See [`StudyData::day_gaps`].
 fn compute_day_gaps(unified: &Table) -> Vec<(i64, i64)> {
     let days: std::collections::BTreeSet<i64> = unified.query().ints("day").into_iter().collect();
+    compute_day_gaps_from(&days)
+}
+
+/// [`compute_day_gaps`] over an already-collected distinct-day set (the
+/// vectorized store loader aggregates days page-by-page instead of
+/// re-scanning the finished table).
+fn compute_day_gaps_from(days: &std::collections::BTreeSet<i64>) -> Vec<(i64, i64)> {
     let mut gaps = Vec::new();
     for p in Period::ALL {
         let (s, e) = p.day_range();
@@ -104,6 +111,17 @@ pub struct StudyDataBuilder {
     unified: Option<Table>,
 }
 
+/// A consistent builder position, taken with [`StudyDataBuilder::mark`]
+/// before a shard starts streaming in and handed back to
+/// [`StudyDataBuilder::rollback`] if the shard fails mid-stream — the
+/// degrade contract needs a failed shard to contribute *nothing*.
+#[derive(Debug, Clone, Copy)]
+pub struct BuilderMark {
+    unified_rows: usize,
+    ndt_rows: usize,
+    trace_rows: usize,
+}
+
 impl StudyDataBuilder {
     /// An empty builder.
     pub fn new() -> Self {
@@ -119,9 +137,49 @@ impl StudyDataBuilder {
         self.raw.ndt.extend(rows);
     }
 
+    /// Ingests one columnar batch straight into the unified table —
+    /// cell-for-cell what [`Self::push_ndt_rows`] on the same rows would
+    /// produce, but without materializing a single `UnifiedDownloadRow`:
+    /// `raw.ndt` stays empty, so the vectorized store loader's resident
+    /// row footprint is the in-flight batch window, not the corpus.
+    pub fn push_unified_batch(
+        &mut self,
+        batch: &ndt_mlab::columnar::UnifiedBatch,
+    ) -> std::io::Result<()> {
+        let table = self.unified.get_or_insert_with(empty_unified_table);
+        ndt_mlab::columnar::push_unified_batch(table, batch).map_err(|e| e.into_io())
+    }
+
     /// Appends scamper trace rows.
     pub fn push_trace_rows(&mut self, rows: Vec<Scamper1Row>) {
         self.raw.traces.extend(rows);
+    }
+
+    /// Unified rows ingested so far (row-wise and batch-wise combined).
+    pub fn unified_rows(&self) -> usize {
+        self.unified.as_ref().map_or(0, Table::len)
+    }
+
+    /// Current position, for a later [`Self::rollback`].
+    pub fn mark(&self) -> BuilderMark {
+        BuilderMark {
+            unified_rows: self.unified_rows(),
+            ndt_rows: self.raw.ndt.len(),
+            trace_rows: self.raw.traces.len(),
+        }
+    }
+
+    /// Discards everything ingested after `mark` (table rows, raw rows,
+    /// trace rows). Dictionary entries interned by discarded rows may
+    /// linger in the table's dictionaries; they are unreferenced, and
+    /// every value-level accessor and comparison is row-driven, so they
+    /// are unobservable.
+    pub fn rollback(&mut self, mark: BuilderMark) {
+        if let Some(table) = self.unified.as_mut() {
+            table.truncate(mark.unified_rows);
+        }
+        self.raw.ndt.truncate(mark.ndt_rows);
+        self.raw.traces.truncate(mark.trace_rows);
     }
 
     /// Finalizes into a [`StudyData`]. Day gaps are computed from the
@@ -131,6 +189,17 @@ impl StudyDataBuilder {
     pub fn finish(self) -> StudyData {
         let unified = self.unified.unwrap_or_else(empty_unified_table);
         let day_gaps = compute_day_gaps(&unified);
+        StudyData { raw: self.raw, unified, day_gaps }
+    }
+
+    /// [`Self::finish`] with the distinct-day set already in hand (the
+    /// vectorized loader folds it out of a page-fed day aggregation, so
+    /// the finished table never needs a full `day` re-scan). The set must
+    /// cover exactly the ingested rows' days — gap computation is the
+    /// same rule either way.
+    pub fn finish_with_days(self, days: &std::collections::BTreeSet<i64>) -> StudyData {
+        let unified = self.unified.unwrap_or_else(empty_unified_table);
+        let day_gaps = compute_day_gaps_from(days);
         StudyData { raw: self.raw, unified, day_gaps }
     }
 }

@@ -19,9 +19,24 @@
 //! decoding, so callers get precisely the rows they asked for while
 //! whole non-matching groups are never read off disk.
 //!
-//! Reads and writes feed the `store.*` counters in `ndt-obs`. Byte and
-//! row counts are pure functions of the corpus, so they fall under the
-//! counter determinism contract; wall-clock timing stays in span land.
+//! Two read shapes share one scan ([`scan_unified_batches`]):
+//!
+//! * **row-wise** ([`scan_unified`], [`scan_traces`]) — materializes
+//!   typed row structs; the original, O(rows) shape;
+//! * **columnar** ([`UnifiedBatch`] via [`scan_unified_batches`]) — hands
+//!   each validated group to a sink as owned column vectors, no per-row
+//!   structs and no string materialization; the vectorized report path
+//!   ingests these with [`push_unified_batch`] and never holds more than
+//!   a bounded window of decoded groups.
+//!
+//! Writes feed the `store.*` counters directly. Scans *return* their
+//! [`ndt_store::ScanStats`] and leave publishing to the caller via
+//! [`publish_scan_stats`] — exactly once per successful scan, in a
+//! deterministic order — so the materialized and vectorized engines
+//! report identical counter values and a failed (quarantined) shard
+//! contributes nothing. Byte and row counts are pure functions of the
+//! corpus, so they fall under the counter determinism contract;
+//! wall-clock timing stays in span land.
 
 use crate::codec::{oblast_from_index, oblast_index};
 use crate::schema::{Scamper1Row, UnifiedDownloadRow};
@@ -91,11 +106,18 @@ fn record_write_stats(stats: &WriteStats) {
     ndt_obs::incr("store.bytes_raw", stats.bytes_raw);
 }
 
-fn record_scan_stats(stats: &ndt_store::ScanStats) {
+/// Publishes one scan's counters into `ndt-obs`. Callers invoke this
+/// exactly once per *successful* scan (the runner does so per surviving
+/// shard pair, in manifest order): both report engines then publish
+/// identical values, and a quarantined shard contributes nothing.
+pub fn publish_scan_stats(stats: &ndt_store::ScanStats) {
     ndt_obs::incr("store.groups_scanned", stats.groups_scanned);
     ndt_obs::incr("store.groups_skipped", stats.groups_skipped);
+    ndt_obs::incr("store.groups_pruned_dict", stats.groups_pruned_dict);
     ndt_obs::incr("store.pages_decoded", stats.pages_decoded);
+    ndt_obs::incr("store.pages_skipped", stats.pages_skipped);
     ndt_obs::incr("store.rows_read", stats.rows_emitted);
+    ndt_obs::incr("store.rows_pruned", stats.rows_pruned);
     ndt_obs::incr("store.bytes_read", stats.bytes_read);
 }
 
@@ -426,9 +448,111 @@ impl RowFilter {
     }
 }
 
-/// Streams a `unified` shard, returning exactly the rows matching
-/// `filter` (in shard order).
-pub fn scan_unified(shard: &Shard, filter: RowFilter) -> Result<Vec<UnifiedDownloadRow>, StoreError> {
+/// One validated, filtered group of unified rows in columnar form — the
+/// vectorized loader's unit of transfer. Column vectors are owned (moved
+/// straight out of the page decoder), there are no per-row structs, and
+/// the categoricals stay as their store codes: no string materializes
+/// until table ingestion interns each *distinct* label once.
+///
+/// Invariants (enforced by [`scan_unified_batches`] before the batch is
+/// handed out): all nine vectors have equal length, every `oblast` value
+/// is [`OBLAST_NONE`] or a valid oblast index, every `city` value is
+/// [`CITY_NONE`] or a valid city id, and every row matches the scan's
+/// [`RowFilter`].
+#[derive(Debug, Clone, Default)]
+pub struct UnifiedBatch {
+    pub day: Vec<i64>,
+    pub client_ip: Vec<u32>,
+    pub server_ip: Vec<u32>,
+    pub client_asn: Vec<u32>,
+    /// Validated oblast indices ([`OBLAST_NONE`] = unlocated).
+    pub oblast: Vec<u32>,
+    /// Validated city ids ([`CITY_NONE`] = unlabeled).
+    pub city: Vec<u32>,
+    pub tput: Vec<f64>,
+    pub min_rtt: Vec<f64>,
+    pub loss: Vec<f64>,
+}
+
+impl UnifiedBatch {
+    /// Rows held.
+    pub fn rows(&self) -> usize {
+        self.day.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.day.is_empty()
+    }
+
+    /// Materializes the batch as row structs (the row-wise readers are
+    /// built on this, so both read shapes decode identically by
+    /// construction). Values were validated at scan time, so conversion
+    /// cannot fail.
+    pub fn to_rows(&self) -> Vec<UnifiedDownloadRow> {
+        let max_city = max_city_id();
+        (0..self.rows())
+            .map(|i| UnifiedDownloadRow {
+                day: self.day[i],
+                client_ip: Ipv4Addr(self.client_ip[i]),
+                server_ip: Ipv4Addr(self.server_ip[i]),
+                client_asn: Asn(self.client_asn[i]),
+                oblast: decode_oblast(self.oblast[i]).expect("oblast validated at scan"),
+                city: decode_city(self.city[i], max_city).expect("city validated at scan"),
+                mean_tput_mbps: self.tput[i],
+                min_rtt_ms: self.min_rtt[i],
+                loss_rate: self.loss[i],
+            })
+            .collect()
+    }
+}
+
+fn take_i64(batch: &mut Batch, idx: usize, name: &'static str) -> Result<Vec<i64>, StoreError> {
+    match batch.columns.get_mut(idx).and_then(Option::take) {
+        Some(ColumnData::I64(v)) => Ok(v),
+        Some(_) => Err(StoreError::Schema(format!("column {name} is not I64"))),
+        None => Err(StoreError::Schema(format!("column {name} missing from batch"))),
+    }
+}
+
+fn take_u32(batch: &mut Batch, idx: usize, name: &'static str) -> Result<Vec<u32>, StoreError> {
+    match batch.columns.get_mut(idx).and_then(Option::take) {
+        Some(ColumnData::U32(v)) => Ok(v),
+        Some(_) => Err(StoreError::Schema(format!("column {name} is not U32"))),
+        None => Err(StoreError::Schema(format!("column {name} missing from batch"))),
+    }
+}
+
+fn take_f64(batch: &mut Batch, idx: usize, name: &'static str) -> Result<Vec<f64>, StoreError> {
+    match batch.columns.get_mut(idx).and_then(Option::take) {
+        Some(ColumnData::F64(v)) => Ok(v),
+        Some(_) => Err(StoreError::Schema(format!("column {name} is not F64"))),
+        None => Err(StoreError::Schema(format!("column {name} missing from batch"))),
+    }
+}
+
+/// Keeps only the rows at `keep` (ascending indices), in place.
+fn compact<T: Copy>(v: &mut Vec<T>, keep: &[u32]) {
+    for (dst, &src) in keep.iter().enumerate() {
+        v[dst] = v[src as usize];
+    }
+    v.truncate(keep.len());
+}
+
+/// Streams a `unified` shard as validated columnar batches, handing each
+/// surviving group to `sink` with exact row filtering already applied.
+/// Returns the scan's stats **without publishing them** — the caller
+/// decides if and when (see [`publish_scan_stats`]).
+///
+/// Validation is identical to [`decode_unified_batch`]: every row of a
+/// surviving group is checked (oblast index, city id) before filtering,
+/// so a corrupt value quarantines the shard no matter which rows a
+/// filter would keep.
+pub fn scan_unified_batches(
+    shard: &Shard,
+    filter: RowFilter,
+    mut sink: impl FnMut(UnifiedBatch),
+) -> Result<ndt_store::ScanStats, StoreError> {
     if shard.schema().table != "unified" {
         return Err(StoreError::Schema(format!(
             "expected a unified shard, found table {:?}",
@@ -437,23 +561,85 @@ pub fn scan_unified(shard: &Shard, filter: RowFilter) -> Result<Vec<UnifiedDownl
     }
     let options = ScanOptions { columns: None, predicates: filter.predicates() };
     let mut scan = Scan::new(shard, options)?;
-    let mut rows = Vec::new();
+    let max_city = max_city_id();
+    let mut keep: Vec<u32> = Vec::new();
     for batch in scan.by_ref() {
-        let batch = batch?;
-        for row in decode_unified_batch(&batch)? {
-            if filter.matches(row.day, row.oblast) {
-                rows.push(row);
+        let mut batch = batch?;
+        let n = batch.rows as usize;
+        let mut b = UnifiedBatch {
+            day: take_i64(&mut batch, 0, "day")?,
+            client_ip: take_u32(&mut batch, 1, "client_ip")?,
+            server_ip: take_u32(&mut batch, 2, "server_ip")?,
+            client_asn: take_u32(&mut batch, 3, "client_asn")?,
+            oblast: take_u32(&mut batch, 4, "oblast")?,
+            city: take_u32(&mut batch, 5, "city")?,
+            tput: take_f64(&mut batch, 6, "tput")?,
+            min_rtt: take_f64(&mut batch, 7, "min_rtt")?,
+            loss: take_f64(&mut batch, 8, "loss")?,
+        };
+        for (name, len) in [
+            ("day", b.day.len()),
+            ("client_ip", b.client_ip.len()),
+            ("server_ip", b.server_ip.len()),
+            ("client_asn", b.client_asn.len()),
+            ("oblast", b.oblast.len()),
+            ("city", b.city.len()),
+            ("tput", b.tput.len()),
+            ("min_rtt", b.min_rtt.len()),
+            ("loss", b.loss.len()),
+        ] {
+            if len != n {
+                return Err(StoreError::Schema(format!(
+                    "column {name} has {len} rows, batch declares {n}"
+                )));
             }
         }
+        // Validate every row of the surviving group (exactly what the
+        // row decoder does), then filter.
+        keep.clear();
+        for i in 0..n {
+            let oblast = decode_oblast(b.oblast[i])?;
+            decode_city(b.city[i], max_city)?;
+            if filter.matches(b.day[i], oblast) {
+                keep.push(i as u32);
+            }
+        }
+        if keep.len() != n {
+            compact(&mut b.day, &keep);
+            compact(&mut b.client_ip, &keep);
+            compact(&mut b.server_ip, &keep);
+            compact(&mut b.client_asn, &keep);
+            compact(&mut b.oblast, &keep);
+            compact(&mut b.city, &keep);
+            compact(&mut b.tput, &keep);
+            compact(&mut b.min_rtt, &keep);
+            compact(&mut b.loss, &keep);
+        }
+        sink(b);
     }
-    record_scan_stats(&scan.stats());
-    Ok(rows)
+    Ok(scan.stats())
+}
+
+/// Streams a `unified` shard, returning exactly the rows matching
+/// `filter` (in shard order) plus the scan's stats (not yet published —
+/// see [`publish_scan_stats`]).
+pub fn scan_unified(
+    shard: &Shard,
+    filter: RowFilter,
+) -> Result<(Vec<UnifiedDownloadRow>, ndt_store::ScanStats), StoreError> {
+    let mut rows = Vec::new();
+    let stats = scan_unified_batches(shard, filter, |b| rows.extend(b.to_rows()))?;
+    Ok((rows, stats))
 }
 
 /// Streams a `traces` shard, returning exactly the rows whose day falls
 /// in `filter.day_range` (traces carry no oblast column; an oblast
-/// filter is a schema error).
-pub fn scan_traces(shard: &Shard, filter: RowFilter) -> Result<Vec<Scamper1Row>, StoreError> {
+/// filter is a schema error) plus the scan's stats (not yet published —
+/// see [`publish_scan_stats`]).
+pub fn scan_traces(
+    shard: &Shard,
+    filter: RowFilter,
+) -> Result<(Vec<Scamper1Row>, ndt_store::ScanStats), StoreError> {
     if shard.schema().table != "traces" {
         return Err(StoreError::Schema(format!(
             "expected a traces shard, found table {:?}",
@@ -474,8 +660,91 @@ pub fn scan_traces(shard: &Shard, filter: RowFilter) -> Result<Vec<Scamper1Row>,
             }
         }
     }
-    record_scan_stats(&scan.stats());
-    Ok(rows)
+    Ok((rows, scan.stats()))
+}
+
+/// Ingests one columnar batch into a table created by
+/// `ndt_mlab::schema::empty_unified_table`, producing exactly the cells
+/// `push_unified_row` would, without constructing a single row struct or
+/// per-row `String`: integer and float columns append raw values, and
+/// the two dictionary columns intern each *distinct* label once per
+/// batch, then append codes.
+pub fn push_unified_batch(t: &mut ndt_bq::Table, b: &UnifiedBatch) -> Result<(), StoreError> {
+    use ndt_bq::{Column, NULL_CODE};
+
+    fn push_ints(col: &mut Column, values: impl Iterator<Item = i64>) -> Result<(), StoreError> {
+        match col {
+            Column::Int(c) => {
+                c.extend(values.map(Some));
+                Ok(())
+            }
+            _ => Err(StoreError::Schema("unified table column is not Int".to_string())),
+        }
+    }
+
+    fn push_floats(col: &mut Column, values: &[f64]) -> Result<(), StoreError> {
+        match col {
+            Column::Float(c) => {
+                c.extend(values.iter().map(|&v| Some(v)));
+                Ok(())
+            }
+            _ => Err(StoreError::Schema("unified table column is not Float".to_string())),
+        }
+    }
+
+    push_ints(t.column_mut("day"), b.day.iter().copied())?;
+    push_ints(t.column_mut("client_ip"), b.client_ip.iter().map(|&v| v as i64))?;
+    push_ints(t.column_mut("server_ip"), b.server_ip.iter().map(|&v| v as i64))?;
+    push_ints(t.column_mut("client_asn"), b.client_asn.iter().map(|&v| v as i64))?;
+
+    match t.column_mut("oblast") {
+        Column::Dict(d) => {
+            // 27 oblasts: a tiny lazily-filled remap keeps interning off
+            // the per-row path entirely.
+            let mut remap = [NULL_CODE; OBLAST_NONE as usize];
+            for &v in &b.oblast {
+                if v == OBLAST_NONE {
+                    d.push_null();
+                    continue;
+                }
+                let slot = &mut remap[v as usize];
+                if *slot == NULL_CODE {
+                    let o = decode_oblast(v)?.expect("validated non-sentinel oblast");
+                    *slot = d.intern(o.name());
+                }
+                d.push_code(*slot);
+            }
+        }
+        _ => return Err(StoreError::Schema("oblast column is not dictionary-encoded".to_string())),
+    }
+
+    match t.column_mut("city") {
+        Column::Dict(d) => {
+            let max_city = max_city_id();
+            let mut remap = vec![NULL_CODE; max_city as usize + 1];
+            for &v in &b.city {
+                if v == CITY_NONE {
+                    d.push_null();
+                    continue;
+                }
+                let city = decode_city(v, max_city)?.expect("validated non-sentinel city");
+                let slot = &mut remap[v as usize];
+                if *slot == NULL_CODE {
+                    *slot = d.intern(city.get().name);
+                }
+                d.push_code(*slot);
+            }
+        }
+        _ => return Err(StoreError::Schema("city column is not dictionary-encoded".to_string())),
+    }
+
+    push_floats(t.column_mut("tput"), &b.tput)?;
+    push_floats(t.column_mut("min_rtt"), &b.min_rtt)?;
+    push_floats(t.column_mut("loss"), &b.loss)?;
+
+    t.commit_batch()
+        .map_err(|e| StoreError::Schema(format!("unified batch ingest failed: {e}")))?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -523,8 +792,50 @@ mod tests {
         let file = std::fs::File::create(&path).expect("create");
         write_unified(std::io::BufWriter::new(file), &ds.ndt).expect("writes");
         let shard = Shard::open(&path).expect("opens");
-        let back = scan_unified(&shard, RowFilter::default()).expect("scans");
+        let (back, _) = scan_unified(&shard, RowFilter::default()).expect("scans");
         assert!(eq_bits_unified(&ds.ndt, &back), "unified rows did not round-trip");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_ingest_matches_row_ingest() {
+        let mut ds = sample();
+        ds.ndt[0].oblast = None;
+        ds.ndt[0].city = None;
+        ds.ndt[1].mean_tput_mbps = f64::NAN;
+        let path = tmp("unified-batch-ingest.ndts");
+        let file = std::fs::File::create(&path).expect("create");
+        write_unified(std::io::BufWriter::new(file), &ds.ndt).expect("writes");
+        let shard = Shard::open(&path).expect("opens");
+
+        let mut batched = crate::schema::empty_unified_table();
+        scan_unified_batches(&shard, RowFilter::default(), |b| {
+            push_unified_batch(&mut batched, &b).expect("ingests");
+        })
+        .expect("scans");
+
+        let rowwise = ds.unified_table();
+        assert_eq!(batched.len(), rowwise.len());
+        for col in ["day", "client_ip", "server_ip", "client_asn", "oblast", "city"] {
+            for i in 0..batched.len() {
+                assert_eq!(
+                    batched.value(i, col),
+                    rowwise.value(i, col),
+                    "cell ({i}, {col}) diverged between batch and row ingest"
+                );
+            }
+        }
+        // Float cells compare bitwise (the corpus carries NaN metrics).
+        for col in ["tput", "min_rtt", "loss"] {
+            for i in 0..batched.len() {
+                match (batched.value(i, col), rowwise.value(i, col)) {
+                    (ndt_bq::Value::Float(a), ndt_bq::Value::Float(b)) => {
+                        assert_eq!(a.to_bits(), b.to_bits(), "cell ({i}, {col}) diverged")
+                    }
+                    (a, b) => assert_eq!(a, b, "cell ({i}, {col}) diverged"),
+                }
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 
@@ -537,7 +848,7 @@ mod tests {
         let file = std::fs::File::create(&path).expect("create");
         write_traces(std::io::BufWriter::new(file), &ds.traces).expect("writes");
         let shard = Shard::open(&path).expect("opens");
-        let back = scan_traces(&shard, RowFilter::default()).expect("scans");
+        let (back, _) = scan_traces(&shard, RowFilter::default()).expect("scans");
         assert_eq!(ds.traces.len(), back.len());
         for (x, y) in ds.traces.iter().zip(&back) {
             assert_eq!(x.as_path, y.as_path);
@@ -559,14 +870,14 @@ mod tests {
         // The 2022 window starts at day 365; day-range pushdown should
         // skip the 2021 groups entirely.
         let filter = RowFilter { day_range: Some((365, 473)), oblast: None };
-        let got = scan_unified(&shard, filter).expect("scans");
+        let (got, _) = scan_unified(&shard, filter).expect("scans");
         let want: Vec<_> =
             ds.ndt.iter().filter(|r| (365..473).contains(&r.day)).cloned().collect();
         assert!(eq_bits_unified(&want, &got), "day filter diverged from in-memory");
 
         let filter =
             RowFilter { day_range: None, oblast: Some(ndt_geo::Oblast::KyivCity) };
-        let got = scan_unified(&shard, filter).expect("scans");
+        let (got, _) = scan_unified(&shard, filter).expect("scans");
         let want: Vec<_> = ds
             .ndt
             .iter()

@@ -76,7 +76,7 @@ pub struct Dataset {
 /// rows through [`push_unified_row`] so their table is cell-for-cell
 /// identical to [`Dataset::unified_table`].
 pub fn empty_unified_table() -> Table {
-    Table::new(
+    let mut t = Table::new(
         "ndt.unified_download",
         &[
             ("day", ColType::Int),
@@ -89,7 +89,15 @@ pub fn empty_unified_table() -> Table {
             ("min_rtt", ColType::Float),
             ("loss", ColType::Float),
         ],
-    )
+    );
+    // The two categorical columns draw from small closed vocabularies
+    // (27 oblasts, ~2k cities); dictionary encoding stores one u32 code
+    // per row instead of a heap String, and query filters compare codes.
+    // Encoding is invisible to every value-level accessor, so tables
+    // built row-wise and batch-wise stay cell-for-cell identical.
+    t.dict_encode("oblast");
+    t.dict_encode("city");
+    t
 }
 
 /// Appends one unified row to a table created by [`empty_unified_table`].

@@ -45,8 +45,9 @@ mod span;
 pub use event::{log, set_verbosity, verbosity, Level};
 pub use json::{extract_bench, zero_wall_times};
 pub use registry::{
-    apply_delta, counters_snapshot, delta_since, global, incr, incr_process, render_json, reset,
-    set_gauge, set_process, CounterSnapshot, ObsDelta, Registry, SpanStat,
+    apply_delta, counters_snapshot, delta_since, global, incr, incr_process, process_counter,
+    render_json, reset, set_gauge, set_process, set_process_max, CounterSnapshot, ObsDelta,
+    Registry, SpanStat,
 };
 pub use span::{span, Span};
 

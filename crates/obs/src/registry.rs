@@ -151,6 +151,20 @@ impl Registry {
         self.lock().process.insert(name.to_string(), value);
     }
 
+    /// Raises a process gauge to `value` if it exceeds the current value
+    /// (a high-water mark). Concurrent writers may race to observe their
+    /// own instantaneous values, but the retained maximum is exact because
+    /// the compare-and-set happens under the registry lock.
+    pub fn set_process_max(&self, name: &str, value: u64) {
+        let mut g = self.lock();
+        match g.process.get_mut(name) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                g.process.insert(name.to_string(), value);
+            }
+        }
+    }
+
     /// Records one completed span scope.
     pub fn record_span(&self, path: &str, elapsed: Duration) {
         let mut g = self.lock();
@@ -305,6 +319,17 @@ pub fn set_process(name: &str, value: u64) {
     global().set_process(name, value);
 }
 
+/// Raises a named process gauge on the global registry to `value` if it
+/// exceeds the current value (high-water mark tracking).
+pub fn set_process_max(name: &str, value: u64) {
+    global().set_process_max(name, value);
+}
+
+/// Current value of a named process counter/gauge on the global registry.
+pub fn process_counter(name: &str) -> u64 {
+    global().process_counter(name)
+}
+
 /// Snapshot of the global registry's deterministic sections.
 pub fn counters_snapshot() -> CounterSnapshot {
     global().counters_snapshot()
@@ -436,6 +461,16 @@ mod tests {
         r.set_process("serve.queue_depth_peak", 5);
         r.set_process("serve.queue_depth_peak", 3);
         assert_eq!(r.process_counter("serve.queue_depth_peak"), 3);
+    }
+
+    #[test]
+    fn process_max_gauges_only_ratchet_upward() {
+        let r = Registry::new();
+        r.set_process_max("store.peak_resident_rows", 5);
+        r.set_process_max("store.peak_resident_rows", 3);
+        assert_eq!(r.process_counter("store.peak_resident_rows"), 5);
+        r.set_process_max("store.peak_resident_rows", 9);
+        assert_eq!(r.process_counter("store.peak_resident_rows"), 9);
     }
 
     #[test]

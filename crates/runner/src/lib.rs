@@ -69,6 +69,7 @@ pub use pipeline::{
 };
 pub use retry::{retry_io, RetryPolicy};
 pub use store::{
-    load_study_data, read_store_fingerprint, run_report_from_store, run_store_generate,
-    StoreSummary, QUARANTINE_DIR, STORE_MANIFEST,
+    load_study_data, load_study_data_with, read_store_fingerprint, run_report_from_store,
+    run_report_from_store_with, run_store_generate, ScanEngine, StoreSummary, QUARANTINE_DIR,
+    STORE_MANIFEST,
 };

@@ -32,10 +32,15 @@ use std::sync::Arc;
 use std::thread;
 
 use ndt_analysis::{assemble_staged_report, StudyDataBuilder};
-use ndt_mlab::columnar::{scan_traces, scan_unified, write_traces, write_unified, RowFilter};
+use ndt_bq::vectorized::{BatchCol, ColumnarQuery, RowBatch};
+use ndt_bq::Value;
+use ndt_mlab::columnar::{
+    publish_scan_stats, scan_traces, scan_unified, scan_unified_batches, write_traces,
+    write_unified, RowFilter, UnifiedBatch,
+};
 use ndt_mlab::sim::SimConfig;
 use ndt_mlab::Simulator;
-use ndt_store::{wire, Shard, WriteStats};
+use ndt_store::{wire, ScanStats, Shard, WriteStats};
 use ndt_vfs::VfsHandle;
 
 use crate::atomic::{rename_reliable, sweep_orphan_temps, AtomicFile};
@@ -415,21 +420,74 @@ pub fn read_store_fingerprint(vfs: &VfsHandle, store_dir: &Path) -> io::Result<u
         })
 }
 
+/// How `report --from-store` turns shard pages into analysis inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanEngine {
+    /// The reference path: decode every surviving row into a
+    /// `UnifiedDownloadRow` struct, retain the structs, and re-ingest
+    /// them row-by-row (per-row `Value` boxing and string interning).
+    /// Kept as the baseline the vectorized engine is proven against.
+    Materialized,
+    /// The vectorized path: validated columnar batches flow from the page
+    /// decoder straight into the dictionary-encoded table — no row
+    /// structs, no raw-row retention, categorical cells appended as
+    /// dictionary codes, shard pairs decoded in parallel under the
+    /// bounded thread budget while one coordinator ingests in manifest
+    /// order. Byte-identical reports, O(batch window) resident rows.
+    #[default]
+    Vectorized,
+}
+
+impl ScanEngine {
+    /// Parses a `--engine` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "materialized" => Some(Self::Materialized),
+            "vectorized" => Some(Self::Vectorized),
+            _ => None,
+        }
+    }
+
+    /// The `--engine` spelling of this variant.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Materialized => "materialized",
+            Self::Vectorized => "vectorized",
+        }
+    }
+}
+
 /// Reads both files of one shard fully into memory — nothing is ingested
 /// until the whole pair decoded cleanly, so a mid-shard failure never
-/// leaves half a shard's rows in the builder.
+/// leaves half a shard's rows in the builder. Returns both scans' stats
+/// (unpublished — the caller publishes only successful pairs) and the
+/// wall time of the unified half (scan-throughput accounting).
+#[allow(clippy::type_complexity)]
 fn read_shard_pair(
     vfs: &VfsHandle,
     store_dir: &Path,
     stem: &str,
-) -> Result<(Vec<ndt_mlab::UnifiedDownloadRow>, Vec<ndt_mlab::Scamper1Row>), io::Error> {
+) -> Result<
+    (
+        Vec<ndt_mlab::UnifiedDownloadRow>,
+        Vec<ndt_mlab::Scamper1Row>,
+        ScanStats,
+        ScanStats,
+        std::time::Duration,
+    ),
+    io::Error,
+> {
+    let started = std::time::Instant::now();
     let unified =
         Shard::open_with(vfs, store_dir.join(unified_name(stem))).map_err(|e| e.into_io())?;
-    let ndt_rows = scan_unified(&unified, RowFilter::default()).map_err(|e| e.into_io())?;
+    let (ndt_rows, ustats) =
+        scan_unified(&unified, RowFilter::default()).map_err(|e| e.into_io())?;
+    let unified_wall = started.elapsed();
     let traces =
         Shard::open_with(vfs, store_dir.join(traces_name(stem))).map_err(|e| e.into_io())?;
-    let trace_rows = scan_traces(&traces, RowFilter::default()).map_err(|e| e.into_io())?;
-    Ok((ndt_rows, trace_rows))
+    let (trace_rows, tstats) =
+        scan_traces(&traces, RowFilter::default()).map_err(|e| e.into_io())?;
+    Ok((ndt_rows, trace_rows, ustats, tstats, unified_wall))
 }
 
 /// Moves both files of a damaged shard into `<store>/.quarantine/` so the
@@ -465,41 +523,318 @@ pub fn load_study_data(
     vfs: &VfsHandle,
     store_dir: &Path,
 ) -> io::Result<(ndt_analysis::StudyData, Vec<StageRecord>)> {
+    load_study_data_with(vfs, store_dir, ScanEngine::default(), 0)
+}
+
+/// Records a quarantined shard: moves its files aside, bumps the
+/// deterministic counters, and appends the failed stage record. Shared
+/// verbatim by both engines so the degrade contract cannot drift.
+fn note_quarantined(
+    vfs: &VfsHandle,
+    store_dir: &Path,
+    stem: &str,
+    e: &io::Error,
+    records: &mut Vec<StageRecord>,
+) {
+    quarantine_shard(vfs, store_dir, stem);
+    ndt_obs::incr("store.shards_quarantined", 1);
+    if let Some((lo, hi)) = stem_day_range(stem) {
+        ndt_obs::incr("store.days_missing", (hi - lo) as u64);
+    }
+    ndt_obs::error!("[runner] shard {stem}: quarantined: {e}");
+    records.push(StageRecord {
+        name: format!("store:{stem}"),
+        status: StageStatus::Failed(StageError::Failed(format!("shard quarantined: {e}"))),
+    });
+}
+
+/// Per-load scan accounting, published once at the end of the load so
+/// both engines emit one deterministic set of counters per scan.
+#[derive(Default)]
+struct LoadMetrics {
+    /// Unified rows ingested (surviving shards only).
+    unified_rows: u64,
+    /// All rows ingested, traces included.
+    rows_total: u64,
+    /// Microseconds spent scanning/decoding the unified shards.
+    scan_us: u64,
+    /// Microseconds spent ingesting unified data into the table.
+    ingest_us: u64,
+}
+
+impl LoadMetrics {
+    fn publish(&self, engine: ScanEngine, wall: std::time::Duration) {
+        // Wall-clock throughput is machine-dependent: process namespace
+        // only. The deterministic row/prune counters are published per
+        // successful pair via `publish_scan_stats`.
+        let secs = wall.as_secs_f64();
+        if secs > 0.0 {
+            ndt_obs::incr_process(
+                "store.scan_rows_per_sec",
+                (self.rows_total as f64 / secs) as u64,
+            );
+        }
+        ndt_obs::incr_process("store.unified_rows", self.unified_rows);
+        ndt_obs::incr_process("store.unified_scan_us", self.scan_us);
+        ndt_obs::incr_process("store.unified_ingest_us", self.ingest_us);
+        ndt_obs::set_process(
+            "store.engine_vectorized",
+            matches!(engine, ScanEngine::Vectorized) as u64,
+        );
+    }
+}
+
+/// [`load_study_data`] with an explicit [`ScanEngine`] and thread budget
+/// (`0` = all cores; only the vectorized engine fans out).
+pub fn load_study_data_with(
+    vfs: &VfsHandle,
+    store_dir: &Path,
+    engine: ScanEngine,
+    threads: usize,
+) -> io::Result<(ndt_analysis::StudyData, Vec<StageRecord>)> {
     let stems = read_manifest(vfs, store_dir)?;
     let _span = ndt_obs::span("stage.store-read");
     let started = std::time::Instant::now();
+    let mut metrics = LoadMetrics::default();
+    let (data, records) = match engine {
+        ScanEngine::Materialized => {
+            load_materialized(vfs, store_dir, &stems, &mut metrics)?
+        }
+        ScanEngine::Vectorized => {
+            load_vectorized(vfs, store_dir, &stems, threads, &mut metrics)?
+        }
+    };
+    metrics.publish(engine, started.elapsed());
+    Ok((data, records))
+}
+
+/// The reference loader: one shard pair at a time, every row through a
+/// `UnifiedDownloadRow`, retained in `raw.ndt` — peak resident rows is
+/// the corpus.
+fn load_materialized(
+    vfs: &VfsHandle,
+    store_dir: &Path,
+    stems: &[String],
+    metrics: &mut LoadMetrics,
+) -> io::Result<(ndt_analysis::StudyData, Vec<StageRecord>)> {
     let mut builder = StudyDataBuilder::new();
     let mut records = Vec::new();
-    let mut rows_total: u64 = 0;
-    for stem in &stems {
+    let mut resident_rows: u64 = 0;
+    for stem in stems {
         match read_shard_pair(vfs, store_dir, stem) {
-            Ok((ndt_rows, trace_rows)) => {
-                rows_total += ndt_rows.len() as u64 + trace_rows.len() as u64;
+            Ok((ndt_rows, trace_rows, ustats, tstats, unified_wall)) => {
+                publish_scan_stats(&ustats);
+                publish_scan_stats(&tstats);
+                metrics.unified_rows += ndt_rows.len() as u64;
+                metrics.rows_total += ndt_rows.len() as u64 + trace_rows.len() as u64;
+                metrics.scan_us += unified_wall.as_micros() as u64;
+                resident_rows += ndt_rows.len() as u64;
+                ndt_obs::set_process_max("store.peak_resident_rows", resident_rows);
+                let t0 = std::time::Instant::now();
                 builder.push_ndt_rows(ndt_rows);
+                metrics.ingest_us += t0.elapsed().as_micros() as u64;
                 builder.push_trace_rows(trace_rows);
             }
-            Err(e) => {
-                quarantine_shard(vfs, store_dir, stem);
-                ndt_obs::incr("store.shards_quarantined", 1);
-                if let Some((lo, hi)) = stem_day_range(stem) {
-                    ndt_obs::incr("store.days_missing", (hi - lo) as u64);
-                }
-                ndt_obs::error!("[runner] shard {stem}: quarantined: {e}");
-                records.push(StageRecord {
-                    name: format!("store:{stem}"),
-                    status: StageStatus::Failed(StageError::Failed(format!(
-                        "shard quarantined: {e}"
-                    ))),
-                });
-            }
+            Err(e) => note_quarantined(vfs, store_dir, stem, &e, &mut records),
         }
     }
-    // Wall-clock throughput is machine-dependent: process namespace only.
-    let secs = started.elapsed().as_secs_f64();
-    if secs > 0.0 {
-        ndt_obs::incr_process("store.scan_rows_per_sec", (rows_total as f64 / secs) as u64);
-    }
     Ok((builder.finish(), records))
+}
+
+/// Messages one decode worker streams to the ingest coordinator for one
+/// shard pair, in order: any number of `Unified` batches, then the
+/// pair's traces, then `Done` — or `Failed` at any point, after which the
+/// coordinator rolls the pair back and quarantines it.
+enum PairMsg {
+    Unified(UnifiedBatch),
+    Traces(Vec<ndt_mlab::Scamper1Row>),
+    Done { ustats: ScanStats, tstats: ScanStats },
+    Failed(io::Error),
+}
+
+/// Row-group batches a worker may have in its pair channel before it
+/// blocks — with the one batch each side holds in hand, resident
+/// undigested rows are bounded by `workers × (CAP + 2)` row groups
+/// regardless of corpus size.
+const BATCH_CHANNEL_CAP: usize = 2;
+
+/// Decodes one shard pair, streaming results into `tx`. Runs on a pool
+/// worker; never ingests anything itself.
+fn decode_pair_vectorized(
+    vfs: &VfsHandle,
+    store_dir: &Path,
+    stem: &str,
+    tx: &std::sync::mpsc::SyncSender<PairMsg>,
+    resident: &std::sync::atomic::AtomicU64,
+    scan_us: &std::sync::atomic::AtomicU64,
+) {
+    use std::sync::atomic::Ordering;
+    let body = || -> io::Result<(ScanStats, ScanStats)> {
+        let started = std::time::Instant::now();
+        // Time actually spent handing batches to the (possibly busy)
+        // coordinator — backpressure, not scan work — excluded from the
+        // scan-throughput accounting.
+        let mut blocked = std::time::Duration::ZERO;
+        let unified = Shard::open_with(vfs, store_dir.join(unified_name(stem)))
+            .map_err(|e| e.into_io())?;
+        let ustats = scan_unified_batches(&unified, RowFilter::default(), |b| {
+            if b.is_empty() {
+                return;
+            }
+            // Count the batch resident from the moment it exists; the
+            // coordinator subtracts after ingesting it.
+            let now = resident.fetch_add(b.rows() as u64, Ordering::Relaxed) + b.rows() as u64;
+            ndt_obs::set_process_max("store.peak_resident_rows", now);
+            let t0 = std::time::Instant::now();
+            let _ = tx.send(PairMsg::Unified(b));
+            blocked += t0.elapsed();
+        })
+        .map_err(|e| e.into_io())?;
+        let scanning = started.elapsed().saturating_sub(blocked);
+        scan_us.fetch_add(scanning.as_micros() as u64, Ordering::Relaxed);
+        let traces = Shard::open_with(vfs, store_dir.join(traces_name(stem)))
+            .map_err(|e| e.into_io())?;
+        let (trace_rows, tstats) =
+            scan_traces(&traces, RowFilter::default()).map_err(|e| e.into_io())?;
+        let _ = tx.send(PairMsg::Traces(trace_rows));
+        Ok((ustats, tstats))
+    };
+    let msg = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(Ok((ustats, tstats))) => PairMsg::Done { ustats, tstats },
+        Ok(Err(e)) => PairMsg::Failed(e),
+        Err(payload) => PairMsg::Failed(io::Error::other(format!(
+            "shard decode panicked: {}",
+            crate::executor::panic_message(payload)
+        ))),
+    };
+    let _ = tx.send(msg);
+}
+
+/// The vectorized loader: a bounded pool of decode workers claims shard
+/// pairs in manifest order from a shared cursor and streams validated
+/// columnar batches through per-pair bounded channels; the coordinator
+/// ingests pair-by-pair in manifest order, so table contents, stats,
+/// quarantine records and counters are byte-identical to a sequential
+/// run at any thread count. A pair that fails mid-stream is rolled back
+/// to its start mark and quarantined — exactly the all-or-nothing
+/// contract of the materialized loader.
+fn load_vectorized(
+    vfs: &VfsHandle,
+    store_dir: &Path,
+    stems: &[String],
+    threads: usize,
+    metrics: &mut LoadMetrics,
+) -> io::Result<(ndt_analysis::StudyData, Vec<StageRecord>)> {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::mpsc::sync_channel;
+    use std::sync::Mutex;
+
+    let budget = ndt_mlab::sim::resolve_threads(threads);
+    let workers = stems.len().min(budget).max(1);
+    let mut txs = Vec::with_capacity(stems.len());
+    let mut rxs = Vec::with_capacity(stems.len());
+    for _ in stems {
+        let (tx, rx) = sync_channel::<PairMsg>(BATCH_CHANNEL_CAP);
+        txs.push(Mutex::new(Some(tx)));
+        rxs.push(rx);
+    }
+    let cursor = AtomicUsize::new(0);
+    let resident = AtomicU64::new(0);
+    let scan_us = AtomicU64::new(0);
+
+    // Day aggregation runs alongside ingestion: one `ColumnarQuery`
+    // group-by over the dense day column of every ingested batch. The
+    // finished group set *is* the distinct-day set the gap computation
+    // needs, held at O(days) — no post-hoc table scan.
+    let day_query = ColumnarQuery::new().group_by("day");
+    let mut day_groups = day_query.start();
+
+    let mut builder = StudyDataBuilder::new();
+    let mut records = Vec::new();
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let txs = &txs;
+            let resident = &resident;
+            let scan_us = &scan_us;
+            scope.spawn(move || loop {
+                let j = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(stem) = stems.get(j) else { break };
+                let tx = txs[j].lock().expect("pair sender lock").take().expect("pair sender");
+                decode_pair_vectorized(vfs, store_dir, stem, &tx, resident, scan_us);
+            });
+        }
+
+        // Coordinator: drain pair channels in manifest order.
+        for (j, stem) in stems.iter().enumerate() {
+            let mark = builder.mark();
+            let mut day_state = day_query.start();
+            let mut outcome: Option<io::Result<(ScanStats, ScanStats)>> = None;
+            let mut ingest_err: Option<io::Error> = None;
+            while outcome.is_none() {
+                match rxs[j].recv() {
+                    Ok(PairMsg::Unified(b)) => {
+                        if ingest_err.is_none() {
+                            let t0 = std::time::Instant::now();
+                            let ingest = RowBatch::new(b.rows())
+                                .with("day", BatchCol::IntDense(&b.day));
+                            let r = day_query
+                                .feed(&mut day_state, &ingest)
+                                .map_err(|e| io::Error::other(e.to_string()))
+                                .and_then(|()| builder.push_unified_batch(&b));
+                            metrics.ingest_us += t0.elapsed().as_micros() as u64;
+                            if let Err(e) = r {
+                                ingest_err = Some(e);
+                            }
+                        }
+                        resident.fetch_sub(b.rows() as u64, Ordering::Relaxed);
+                    }
+                    Ok(PairMsg::Traces(rows)) => {
+                        if ingest_err.is_none() {
+                            builder.push_trace_rows(rows);
+                        }
+                    }
+                    Ok(PairMsg::Done { ustats, tstats }) => outcome = Some(Ok((ustats, tstats))),
+                    Ok(PairMsg::Failed(e)) => outcome = Some(Err(e)),
+                    Err(_) => {
+                        outcome = Some(Err(io::Error::other(
+                            "shard decode worker exited before finishing the pair",
+                        )));
+                    }
+                }
+            }
+            let outcome = match (outcome.expect("loop exits with outcome"), ingest_err) {
+                (_, Some(e)) | (Err(e), None) => Err(e),
+                (Ok(stats), None) => Ok(stats),
+            };
+            match outcome {
+                Ok((ustats, tstats)) => {
+                    publish_scan_stats(&ustats);
+                    publish_scan_stats(&tstats);
+                    metrics.unified_rows += ustats.rows_emitted;
+                    metrics.rows_total += ustats.rows_emitted + tstats.rows_emitted;
+                    day_groups.merge(day_state);
+                }
+                Err(e) => {
+                    builder.rollback(mark);
+                    note_quarantined(vfs, store_dir, stem, &e, &mut records);
+                }
+            }
+        }
+    });
+
+    metrics.scan_us += scan_us.load(Ordering::Relaxed);
+    ndt_obs::set_process_max("store.peak_group_count", day_groups.peak_groups() as u64);
+    let days: std::collections::BTreeSet<i64> = day_groups
+        .finish()
+        .into_iter()
+        .filter_map(|(key, _)| match key {
+            Value::Int(d) => Some(d),
+            _ => None,
+        })
+        .collect();
+    Ok((builder.finish_with_days(&days), records))
 }
 
 /// The `report --from-store` command: stream the corpus from a columnar
@@ -513,7 +848,21 @@ pub fn run_report_from_store(
     exec: ExecPolicy,
     vfs: &VfsHandle,
 ) -> io::Result<PipelineOutcome> {
-    let (data, quarantined) = load_study_data(vfs, store_dir)?;
+    run_report_from_store_with(store_dir, exec, vfs, ScanEngine::default(), 0)
+}
+
+/// [`run_report_from_store`] with an explicit [`ScanEngine`] and decode
+/// thread budget (`0` = all cores). The report and artifacts are
+/// byte-identical across engines and thread counts — the engine choice
+/// only moves the scan-throughput and resident-row numbers.
+pub fn run_report_from_store_with(
+    store_dir: &Path,
+    exec: ExecPolicy,
+    vfs: &VfsHandle,
+    engine: ScanEngine,
+    threads: usize,
+) -> io::Result<PipelineOutcome> {
+    let (data, quarantined) = load_study_data_with(vfs, store_dir, engine, threads)?;
     // No checkpoint store: the shard files are the persistent form, and
     // analyses over them are cheaper to re-run than to verify.
     let mut p = Pipeline { store: None, resume: false, exec, records: Vec::new() };

@@ -165,6 +165,38 @@ mod tests {
     }
 
     #[test]
+    fn dict_membership_prunes_mask_false_positives() {
+        let dir = std::env::temp_dir().join("ndt-store-test-dictprune");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("dp.ndts");
+        // 65 & 63 == 1 & 63: both values set presence-mask bit 1, so the
+        // tier-1 mask cannot tell them apart. Tier-2 reads the sorted
+        // dictionary prefix and proves 1 is absent from group 0.
+        let g1 = group(&[0, 1], &[65, 65], &[1, 1], &[0.0, 0.0]);
+        let g2 = group(&[2, 3], &[1, 1], &[2, 2], &[0.0, 0.0]);
+        write_shard(&path, &[g1, g2]);
+        let shard = Shard::open(&path).expect("opens");
+
+        let opts = ScanOptions {
+            columns: Some(vec!["asn".into()]),
+            predicates: vec![Predicate::U32Eq { column: "asn".into(), value: 1 }],
+        };
+        let mut scan = Scan::new(&shard, opts).expect("scan opens");
+        let batches: Vec<Batch> =
+            scan.by_ref().collect::<Result<_, _>>().expect("scan succeeds");
+        assert_eq!(batches.len(), 1, "mask false positive must be pruned by tier 2");
+        assert_eq!(batches[0].group, 1);
+        let stats = scan.stats();
+        assert_eq!(stats.groups_skipped, 0, "the mask alone cannot prune either group");
+        assert_eq!(stats.groups_pruned_dict, 1);
+        assert_eq!(stats.groups_scanned, 1);
+        assert_eq!(stats.rows_pruned, 2);
+        assert_eq!(stats.rows_emitted, 2);
+        assert_eq!(stats.pages_skipped, 1, "one projected page never decoded");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn truncated_shard_is_rejected_at_open() {
         let dir = std::env::temp_dir().join("ndt-store-test-trunc");
         std::fs::create_dir_all(&dir).expect("mkdir");

@@ -364,6 +364,40 @@ pub fn encode_page(data: &ColumnData) -> EncodedPage {
     }
 }
 
+/// Decodes only the sorted-unique dictionary prefix of a `Dict`-encoded
+/// page, without touching the per-row codes. Returns `Ok(None)` when the
+/// page uses a non-dictionary encoding. The checksum is verified first —
+/// pruning decisions must never be taken on rotten bytes.
+///
+/// This is the second pushdown tier between header statistics and full
+/// decode: binary-searching a needle in the prefix gives an *exact*
+/// membership answer for the whole group in O(distinct values) work,
+/// where the presence mask's 64-bit hash can only say "maybe".
+pub fn decode_dict_prefix(header: &PageHeader, payload: &[u8]) -> Result<Option<Vec<u64>>, PageError> {
+    let encoding = Encoding::from_tag(header.encoding).ok_or(PageError::Encoding(header.encoding))?;
+    if encoding != Encoding::Dict {
+        return Ok(None);
+    }
+    let got = wire::fnv1a64(payload);
+    if got != header.checksum {
+        return Err(PageError::Checksum { want: header.checksum, got });
+    }
+    let rows = header.rows as usize;
+    let mut r = Reader::new(payload);
+    let dict_len = r.uvarint("dict len")? as usize;
+    if dict_len > rows {
+        return Err(PageError::Decode(crate::wire::CodecError::InvalidValue {
+            what: "dict len",
+            value: dict_len as u64,
+        }));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict.push(r.uvarint("dict value")?);
+    }
+    Ok(Some(dict))
+}
+
 /// Decodes a page payload back into column values, verifying the
 /// checksum first and the row count / trailing bytes after.
 pub fn decode_page(header: &PageHeader, payload: &[u8], ty: ColType) -> Result<ColumnData, PageError> {

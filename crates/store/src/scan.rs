@@ -2,22 +2,31 @@
 //! more than one row group's decoded columns in memory.
 //!
 //! A [`Scan`] walks the groups validated by [`Shard::open`], skipping any
-//! group whose page statistics prove no row can match the predicates —
-//! day-range pruning via per-page min/max, categorical equality pruning
-//! via a 64-bit presence mask — and decodes only the projected columns of
-//! the groups that survive. Pushdown is **group-granular**: a surviving
-//! batch still contains every row of its group, and exact row filtering
-//! is the caller's job (the typed decode layer in `ndt-mlab::columnar`
-//! does this for the corpus schemas). Skipped groups are never read from
-//! disk, so their payload checksums are not verified; decoded pages
-//! always are.
+//! group the pushdown tiers prove irrelevant, and decodes only the
+//! projected columns of the groups that survive. Pruning runs in two
+//! tiers of increasing cost:
+//!
+//! 1. **Header statistics** (free — no payload bytes touched): day-range
+//!    pruning via per-page min/max, categorical equality pruning via a
+//!    64-bit presence mask.
+//! 2. **Dictionary membership** (O(distinct values) — reads the predicate
+//!    column's payload but decodes only its sorted dictionary prefix):
+//!    for `U32Eq` predicates on dict-encoded pages, a binary search gives
+//!    an *exact* answer where the presence mask can only say "maybe".
+//!
+//! Pushdown is **group-granular**: a surviving batch still contains every
+//! row of its group, and exact row filtering is the caller's job (the
+//! typed decode layer in `ndt-mlab::columnar` does this for the corpus
+//! schemas). Groups skipped by tier 1 are never read from disk, so their
+//! payload checksums are not verified; tier 2 verifies the checksum of
+//! the one payload it reads, and decoded pages always are.
 
 use std::io::{BufReader, Read, Seek, SeekFrom};
 
 use ndt_vfs::VfsFile;
 
 use crate::error::StoreError;
-use crate::page::{decode_page, ColType, ColumnData};
+use crate::page::{decode_dict_prefix, decode_page, ColType, ColumnData};
 use crate::shard::{GroupMeta, Shard};
 
 /// A group-level pruning predicate.
@@ -67,14 +76,38 @@ pub struct ScanOptions {
 pub struct ScanStats {
     /// Groups whose pages were decoded and emitted.
     pub groups_scanned: u64,
-    /// Groups pruned by predicates without touching their payload.
+    /// Groups pruned by header statistics without touching their payload.
     pub groups_skipped: u64,
+    /// Groups pruned by exact dictionary membership (tier 2): the
+    /// predicate column's payload was read and checksum-verified, its
+    /// dictionary prefix decoded, and the needle proven absent.
+    pub groups_pruned_dict: u64,
     /// Pages decoded (checksum-verified).
     pub pages_decoded: u64,
+    /// Projected pages never decoded because their group was pruned.
+    pub pages_skipped: u64,
     /// Non-aux rows emitted across all batches.
     pub rows_emitted: u64,
+    /// Non-aux rows in pruned groups — rows proven irrelevant without
+    /// decoding them.
+    pub rows_pruned: u64,
     /// Payload bytes read from disk.
     pub bytes_read: u64,
+}
+
+impl ScanStats {
+    /// Folds another scan's counters into this one (per-shard stats
+    /// summed across a multi-shard scan).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.groups_scanned += other.groups_scanned;
+        self.groups_skipped += other.groups_skipped;
+        self.groups_pruned_dict += other.groups_pruned_dict;
+        self.pages_decoded += other.pages_decoded;
+        self.pages_skipped += other.pages_skipped;
+        self.rows_emitted += other.rows_emitted;
+        self.rows_pruned += other.rows_pruned;
+        self.bytes_read += other.bytes_read;
+    }
 }
 
 /// One row group's decoded columns.
@@ -253,6 +286,42 @@ impl<'a> Scan<'a> {
         self.stats.rows_emitted += rows as u64;
         Ok(Batch { group: group_idx, rows, columns })
     }
+
+    /// Tier-2 pruning: for each `U32Eq` predicate whose page in this
+    /// group is dictionary-encoded, read just the payload and decode the
+    /// sorted dictionary prefix; an absent needle proves no row matches.
+    /// Non-dict pages (raw encoding) answer "maybe" and fall through to
+    /// the full decode.
+    fn dict_prunes(&mut self, group_idx: usize) -> Result<bool, StoreError> {
+        for pi in 0..self.predicates.len() {
+            let CompiledPred::U32Eq { col, value } = self.predicates[pi] else {
+                continue;
+            };
+            let meta = self.shard.groups()[group_idx].pages[col];
+            self.read_payload(meta.payload_offset, meta.header.len as usize)?;
+            self.stats.bytes_read += meta.header.len as u64;
+            let dict = decode_dict_prefix(&meta.header, &self.payload_buf).map_err(|error| {
+                StoreError::Page {
+                    column: self.shard.schema().columns[col].name.clone(),
+                    group: group_idx,
+                    error,
+                }
+            })?;
+            if let Some(dict) = dict {
+                if dict.binary_search(&(value as u64)).is_err() {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Records a pruned group's cheap-to-know counters.
+    fn count_pruned(&mut self, group_idx: usize) {
+        let group = &self.shard.groups()[group_idx];
+        self.stats.pages_skipped += self.projection.len() as u64;
+        self.stats.rows_pruned += group.rows as u64;
+    }
 }
 
 impl Iterator for Scan<'_> {
@@ -265,7 +334,17 @@ impl Iterator for Scan<'_> {
             let group = &self.shard.groups()[idx];
             if self.predicates.iter().any(|p| p.prunes(group)) {
                 self.stats.groups_skipped += 1;
+                self.count_pruned(idx);
                 continue;
+            }
+            match self.dict_prunes(idx) {
+                Err(e) => return Some(Err(e)),
+                Ok(true) => {
+                    self.stats.groups_pruned_dict += 1;
+                    self.count_pruned(idx);
+                    continue;
+                }
+                Ok(false) => {}
             }
             return Some(self.decode_group(idx));
         }

@@ -70,7 +70,8 @@ use ukraine_ndt::mlab::Scenario;
 use ukraine_ndt::prelude::*;
 use ukraine_ndt::runner::{
     load_study_data, read_store_fingerprint, run_export, run_generate, run_report,
-    run_report_from_store, run_store_generate, AtomicFile, ExecPolicy, StageRecord, StageStatus,
+    run_report_from_store_with, run_store_generate, AtomicFile, ExecPolicy, ScanEngine,
+    StageRecord, StageStatus,
 };
 use ukraine_ndt::serve::{run_load, serve_tcp, LoadConfig, ServeConfig, Server};
 
@@ -98,6 +99,10 @@ struct Options {
     format: CorpusFormat,
     /// `report` from an existing columnar store instead of simulating.
     from_store: Option<PathBuf>,
+    /// `report --from-store` scan engine (`--engine`): the vectorized
+    /// page-to-table path (default) or the materialized row-struct
+    /// reference path.
+    engine: ScanEngine,
     /// Simulator worker threads (0 = all available cores).
     threads: usize,
     /// Write the ndt-obs metrics artifact here after the run.
@@ -141,6 +146,7 @@ impl Default for Options {
             resume: false,
             format: CorpusFormat::Csv,
             from_store: None,
+            engine: ScanEngine::default(),
             threads: 0,
             metrics: None,
             verbosity: ukraine_ndt::obs::Level::Info,
@@ -180,7 +186,7 @@ fn usage() -> ExitCode {
          [--scale S] [--seed N] [--scenario historical|no-war|edge-only|core-only] \
          [--faults none|light|moderate|severe|sidecar-blackout] \
          [--out DIR] [--date YYYY-MM-DD] [--resume] \
-         [--format csv|columnar] [--from-store DIR] \
+         [--format csv|columnar] [--from-store DIR] [--engine vectorized|materialized] \
          [--io-faults none|flaky|torn|rot|chaos] \
          [--threads N] [--metrics PATH] [--quiet] [--verbose]\n\
          serve:   --store DIR [--addr HOST:PORT] [--workers N] [--queue N] \
@@ -244,6 +250,7 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
             "--io-faults" => opts.io_faults = IoFaultPlan::by_name(value)?,
             "--out" => opts.out = PathBuf::from(value),
             "--from-store" => opts.from_store = Some(PathBuf::from(value)),
+            "--engine" => opts.engine = ScanEngine::parse(value)?,
             "--format" => {
                 opts.format = match value.as_str() {
                     "csv" => CorpusFormat::Csv,
@@ -346,9 +353,19 @@ fn cmd_report(opts: &Options) -> Result<ExitCode, NdtError> {
     // The simulation knobs are baked into the store's shard files, so
     // --scale/--seed/--faults are ignored in this mode.
     if let Some(store_dir) = &opts.from_store {
-        eprintln!("streaming corpus from store {} ...", store_dir.display());
+        eprintln!(
+            "streaming corpus from store {} ({} engine) ...",
+            store_dir.display(),
+            opts.engine.as_str()
+        );
         let vfs = VfsHandle::faulty(opts.io_faults);
-        let outcome = run_report_from_store(store_dir, ExecPolicy::default(), &vfs)?;
+        let outcome = run_report_from_store_with(
+            store_dir,
+            ExecPolicy::default(),
+            &vfs,
+            opts.engine,
+            opts.threads,
+        )?;
         println!("{}", outcome.report);
         return Ok(run_status(&outcome.records));
     }
@@ -645,6 +662,18 @@ mod tests {
         assert_eq!(o.format, CorpusFormat::Csv);
         let (_, o) = parse(&args(&["report", "--from-store", "/tmp/store"])).expect("parses");
         assert_eq!(o.from_store.as_deref(), Some(std::path::Path::new("/tmp/store")));
+    }
+
+    #[test]
+    fn parses_scan_engine() {
+        let (_, o) = parse(&args(&["report", "--from-store", "/tmp/s"])).expect("parses");
+        assert_eq!(o.engine, ScanEngine::Vectorized, "vectorized is the default");
+        let (_, o) = parse(&args(&["report", "--engine", "materialized"])).expect("parses");
+        assert_eq!(o.engine, ScanEngine::Materialized);
+        let (_, o) = parse(&args(&["report", "--engine", "vectorized"])).expect("parses");
+        assert_eq!(o.engine, ScanEngine::Vectorized);
+        assert!(parse(&args(&["report", "--engine", "turbo"])).is_none(), "unknown engine");
+        assert!(parse(&args(&["report", "--engine"])).is_none(), "missing value");
     }
 
     #[test]

@@ -12,8 +12,8 @@ use std::process::{Command, Output};
 use ukraine_ndt::mlab::FaultPlan;
 use ukraine_ndt::prelude::*;
 use ukraine_ndt::runner::{
-    run_report, run_report_from_store, run_store_generate, ExecPolicy, StageStatus, QUARANTINE_DIR,
-    STORE_MANIFEST,
+    run_report, run_report_from_store, run_report_from_store_with, run_store_generate, ExecPolicy,
+    ScanEngine, StageStatus, QUARANTINE_DIR, STORE_MANIFEST,
 };
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -248,6 +248,106 @@ fn corrupted_parallel_store_heals_to_clean_bytes() {
     let _ = std::fs::remove_dir_all(&d);
 }
 
+/// The two scan engines — materialized (decode every row up front) and
+/// vectorized (filter and aggregate on encoded pages, late-materialize
+/// into the table batch by batch) — must be observationally identical:
+/// same report bytes, same artifacts, same failure records, across
+/// scales × thread budgets × fault plans.
+#[test]
+fn vectorized_engine_matches_materialized_across_the_grid() {
+    let d = tmpdir("engine-grid");
+    for (si, &scale) in [0.01, 0.04].iter().enumerate() {
+        for (fi, faults) in [FaultPlan::NONE, FaultPlan::MODERATE].into_iter().enumerate() {
+            let store_dir = d.join(format!("store-s{si}f{fi}"));
+            let cfg = mem_cfg(sim(scale, 0, faults), &d.join("out"));
+            run_store_generate(&cfg, &store_dir).expect("generate");
+            let mat = run_report_from_store_with(
+                &store_dir,
+                ExecPolicy::default(),
+                &VfsHandle::real(),
+                ScanEngine::Materialized,
+                0,
+            )
+            .expect("materialized report");
+            for threads in [1usize, 4] {
+                let tag = format!("s{si}f{fi}t{threads}");
+                let vec = run_report_from_store_with(
+                    &store_dir,
+                    ExecPolicy::default(),
+                    &VfsHandle::real(),
+                    ScanEngine::Vectorized,
+                    threads,
+                )
+                .expect("vectorized report");
+                assert_eq!(mat.report, vec.report, "{tag}: report text differs");
+                assert_eq!(mat.artifacts, vec.artifacts, "{tag}: artifacts differ");
+                assert_eq!(
+                    mat.failed().len(),
+                    vec.failed().len(),
+                    "{tag}: failure records differ"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// Engine equivalence under injected read-side decay: the `rot` fault
+/// plan quarantines shards at read time, and the per-(file, domain) fault
+/// counters make the injected sequence a property of the *file*, not of
+/// scheduling — so both engines, at any thread budget, must quarantine
+/// the same shards and report identically over the same survivor set.
+#[test]
+fn engines_agree_on_rot_survivor_sets() {
+    let d = tmpdir("engine-rot");
+    let cfg = mem_cfg(sim(0.04, 0, FaultPlan::NONE), &d.join("out"));
+    let store_dir = d.join("store");
+    let (summary, _) = run_store_generate(&cfg, &store_dir).expect("generate");
+
+    let failed_names = |outcome: &PipelineOutcome| -> Vec<String> {
+        outcome.failed().iter().map(|r| r.name.clone()).collect()
+    };
+    // Each run gets a pristine copy: a rot read *moves* the shards it
+    // damages into quarantine, so reusing one directory would hand later
+    // runs a different store.
+    let fresh_copy = |tag: &str| -> PathBuf {
+        let copy = d.join(format!("store-{tag}"));
+        std::fs::create_dir_all(&copy).expect("mkdir");
+        for (name, bytes) in store_bytes(&store_dir) {
+            std::fs::write(copy.join(name), bytes).expect("copy shard");
+        }
+        copy
+    };
+    let mat = run_report_from_store_with(
+        &fresh_copy("mat"),
+        ExecPolicy::default(),
+        &VfsHandle::faulty(IoFaultPlan::ROT),
+        ScanEngine::Materialized,
+        0,
+    )
+    .expect("rot degrades the materialized read, it does not kill it");
+    let dead = failed_names(&mat);
+    assert!(
+        !dead.is_empty() && dead.len() < summary.shards.len(),
+        "rot must catch some but not all of {} shards: {dead:?}",
+        summary.shards.len()
+    );
+    for threads in [1usize, 4] {
+        let vec = run_report_from_store_with(
+            &fresh_copy(&format!("vec-t{threads}")),
+            ExecPolicy::default(),
+            &VfsHandle::faulty(IoFaultPlan::ROT),
+            ScanEngine::Vectorized,
+            threads,
+        )
+        .expect("rot degrades the vectorized read too");
+        assert_eq!(dead, failed_names(&vec), "t{threads}: quarantine sets differ");
+        assert_eq!(mat.report, vec.report, "t{threads}: degraded report differs");
+        assert_eq!(mat.artifacts, vec.artifacts, "t{threads}: artifacts differ");
+    }
+    let _ = std::fs::remove_dir_all(&d);
+}
+
 /// Deleting the manifest makes the store unreadable with a clear error.
 #[test]
 fn missing_manifest_is_a_clear_error() {
@@ -315,6 +415,149 @@ fn cli_from_store_report_matches_cli_report() {
     for key in ["store.bytes_file", "store.bytes_raw", "store.encoded_pct_of_raw"] {
         assert!(metrics_json.contains(key), "metrics artifact missing {key}");
     }
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// Reads one `"key": value` integer out of a metrics artifact's flat map
+/// sections (counters/gauges/process); missing keys read as 0.
+fn artifact_value(artifact: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    artifact
+        .find(&needle)
+        .map(|pos| &artifact[pos + needle.len()..])
+        .and_then(|rest| {
+            let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// Satellite of the engine-equivalence contract: the deterministic
+/// `store.*` read counters — published once per successful shard pair, in
+/// manifest order, by *both* engines — must be byte-equal between a
+/// materialized and a vectorized `report --from-store` over the same
+/// store. Before the publish-once fix the materialized path double-counted
+/// pages on retried reads, so the two engines disagreed.
+#[test]
+fn cli_engines_publish_identical_deterministic_counters() {
+    let d = tmpdir("cli-counters");
+    let store_dir = d.join("store");
+    let gen = run_cli(&[
+        "generate",
+        "--format",
+        "columnar",
+        "--out",
+        &store_dir.display().to_string(),
+        "--scale",
+        "0.02",
+        "--seed",
+        "7",
+        "--quiet",
+    ]);
+    assert_eq!(gen.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&gen.stderr));
+
+    let report = |engine: &str| -> (String, String) {
+        let metrics = d.join(format!("metrics-{engine}.json"));
+        let out = run_cli(&[
+            "report",
+            "--from-store",
+            &store_dir.display().to_string(),
+            "--engine",
+            engine,
+            "--metrics",
+            &metrics.display().to_string(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            std::fs::read_to_string(&metrics).expect("metrics artifact"),
+        )
+    };
+    let (mat_report, mat_metrics) = report("materialized");
+    let (vec_report, vec_metrics) = report("vectorized");
+    assert_eq!(mat_report, vec_report, "CLI reports must be byte-identical across engines");
+    for key in [
+        "store.rows_read",
+        "store.bytes_read",
+        "store.groups_scanned",
+        "store.pages_decoded",
+        "store.rows_pruned",
+        "store.pages_skipped",
+        "store.groups_pruned_dict",
+        "store.shards_quarantined",
+        "store.days_missing",
+    ] {
+        assert_eq!(
+            artifact_value(&mat_metrics, key),
+            artifact_value(&vec_metrics, key),
+            "{key} differs between engines"
+        );
+    }
+    assert!(artifact_value(&mat_metrics, "store.rows_read") > 0, "counters actually published");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// The issue's memory-ceiling acceptance, at its stated scale: a cold
+/// `report --from-store --scale 10` through the vectorized engine must
+/// keep the decoded-but-uningested high-water mark (the
+/// `store.peak_resident_rows` process gauge) bounded by the in-flight
+/// batch window — worker count × channel capacity × row-group size — not
+/// by the corpus. Measured: 16,384 resident vs 1,152,529 unified rows
+/// (and 216 distinct day groups in `store.peak_group_count`).
+///
+/// `#[ignore]`: generating the scale-10 corpus takes ~25s in release and
+/// far longer in a debug test run; CI runs it explicitly with
+/// `cargo test --release --test store -- --ignored`.
+#[test]
+#[ignore = "scale-10 corpus; run explicitly in release (CI does)"]
+fn scale10_vectorized_peak_resident_rows_is_bounded_by_the_batch_window() {
+    let d = tmpdir("scale10-mem");
+    let store_dir = d.join("store");
+    let gen = run_cli(&[
+        "generate",
+        "--format",
+        "columnar",
+        "--out",
+        &store_dir.display().to_string(),
+        "--scale",
+        "10",
+        "--seed",
+        "20220224",
+        "--quiet",
+    ]);
+    assert_eq!(gen.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&gen.stderr));
+
+    let metrics = d.join("metrics.json");
+    let out = run_cli(&[
+        "report",
+        "--from-store",
+        &store_dir.display().to_string(),
+        "--engine",
+        "vectorized",
+        "--metrics",
+        &metrics.display().to_string(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let artifact = std::fs::read_to_string(&metrics).expect("metrics artifact");
+
+    let rows = artifact_value(&artifact, "store.unified_rows");
+    let peak = artifact_value(&artifact, "store.peak_resident_rows");
+    let groups = artifact_value(&artifact, "store.peak_group_count");
+    assert!(rows > 1_000_000, "scale 10 must be a ~1.15M-unified-row corpus, got {rows}");
+    // Worker count is capped by the shard count (~54 pairs at scale 10);
+    // with capacity-2 channels and 4096-row groups the window can never
+    // hold more than a small multiple of 4096 rows per worker. 64 × 4096
+    // is ~8x the observed single-core peak and still 4.4x under the
+    // corpus — the point is O(batch window), not O(rows).
+    assert!(
+        peak > 0 && peak <= 64 * 4096,
+        "peak resident rows {peak} must stay within the batch window"
+    );
+    assert!(peak * 4 < rows, "peak {peak} must be far below the corpus {rows}");
+    assert!(
+        groups > 0 && groups < 1000,
+        "day-group cardinality {groups} is the O(groups) accumulator bound"
+    );
     let _ = std::fs::remove_dir_all(&d);
 }
 
