@@ -19,9 +19,11 @@
 use crate::calendar::dates;
 use crate::intensity::damage_scale;
 use ndt_geo::Oblast;
+use ndt_scenario::{Scenario, ScenarioSpec};
 use ndt_topology::asn::well_known as wk;
 use ndt_topology::Asn;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Period-mean multipliers of wartime relative to prewar.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -115,6 +117,67 @@ pub fn client_profile(asn: Asn, oblast: Oblast, day: i64) -> DamageProfile {
     target.at_scale(damage_scale(oblast, day))
 }
 
+/// Spec-driven edge-damage model: the Table 3/4 calibration targets,
+/// modulated by a scenario's intensity curves and attenuation knob.
+///
+/// Precomputes the per-oblast wartime-mean intensity once (the historical
+/// free functions recompute it per call), so per-test evaluation is a
+/// lookup plus arithmetic. Under the built-in `historical` spec every
+/// output is bit-identical to [`client_profile`] / [`siege_boost`] — the
+/// attenuation of `1.0` multiplies through exactly.
+#[derive(Debug, Clone)]
+pub struct DamageModel {
+    spec: &'static ScenarioSpec,
+    wartime_mean: HashMap<Oblast, f64>,
+}
+
+impl DamageModel {
+    /// Builds the model for a scenario, precomputing intensity means.
+    pub fn new(scenario: Scenario) -> DamageModel {
+        let spec = scenario.spec();
+        let wartime_mean =
+            Oblast::all().map(|o| (o, spec.intensity.wartime_mean(o))).collect();
+        DamageModel { spec, wartime_mean }
+    }
+
+    /// The spec this model evaluates.
+    pub fn spec(&self) -> &'static ScenarioSpec {
+        self.spec
+    }
+
+    /// Intensity normalized to unit wartime mean for the oblast
+    /// (the spec-driven equivalent of [`damage_scale`]).
+    pub fn scale(&self, oblast: Oblast, day: i64) -> f64 {
+        if day < self.spec.intensity.start_day {
+            return 0.0;
+        }
+        let mean = self.wartime_mean.get(&oblast).copied().unwrap_or(0.0);
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        self.spec.intensity.at(oblast, day) / mean
+    }
+
+    /// The damage profile a client experiences under this scenario
+    /// (the spec-driven equivalent of [`client_profile`]).
+    pub fn client_profile(&self, asn: Asn, oblast: Oblast, day: i64) -> DamageProfile {
+        let mut target = as_profile(asn).unwrap_or_else(|| oblast_profile(oblast));
+        target.tput_mult *= TPUT_DRAG_CORRECTION;
+        target.at_scale(self.scale(oblast, day) * self.spec.damage_attenuation)
+    }
+
+    /// Extra edge damage for a besieged city under this scenario
+    /// (the spec-driven equivalent of [`siege_boost`]).
+    pub fn siege_boost(&self, city_name: &str, day: i64) -> Option<DamageProfile> {
+        self.spec.siege(city_name, day).map(|s| DamageProfile {
+            count_mult: 1.0,
+            tput_mult: s.tput_mult,
+            rtt_mult: s.rtt_mult,
+            loss_mult: s.loss_mult,
+        })
+    }
+}
+
 /// Extra edge damage for a city under siege, multiplied on top of the
 /// region profile. The paper's Mariupol row (Table 1) shows throughput
 /// nearly halving and loss rising ~2.5x beyond the Donetsk-region trend
@@ -153,42 +216,36 @@ pub struct BorderDamage {
 ///   Electric, Figure 5): mild added loss plus increasingly frequent
 ///   withdrawal days.
 pub fn border_damage(day: i64) -> Vec<BorderDamage> {
-    let invasion = dates::INVASION.day_index();
-    if day < invasion {
+    border_damage_for(Scenario::HISTORICAL.spec(), day)
+}
+
+/// Border-AS damage active on `day` under a scenario spec's transit rules
+/// (empty before the scenario start). Each rule's loss/latency ramp over
+/// its own `ramp_days`; availability follows the rule's flap schedule,
+/// overridden to permanently down once `down_after` passes — the
+/// parameterized form of the paper's Cogent→Hurricane Electric re-homing
+/// (Haq et al., arXiv:2305.17666).
+pub fn border_damage_for(spec: &ScenarioSpec, day: i64) -> Vec<BorderDamage> {
+    let start = spec.intensity.start_day;
+    if day < start {
         return Vec::new();
     }
-    let t = (day - invasion) as f64;
-    let frac = (t / 54.0).min(1.0);
-    let mut out = Vec::new();
-    // AS6663: progressive decay, then availability collapse — occasional
-    // flaps from day 14, every other day through late March, and mostly
-    // down from April. Between flaps BGP returns traffic to the degraded
-    // primary, which is exactly the oscillation Figure 6 plots.
-    let ti = day - invasion;
-    let flap_6663 = (7..14).contains(&ti) && ti % 3 == 0
-        || (14..28).contains(&ti) && ti % 4 == 0
-        || (28..35).contains(&ti) && ti % 2 == 0
-        || ti >= 35 && ti % 4 != 0;
-    out.push(BorderDamage {
-        asn: wk::AS6663,
-        loss_add: 0.035 * frac,
-        latency_mult: 1.0 + 1.5 * frac,
-        down: flap_6663,
-    });
-    // Cogent: fade-out via withdrawal days of increasing frequency
-    // (the paper observes fewer tests entering via Cogent, Figure 5).
-    // Cogent's fade is availability-driven (withdrawn adjacencies), not
-    // quality-driven: only a whisper of added loss, so that the western
-    // oblasts' loss ratios — whose paths often transit Cogent — stay at
-    // their calibrated Table 4 levels.
-    let flap_cogent = (10..30).contains(&ti) && ti % 4 == 0 || ti >= 30 && ti % 2 == 0;
-    out.push(BorderDamage {
-        asn: wk::COGENT,
-        loss_add: 0.005 * frac,
-        latency_mult: 1.0 + 0.15 * frac,
-        down: flap_cogent,
-    });
-    out
+    let t = (day - start) as f64;
+    let ti = day - start;
+    spec.transit
+        .iter()
+        .map(|rule| {
+            let frac = (t / rule.ramp_days).min(1.0);
+            let down = rule.flaps.iter().any(|f| f.matches(ti))
+                || rule.down_after.is_some_and(|d| ti >= d);
+            BorderDamage {
+                asn: Asn(rule.asn),
+                loss_add: rule.loss_coeff * frac,
+                latency_mult: 1.0 + rule.latency_coeff * frac,
+                down,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -8,13 +8,16 @@
 //! bad (the count spike accompanying the March 10 outages in Figure 2a).
 //!
 //! [`DisplacementModel`] produces a per-city activity multiplier per day.
-//! Magnitudes are calibrated so each curve's wartime mean matches the
-//! paper's Table 1 city count ratios, and the residual multiplier of
-//! non-key cities is solved so the oblast totals track Table 4.
+//! The curve shapes come from a [`ndt_scenario::ScenarioSpec`]'s city
+//! overrides and spike rules; magnitudes of the built-in `historical` spec
+//! are calibrated so each curve's wartime mean matches the paper's Table 1
+//! city count ratios, and the residual multiplier of non-key cities is
+//! solved so the oblast totals track Table 4.
 
-use crate::calendar::{dates, Period};
+use crate::calendar::Period;
 use ndt_geo::city::{cities_of, CityId};
 use ndt_geo::Oblast;
+use ndt_scenario::{Scenario, ScenarioSpec};
 use std::collections::HashMap;
 
 /// Time constant of the default wartime count ramp, in days. Short: the
@@ -31,41 +34,10 @@ fn ramp(t: f64, tau: f64) -> f64 {
     (t / tau).min(1.0)
 }
 
-/// Key-city override curve as a function of days since invasion.
-fn override_curve(city: &str, t: f64) -> Option<f64> {
-    match city {
-        // Fully active until the March 1 encirclement, then collapse over a
-        // few days (a thin trickle of tests continues from inside the
-        // besieged city, as in the paper's Figure 4).
-        "Mariupol" => {
-            let siege = (dates::MARIUPOL_ENCIRCLED.day_index() - dates::INVASION.day_index()) as f64;
-            Some(if t < siege { 1.0 } else { ((-(t - siege) / 3.0).exp()).max(0.01) })
-        }
-        // Stable until the March 14 mass shelling, then a step down.
-        "Kharkiv" => {
-            let shell = (dates::KHARKIV_SHELLING.day_index() - dates::INVASION.day_index()) as f64;
-            Some(if t < shell { 1.0 } else { 0.45 + 0.55 * (-(t - shell) / 2.0).exp() })
-        }
-        // Refugee influx: counts ramp up ~50% over three weeks.
-        "Lviv" => Some(1.0 + 0.51 * ramp(t, 20.0)),
-        // Mild exodus from the capital.
-        "Kyiv" => Some(1.0 - 0.17 * ramp(t, 10.0)),
-        _ => None,
-    }
-}
-
-/// Wartime mean of an override curve.
-fn override_mean(city: &str) -> f64 {
-    let (s, e) = Period::Wartime2022.day_range();
-    (s..e)
-        .map(|d| override_curve(city, (d - s) as f64).expect("known key city"))
-        .sum::<f64>()
-        / (e - s) as f64
-}
-
-/// Per-city daily activity multipliers.
+/// Per-city daily activity multipliers under one scenario spec.
 #[derive(Debug, Clone)]
 pub struct DisplacementModel {
+    spec: &'static ScenarioSpec,
     /// Residual wartime count target for non-key cities of each oblast.
     rest_target: HashMap<Oblast, f64>,
 }
@@ -77,18 +49,28 @@ impl Default for DisplacementModel {
 }
 
 impl DisplacementModel {
-    /// Builds the model, solving each oblast's residual multiplier so that
-    /// the weighted city means reproduce Table 4's count ratios.
+    /// The historical model (the paper's calibrated displacement).
     pub fn new() -> Self {
+        Self::for_scenario(Scenario::HISTORICAL)
+    }
+
+    /// Builds the model for a scenario, solving each oblast's residual
+    /// multiplier so the weighted city means reproduce the oblast count
+    /// targets after the spec's override curves take their share.
+    pub fn for_scenario(scenario: Scenario) -> Self {
+        let spec = scenario.spec();
+        let (s, e) = Period::Wartime2022.day_range();
+        let override_mean = |city: &str| {
+            let curve = spec.city_override(city).expect("known override city");
+            (s..e).map(|d| curve.eval((d - s) as f64)).sum::<f64>() / (e - s) as f64
+        };
         let mut rest_target = HashMap::new();
         for oblast in Oblast::all() {
             let target = crate::damage::oblast_profile(oblast).count_mult;
-            let mut override_weight = 0.0;
             let mut override_contrib = 0.0;
             let mut rest_weight = 0.0;
             for (_, city) in cities_of(oblast) {
-                if override_curve(city.name, 0.0).is_some() {
-                    override_weight += city.weight;
+                if spec.city_override(city.name).is_some() {
                     override_contrib += city.weight * override_mean(city.name);
                 } else {
                     rest_weight += city.weight;
@@ -99,45 +81,44 @@ impl DisplacementModel {
             } else {
                 1.0
             };
-            let _ = override_weight;
             rest_target.insert(oblast, rest);
         }
-        Self { rest_target }
+        Self { spec, rest_target }
+    }
+
+    /// The spec this model evaluates.
+    pub fn spec(&self) -> &'static ScenarioSpec {
+        self.spec
     }
 
     /// Activity multiplier (relative to prewar) of a city on a day.
     pub fn city_activity(&self, city: CityId, day: i64) -> f64 {
-        let invasion = dates::INVASION.day_index();
-        if day < invasion {
+        let start = self.spec.intensity.start_day;
+        if day < start {
             return 1.0;
         }
-        let t = (day - invasion) as f64;
+        let t = (day - start) as f64;
         let c = city.get();
-        if let Some(v) = override_curve(c.name, t) {
-            return v;
+        if let Some(curve) = self.spec.city_override(c.name) {
+            return curve.eval(t);
         }
-        let target = self.rest_target[&c.oblast];
+        let target = self.rest_target.get(&c.oblast).copied().unwrap_or(1.0);
         // Scale the ramp so the wartime mean equals the target.
         let amplitude = (target - 1.0) / default_ramp_mean();
         (1.0 + amplitude * ramp(t, COUNT_RAMP_TAU)).max(0.02)
     }
 
-    /// Behavioural test spike: people run speed tests when the network
-    /// misbehaves. Largest around the March 10 national outages; a smaller
-    /// bump in the first days of the invasion.
+    /// Behavioural test spike under this model's spec: people run speed
+    /// tests when the network misbehaves.
+    pub fn spike(&self, day: i64) -> f64 {
+        self.spec.spike(day)
+    }
+
+    /// Behavioural test spike of the historical scenario. Largest around
+    /// the March 10 national outages; a smaller bump in the first days of
+    /// the invasion.
     pub fn test_spike(day: i64) -> f64 {
-        let invasion = dates::INVASION.day_index();
-        let mar10 = dates::NATIONAL_OUTAGES.day_index();
-        if day == mar10 {
-            // Figure 2a's spike nearly doubles the daily count.
-            1.9
-        } else if day == mar10 + 1 {
-            1.45
-        } else if (invasion..invasion + 3).contains(&day) {
-            1.20
-        } else {
-            1.0
-        }
+        Scenario::HISTORICAL.spec().spike(day)
     }
 }
 
@@ -150,6 +131,7 @@ pub fn wartime_mean_activity(model: &DisplacementModel, city: CityId) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::calendar::dates;
     use ndt_geo::city::{all_cities, city_by_name};
 
     fn id(name: &str) -> CityId {
@@ -231,5 +213,18 @@ mod tests {
         assert_eq!(DisplacementModel::test_spike(mar10 + 5), 1.0);
         assert_eq!(DisplacementModel::test_spike(400), 1.0);
         assert!(DisplacementModel::test_spike(dates::INVASION.day_index()) > 1.1);
+    }
+
+    #[test]
+    fn refugee_flow_model_matches_historical_activity() {
+        // Migration waves relocate clients in the simulator; the city
+        // activity curves themselves are inherited from historical.
+        let hist = DisplacementModel::new();
+        let flow = DisplacementModel::for_scenario(Scenario::REFUGEE_FLOW);
+        for day in [400, 430, 460] {
+            let h = hist.city_activity(id("Lviv"), day);
+            let f = flow.city_activity(id("Lviv"), day);
+            assert_eq!(h.to_bits(), f.to_bits());
+        }
     }
 }

@@ -1,7 +1,6 @@
 //! Dated events the paper cites, as machine-readable structs.
 
 use crate::calendar::{dates, Date};
-use ndt_topology::asn::well_known as wk;
 use ndt_topology::Asn;
 use serde::{Deserialize, Serialize};
 
@@ -49,26 +48,27 @@ pub struct OutageEvent {
     pub down_fraction: f64,
 }
 
-/// Outages active on a given day (the March 10 Ukrtelecom + Triolan events
-/// the paper corroborates via Doug Madory's reporting).
+/// Outages active on a given day under the historical scenario (the
+/// March 10 Ukrtelecom + Triolan events the paper corroborates via Doug
+/// Madory's reporting).
 pub fn outages_on(day: i64) -> Vec<OutageEvent> {
-    let mar10 = dates::NATIONAL_OUTAGES.day_index();
-    if day == mar10 {
-        vec![
-            OutageEvent { day, asn: wk::UKRTELECOM_TRANSIT, down_fraction: 40.0 / (24.0 * 60.0) },
-            OutageEvent { day, asn: wk::TRIOLAN, down_fraction: 0.55 },
-        ]
-    } else if day == mar10 + 1 {
-        // Triolan "still almost entirely offline" the next day.
-        vec![OutageEvent { day, asn: wk::TRIOLAN, down_fraction: 0.8 }]
-    } else {
-        Vec::new()
-    }
+    outages_for(ndt_scenario::Scenario::HISTORICAL.spec(), day)
+}
+
+/// Outages active on a given day under a scenario spec's outage rules, in
+/// rule order.
+pub fn outages_for(spec: &ndt_scenario::ScenarioSpec, day: i64) -> Vec<OutageEvent> {
+    spec.outages
+        .iter()
+        .filter(|o| o.day == day)
+        .map(|o| OutageEvent { day, asn: Asn(o.asn), down_fraction: o.down_fraction })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndt_topology::asn::well_known as wk;
 
     #[test]
     fn timeline_is_chronological_and_inside_window() {

@@ -2,87 +2,56 @@
 //!
 //! Intensity is a dimensionless `[0, 1]` scalar shaping *when* damage
 //! happens; the *magnitude* of damage is calibrated separately per oblast in
-//! [`crate::damage`]. The curves encode the §2 narrative: zero before the
-//! invasion, a sharp ramp on the assaulted fronts, a step-down on the Kyiv
-//! axis after the April 3 withdrawal, and an extra surge in Kharkiv after
-//! the March 14 mass shelling.
+//! [`crate::damage`]. The curve shapes live in a
+//! [`ndt_scenario::ScenarioSpec`]'s [`ndt_scenario::IntensitySpec`]: zero
+//! before the scenario start, a sharp onset ramp, per-front base curves and
+//! per-oblast overrides. The built-in `historical` spec encodes the §2
+//! narrative (Kyiv-axis step-down after April 3, Kharkiv surge after
+//! March 14) bit-for-bit identically to the original closed-form code; the
+//! spec-free functions here evaluate it for the calibration tests and any
+//! caller that wants "the paper's war".
 
-use crate::calendar::dates;
-use ndt_geo::{Front, Oblast};
+use ndt_scenario::{Scenario, ScenarioSpec};
+use ndt_geo::Oblast;
 
-/// Conflict intensity for `oblast` on `day` (day index since 2021-01-01).
+/// Conflict intensity for `oblast` on `day` under a scenario spec.
+pub fn intensity_for(spec: &ScenarioSpec, oblast: Oblast, day: i64) -> f64 {
+    spec.intensity.at(oblast, day)
+}
+
+/// Conflict intensity under the historical scenario (day index since
+/// 2021-01-01).
 pub fn intensity(oblast: Oblast, day: i64) -> f64 {
-    let invasion = dates::INVASION.day_index();
-    if day < invasion {
-        return 0.0;
-    }
-    let t = (day - invasion) as f64; // days since invasion
-    let ramp = (t / 5.0).min(1.0); // one-week escalation
-    let base = match oblast.front() {
-        Front::North => {
-            let peak = 0.9;
-            let after_withdrawal = 0.35;
-            if day < dates::KYIV_REGAINED.day_index() {
-                peak
-            } else {
-                // Gradual step-down over a few days after April 3.
-                let dt = (day - dates::KYIV_REGAINED.day_index()) as f64;
-                after_withdrawal + (peak - after_withdrawal) * (-dt / 3.0).exp()
-            }
-        }
-        Front::East => {
-            let mut v: f64 = 0.95;
-            if oblast == Oblast::Kharkiv && day >= dates::KHARKIV_SHELLING.day_index() {
-                v = 1.0;
-            }
-            v
-        }
-        Front::South => {
-            if oblast == Oblast::Odessa {
-                0.30
-            } else {
-                0.80
-            }
-        }
-        Front::Center => 0.20,
-        Front::West => {
-            if oblast == Oblast::Lviv {
-                0.08
-            } else {
-                0.05
-            }
-        }
-        Front::Occupied => 0.10,
-    };
-    base * ramp
+    Scenario::HISTORICAL.spec().intensity.at(oblast, day)
 }
 
 /// Intensity normalized so its mean over the wartime period is 1 for the
 /// oblast; 0 before the invasion. Damage targets calibrated as *period
 /// means* are modulated by this, so their wartime averages come out right
-/// while preserving the ramp/withdrawal dynamics.
+/// while preserving the ramp/withdrawal dynamics. Historical scenario;
+/// scenario-parameterized callers use [`crate::damage::DamageModel`],
+/// which precomputes the per-oblast means.
 pub fn damage_scale(oblast: Oblast, day: i64) -> f64 {
-    let invasion = dates::INVASION.day_index();
-    if day < invasion {
+    let spec = Scenario::HISTORICAL.spec();
+    if day < spec.intensity.start_day {
         return 0.0;
     }
     let mean = wartime_mean_intensity(oblast);
     if mean <= 0.0 {
         return 0.0;
     }
-    intensity(oblast, day) / mean
+    spec.intensity.at(oblast, day) / mean
 }
 
-/// Mean intensity over the 54 wartime days.
+/// Mean historical intensity over the 54 wartime days.
 pub fn wartime_mean_intensity(oblast: Oblast) -> f64 {
-    let (s, e) = crate::calendar::Period::Wartime2022.day_range();
-    (s..e).map(|d| intensity(oblast, d)).sum::<f64>() / (e - s) as f64
+    Scenario::HISTORICAL.spec().intensity.wartime_mean(oblast)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::calendar::Period;
+    use crate::calendar::{dates, Period};
 
     #[test]
     fn zero_before_invasion() {
@@ -135,6 +104,66 @@ mod tests {
             for d in 360..480 {
                 let v = intensity(o, d);
                 assert!((0.0..=1.0).contains(&v), "{o} day {d}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_evaluation_matches_the_original_closed_form() {
+        // The pre-refactor closed-form model, kept verbatim as the oracle.
+        fn oracle(oblast: Oblast, day: i64) -> f64 {
+            use ndt_geo::Front;
+            let invasion = dates::INVASION.day_index();
+            if day < invasion {
+                return 0.0;
+            }
+            let t = (day - invasion) as f64;
+            let ramp = (t / 5.0).min(1.0);
+            let base = match oblast.front() {
+                Front::North => {
+                    let peak = 0.9;
+                    let after_withdrawal = 0.35;
+                    if day < dates::KYIV_REGAINED.day_index() {
+                        peak
+                    } else {
+                        let dt = (day - dates::KYIV_REGAINED.day_index()) as f64;
+                        after_withdrawal + (peak - after_withdrawal) * (-dt / 3.0).exp()
+                    }
+                }
+                Front::East => {
+                    let mut v: f64 = 0.95;
+                    if oblast == Oblast::Kharkiv && day >= dates::KHARKIV_SHELLING.day_index() {
+                        v = 1.0;
+                    }
+                    v
+                }
+                Front::South => {
+                    if oblast == Oblast::Odessa {
+                        0.30
+                    } else {
+                        0.80
+                    }
+                }
+                Front::Center => 0.20,
+                Front::West => {
+                    if oblast == Oblast::Lviv {
+                        0.08
+                    } else {
+                        0.05
+                    }
+                }
+                Front::Occupied => 0.10,
+            };
+            base * ramp
+        }
+        for o in Oblast::all() {
+            for d in 400..480 {
+                let spec = intensity(o, d);
+                let want = oracle(o, d);
+                assert!(
+                    spec.to_bits() == want.to_bits(),
+                    "{o} day {d}: spec {spec} oracle {want}"
+                );
             }
         }
     }

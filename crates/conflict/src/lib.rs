@@ -11,31 +11,42 @@
 //! March 14, the nationwide Ukrtelecom/Triolan outages of March 10, and the
 //! westward flight of refugees towards Lviv.
 //!
-//! This crate turns that narrative into a deterministic generative model:
+//! This crate turns that narrative into a deterministic generative model.
+//! Since the `ndt-scenario` refactor, every model here evaluates a
+//! [`ndt_scenario::ScenarioSpec`] rather than hardcoded constants — the
+//! built-in `historical` spec reproduces the paper's curves bit for bit,
+//! and the spec-parameterized entry points (`*_for`, [`damage::DamageModel`],
+//! [`DisplacementModel::for_scenario`]) open the counterfactual and related-work
+//! scenarios:
 //!
-//! * [`calendar`] — the study windows and period taxonomy (baseline 2021 ×2,
-//!   prewar, wartime), with a day index anchored at 2021-01-01;
+//! * [`calendar`] — re-exported from `ndt-scenario`: study windows, period
+//!   taxonomy, day index anchored at 2021-01-01;
 //! * [`events`] — the dated events the paper cites, as machine-readable
-//!   structs the platform simulator consumes;
+//!   structs the platform simulator consumes; spec-driven via
+//!   [`events::outages_for`];
 //! * [`intensity`](mod@intensity) — per-oblast daily conflict-intensity curves shaped by
-//!   the front classification;
+//!   a spec's front curves and oblast overrides;
 //! * [`damage`] — per-oblast and per-AS wartime damage profiles, calibrated
 //!   against the paper's own Table 4 and Table 3 ratios (we must reproduce
 //!   *their* war, so their measured ratios are the honest calibration
 //!   source), modulated over time by the intensity curves; plus the border
-//!   dynamics behind Figures 5 and 6 (Cogent fade-out, AS6663 decay);
+//!   dynamics behind Figures 5 and 6 (Cogent fade-out, AS6663 decay),
+//!   generalized to spec transit rules (flaps, permanent re-homing);
 //! * [`displacement`] — per-city activity multipliers (Mariupol collapse,
 //!   Kharkiv exodus, Lviv influx) and the test-when-it-breaks curiosity
-//!   spikes visible in Figure 2a.
+//!   spikes visible in Figure 2a, driven by a spec's curves and spike rules.
 
-pub mod calendar;
+pub use ndt_scenario::calendar;
 pub mod damage;
 pub mod displacement;
 pub mod events;
 pub mod intensity;
 
 pub use calendar::{Date, Period, DAYS_PER_PERIOD};
-pub use damage::{as_profile, border_damage, oblast_profile, BorderDamage, DamageProfile};
+pub use damage::{
+    as_profile, border_damage, border_damage_for, oblast_profile, BorderDamage, DamageModel,
+    DamageProfile,
+};
 pub use displacement::DisplacementModel;
-pub use events::{key_events, outages_on, Event, EventKind, OutageEvent};
-pub use intensity::{damage_scale, intensity};
+pub use events::{key_events, outages_for, outages_on, Event, EventKind, OutageEvent};
+pub use intensity::{damage_scale, intensity, intensity_for};

@@ -19,6 +19,11 @@ pub struct StudyData {
     /// a degraded corpus and a fresh run on the same surviving data
     /// compute identical gaps.
     pub day_gaps: Vec<(i64, i64)>,
+    /// Second-country digest for asymmetric scenarios, attached by the
+    /// pipeline (a `country-b` stage) or the columnar store loader
+    /// (`country-b.digest.txt`); `None` for single-country corpora. Feeds
+    /// the `table_ab` analysis stage.
+    pub second_country: Option<crate::country::CountryDigest>,
 }
 
 /// Day ranges of each [`Period`] window that hold no unified rows, for
@@ -65,7 +70,7 @@ impl StudyData {
     pub fn from_dataset(raw: Dataset) -> Self {
         let unified = raw.unified_table();
         let day_gaps = compute_day_gaps(&unified);
-        Self { raw, unified, day_gaps }
+        Self { raw, unified, day_gaps, second_country: None }
     }
 
     /// Unified rows within a period.
@@ -189,7 +194,7 @@ impl StudyDataBuilder {
     pub fn finish(self) -> StudyData {
         let unified = self.unified.unwrap_or_else(empty_unified_table);
         let day_gaps = compute_day_gaps(&unified);
-        StudyData { raw: self.raw, unified, day_gaps }
+        StudyData { raw: self.raw, unified, day_gaps, second_country: None }
     }
 
     /// [`Self::finish`] with the distinct-day set already in hand (the
@@ -200,7 +205,7 @@ impl StudyDataBuilder {
     pub fn finish_with_days(self, days: &std::collections::BTreeSet<i64>) -> StudyData {
         let unified = self.unified.unwrap_or_else(empty_unified_table);
         let day_gaps = compute_day_gaps_from(days);
-        StudyData { raw: self.raw, unified, day_gaps }
+        StudyData { raw: self.raw, unified, day_gaps, second_country: None }
     }
 }
 

@@ -46,6 +46,7 @@
 //! [`coverage::LOW_SAMPLE_N`] samples — the paper's daggered low-n entries.
 //! Renderers annotate degraded cells and append a coverage footer.
 
+pub mod country;
 pub mod coverage;
 pub mod dataset;
 pub mod error;
@@ -71,10 +72,11 @@ pub mod table3_as;
 pub mod table4_oblast;
 pub mod table5_6_as_detail;
 
+pub use country::{second_country_digest, CountryDigest};
 pub use coverage::{Coverage, DropReason, LOW_SAMPLE_N};
 pub use dataset::{StudyData, StudyDataBuilder};
 pub use error::AnalysisError;
 pub use report::{
     assemble_staged_report, full_report, run_analysis_stage, stage_spec, ReproReport, StageFailure,
-    StageOutput, StageSpec, ANALYSIS_STAGES,
+    StageOutput, StageSpec, ANALYSIS_STAGES, SCENARIO_STAGES,
 };

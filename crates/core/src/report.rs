@@ -37,6 +37,10 @@ pub struct ReproReport {
     pub ext_ingress: ext_ingress::IngressScan,
     /// Extension: intensity vs degradation correlation (§4.2 quantified).
     pub ext_correlation: ext_correlation::IntensityCorrelation,
+    /// Scenario extension: two-country degradation comparison, rendered.
+    /// Present only when the corpus carries a second-country digest
+    /// (asymmetric scenarios).
+    pub table_ab: Option<String>,
 }
 
 /// Runs the complete pipeline. Degraded data never fails the run — each
@@ -62,6 +66,11 @@ pub fn full_report(data: &StudyData) -> Result<ReproReport, AnalysisError> {
         ext_robustness: ext_robustness::compute(data)?,
         ext_ingress: ext_ingress::compute(data)?,
         ext_correlation: ext_correlation::compute(data)?,
+        table_ab: data
+            .second_country
+            .as_ref()
+            .map(|_| crate::country::table_ab(data))
+            .transpose()?,
     })
 }
 
@@ -176,6 +185,17 @@ pub const ANALYSIS_STAGES: [StageSpec; 18] = [
     },
 ];
 
+/// Scenario-conditional stages: run only when the corpus calls for them
+/// (today: the two-country comparison of asymmetric scenarios). They
+/// render between the fixed [`ANALYSIS_STAGES`] sections and the coverage
+/// footer, and are absent — not placeholders — when their precondition
+/// does not hold.
+pub const SCENARIO_STAGES: [StageSpec; 1] = [StageSpec {
+    name: "table_ab",
+    title: "Scenario A/B (two-country degradation comparison)",
+    artifacts: &["table_ab_comparison.txt"],
+}];
+
 /// Section title of the coverage footer that closes every report.
 pub const COVERAGE_TITLE: &str = "Coverage (degraded-data accounting)";
 
@@ -183,9 +203,12 @@ pub const COVERAGE_TITLE: &str = "Coverage (degraded-data accounting)";
 /// I/O); only present when at least one did.
 pub const FAILED_STAGES_TITLE: &str = "Failed stages (execution faults)";
 
-/// Looks an analysis stage up by name.
+/// Looks an analysis stage up by name (fixed and scenario-conditional).
 pub fn stage_spec(name: &str) -> Option<&'static StageSpec> {
-    ANALYSIS_STAGES.iter().find(|s| s.name == name)
+    ANALYSIS_STAGES
+        .iter()
+        .chain(SCENARIO_STAGES.iter())
+        .find(|s| s.name == name)
 }
 
 /// One analysis stage's run result: the report section body, the exported
@@ -382,6 +405,10 @@ pub fn run_analysis_stage(name: &str, data: &StudyData) -> Result<StageOutput, A
             let p = fig9_path_perf::compute(data, 10)?;
             out(fig9_body(&p), vec![p.to_csv()], p.coverage)
         }
+        "table_ab" => {
+            let p = crate::country::table_ab(data)?;
+            out(p.clone(), vec![p], Coverage::new())
+        }
         _ => unreachable!("stage_spec() already validated the name"),
     };
     publish_coverage_counters(&stage_out.coverage);
@@ -411,6 +438,17 @@ pub fn assemble_staged_report(outputs: &[StageOutput], failures: &[StageFailure]
                     .unwrap_or("stage did not run");
                 push_section(&mut out, spec.title, &format!("[stage failed: {reason}]\n"));
             }
+        }
+    }
+    // Scenario-conditional stages only render when they were attempted:
+    // an output (success) or a recorded failure (placeholder). A run whose
+    // scenario never scheduled them leaves no trace.
+    for spec in &SCENARIO_STAGES {
+        if let Some(o) = outputs.iter().find(|o| o.name == spec.name) {
+            push_section(&mut out, spec.title, &o.section);
+            total.merge(&o.coverage);
+        } else if let Some(f) = failures.iter().find(|f| f.name == spec.name) {
+            push_section(&mut out, spec.title, &format!("[stage failed: {}]\n", f.reason));
         }
     }
     push_section(&mut out, COVERAGE_TITLE, &coverage_body(&total));
@@ -487,6 +525,9 @@ impl ReproReport {
         for spec in &ANALYSIS_STAGES {
             push_section(&mut out, spec.title, &self.section_body(spec.name));
         }
+        if let Some(t) = &self.table_ab {
+            push_section(&mut out, SCENARIO_STAGES[0].title, t);
+        }
         push_section(&mut out, COVERAGE_TITLE, &coverage_body(&self.coverage()));
         out
     }
@@ -530,6 +571,36 @@ mod tests {
         // The export file set is derived from these specs; any new report
         // field must add a stage (and so an artifact) or this count drifts.
         assert_eq!(seen.len(), 19, "artifact file set changed — update export docs/tests");
+    }
+
+    #[test]
+    fn table_ab_joins_both_report_paths_for_asymmetric_corpora() {
+        use crate::dataset::test_support::shared_small;
+        // Attach a second-country digest (what the pipeline's `country-b`
+        // stage does) and check the staged and monolithic paths render the
+        // A/B section identically, between the fixed stages and coverage.
+        let mut data = StudyData::from_dataset(shared_small().raw.clone());
+        data.second_country = crate::country::second_country_digest(&ndt_mlab::SimConfig {
+            scenario: ndt_mlab::sim::Scenario::ASYMMETRIC,
+            ..ndt_mlab::SimConfig::small(1234)
+        })
+        .expect("digest computes");
+        assert!(data.second_country.is_some());
+        let mut outputs: Vec<StageOutput> = ANALYSIS_STAGES
+            .iter()
+            .map(|s| run_analysis_stage(s.name, &data).expect("stage computes"))
+            .collect();
+        outputs.push(run_analysis_stage("table_ab", &data).expect("table_ab computes"));
+        let staged = assemble_staged_report(&outputs, &[]);
+        let monolithic = full_report(&data).expect("clean corpus computes").render();
+        assert_eq!(staged, monolithic);
+        let title = format!("== {} ==", SCENARIO_STAGES[0].title);
+        assert!(staged.contains(&title));
+        let pos_ab = staged.find(&title).unwrap();
+        let pos_cov = staged.find(COVERAGE_TITLE).unwrap();
+        assert!(pos_ab < pos_cov, "A/B section precedes the coverage footer");
+        // And a single-country report carries no trace of it.
+        assert!(!full_report(shared_medium()).expect("computes").render().contains(&title));
     }
 
     #[test]

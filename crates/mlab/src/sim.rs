@@ -5,13 +5,13 @@ use crate::fault::{splitmix64, truncate_as_path, Corruption, FaultPlan};
 use crate::schema::{Dataset, Scamper1Row, UnifiedDownloadRow};
 use crate::site::{LoadBalancer, Site, SiteId};
 use ndt_conflict::calendar::Period;
-use ndt_conflict::damage::{
-    as_profile, border_damage, client_profile, siege_boost, NATIONAL_COUNT_MULT,
-};
+use ndt_conflict::damage::{as_profile, border_damage_for, DamageModel, NATIONAL_COUNT_MULT};
 use ndt_conflict::displacement::DisplacementModel;
-use ndt_conflict::events::outages_on;
-use ndt_conflict::intensity::{damage_scale, intensity};
-use ndt_geo::{GeoDb, GeoDbConfig};
+use ndt_conflict::events::outages_for;
+use ndt_conflict::intensity::intensity_for;
+use ndt_geo::city::CityId;
+use ndt_geo::{GeoDb, GeoDbConfig, Oblast};
+use ndt_scenario::ScenarioSpec;
 use ndt_stats::Poisson;
 use ndt_tcp::{BulkTransfer, CongestionControl, PathCharacteristics, TransferConfig};
 use ndt_topology::route::RoutingConfig;
@@ -21,39 +21,12 @@ use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// Counterfactual scenario selector. `Historical` reproduces the paper;
-/// the others answer "what would the dataset have looked like if …" —
-/// the kind of what-if analysis the simulator makes possible and the
-/// real study could not run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Scenario {
-    /// The war as modeled (default).
-    Historical,
-    /// No invasion: damage, displacement, border dynamics and outages all
-    /// disabled. 2022 should look like 2021 plus volume growth.
-    NoWar,
-    /// The invasion happens but the *core* stays intact: no border decay,
-    /// no transit flaps, no outages — only edge damage and displacement.
-    /// Isolates the paper's §5 hypothesis that most degradation is at the
-    /// edge.
-    EdgeDamageOnly,
-    /// The inverse: core damage and outages happen, the edge is spared.
-    CoreDamageOnly,
-}
-
-impl Scenario {
-    fn edge_damage(&self) -> bool {
-        matches!(self, Scenario::Historical | Scenario::EdgeDamageOnly)
-    }
-
-    fn core_damage(&self) -> bool {
-        matches!(self, Scenario::Historical | Scenario::CoreDamageOnly)
-    }
-
-    fn displacement(&self) -> bool {
-        !matches!(self, Scenario::NoWar)
-    }
-}
+/// Scenario selector: a handle into `ndt-scenario`'s registry of specs.
+/// `HISTORICAL` reproduces the paper; the built-in counterfactuals and
+/// related-work scenarios (asymmetric two-country, refugee-flow,
+/// transit-reroute) answer "what would the dataset have looked like
+/// if …" — and `--scenario-file` registers user-authored ones.
+pub use ndt_scenario::Scenario;
 
 /// Simulation knobs. Defaults reproduce the paper's setting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,7 +72,7 @@ impl Default for SimConfig {
             cca: CongestionControl::Bbr,
             simulate_2021: true,
             simulate_2022: true,
-            scenario: Scenario::Historical,
+            scenario: Scenario::HISTORICAL,
             faults: FaultPlan::NONE,
             threads: 0,
         }
@@ -224,10 +197,36 @@ impl SimCounters {
     }
 }
 
+/// A client's effective location for one day: where it lives, which
+/// oblast's damage it experiences, and which site serves it. Migration
+/// waves change a client's home mid-study; everyone else keeps theirs.
+#[derive(Debug, Clone, Copy)]
+struct Home {
+    city: CityId,
+    oblast: Oblast,
+    site: SiteId,
+}
+
+/// A client's precomputed migration: from `day` on, the client lives at
+/// `dest` (`None` = left the country; produces no further tests).
+#[derive(Debug, Clone, Copy)]
+struct Migration {
+    day: i64,
+    dest: Option<Home>,
+}
+
 /// The platform simulator. Owns the topology, client population, routing
 /// engine and error-model databases.
 pub struct Simulator {
     config: SimConfig,
+    /// The resolved scenario spec (`config.scenario.spec()`, cached).
+    spec: &'static ScenarioSpec,
+    /// Spec-driven edge-damage model with precomputed intensity means.
+    damage: DamageModel,
+    /// Per-client migration, precomputed at construction from the spec's
+    /// migration waves. A pure function of (client address, wave salts), so
+    /// it is identical across thread counts and shard resumes.
+    migrations: Vec<Option<Migration>>,
     bt: BuiltTopology,
     lb: LoadBalancer,
     pool: ClientPool,
@@ -276,21 +275,69 @@ impl Simulator {
             bt.topology.links().iter().flat_map(|l| [l.a_if, l.b_if]).collect();
         let alias_clusters =
             AliasResolver::new(0.7).cluster_map(&bt.topology, &interfaces, &mut rng);
-        let client_sites =
+        let client_sites: Vec<SiteId> =
             pool.clients().iter().map(|c| lb.site_for_city(c.city, c.ip).id).collect();
+        let spec = config.scenario.spec();
+        // Precompute each client's migration (first matching wave wins).
+        // Participation and timing are keyed hashes of the client address —
+        // never RNG draws — so the assignment is invariant across threads,
+        // shard boundaries and kill→resume.
+        let migrations: Vec<Option<Migration>> = pool
+            .clients()
+            .iter()
+            .map(|c| {
+                spec.migrations.iter().find_map(|w| {
+                    if c.oblast.front() != w.from_front {
+                        return None;
+                    }
+                    let h = splitmix64((c.ip.0 as u64) ^ w.salt);
+                    if (h % 10_000) as f64 >= w.fraction * 10_000.0 {
+                        return None;
+                    }
+                    let day =
+                        w.start_day + (splitmix64(h) % w.window_days.max(1) as u64) as i64;
+                    let dest = w
+                        .dest_city
+                        .as_deref()
+                        .and_then(ndt_geo::city::city_by_name)
+                        .map(|(cid, city)| Home {
+                            city: cid,
+                            oblast: city.oblast,
+                            site: lb.site_for_city(cid, c.ip).id,
+                        });
+                    Some(Migration { day, dest })
+                })
+            })
+            .collect();
         Self {
             config,
+            spec,
+            damage: DamageModel::new(config.scenario),
+            migrations,
             resolved_threads: resolve_threads(config.threads),
             client_sites,
             lb,
             pool,
             geodb: GeoDb::new(geo_cfg),
-            displacement: DisplacementModel::new(),
+            displacement: DisplacementModel::for_scenario(config.scenario),
             engine: RoutingEngine::with_config(routing_cfg),
             transfer: BulkTransfer::new(TransferConfig { cca: config.cca, ..Default::default() }),
             alias_clusters,
             bt,
         }
+    }
+
+    /// Where client `ci` lives on `day`: its original home, or — once its
+    /// migration day passes — its destination. `None` means the client has
+    /// left the country and produces no tests in the national sample.
+    fn effective_home(&self, ci: usize, day: i64) -> Option<Home> {
+        if let Some(m) = self.migrations[ci] {
+            if day >= m.day {
+                return m.dest;
+            }
+        }
+        let c = &self.pool.clients()[ci];
+        Some(Home { city: c.city, oblast: c.oblast, site: self.client_sites[ci] })
     }
 
     /// FNV-1a over the resolver's cluster ids along a path — what path
@@ -398,14 +445,15 @@ impl Simulator {
     fn apply_day_damage(&mut self, day: i64) {
         let topo = &mut self.bt.topology;
         topo.heal_all();
-        if !self.config.scenario.core_damage() {
+        if !self.spec.core_damage {
             return;
         }
         let mut links_degraded = 0u64;
         let mut links_downed = 0u64;
         let mut links_flapped = 0u64;
-        // Border-AS decay and flaps (Figures 5 and 6).
-        for dmg in border_damage(day) {
+        // Border-AS decay, flaps and permanent re-homings, from the spec's
+        // transit rules (Figures 5 and 6).
+        for dmg in border_damage_for(self.spec, day) {
             let links: Vec<_> = topo
                 .links_of(dmg.asn)
                 .filter(|l| topo.catalog.is_ukrainian(l.peer_of(dmg.asn)))
@@ -434,7 +482,7 @@ impl Simulator {
                 .collect()
         };
         for (lid, oblast) in flap_candidates {
-            let inten = intensity(oblast, day);
+            let inten = intensity_for(self.spec, oblast, day);
             if inten <= 0.0 {
                 continue;
             }
@@ -448,7 +496,7 @@ impl Simulator {
         // Transit outages (March 10): majority-of-day outages take the
         // network's links down for the day; the 40-minute Ukrtelecom blip
         // shows up as the curiosity spike instead.
-        for outage in outages_on(day) {
+        for outage in outages_for(self.spec, day) {
             if outage.down_fraction >= 0.5 {
                 let links: Vec<_> = topo.links_of(outage.asn).map(|l| l.id).collect();
                 for id in links {
@@ -465,26 +513,28 @@ impl Simulator {
     }
 
 impl Simulator {
-    /// Expected-volume multiplier for a client on a day.
-    fn activity(&self, client: &crate::client::Client, day: i64) -> f64 {
+    /// Expected-volume multiplier for a client on a day, evaluated at its
+    /// effective home (migrated clients take on their destination's
+    /// displacement curves and damage region).
+    fn activity(&self, client: &crate::client::Client, home: &Home, day: i64) -> f64 {
         let year_mult = if day < 365 { self.config.volume_mult_2021 } else { 1.0 };
-        if !self.config.scenario.displacement() {
+        if !self.spec.displacement {
             return year_mult * self.config.scale;
         }
-        let base = self.displacement.city_activity(client.city, day);
+        let base = self.displacement.city_activity(home.city, day);
         // AS-specific count deviation relative to the *national* trend
         // (Table 3's ΔCounts are national figures; dividing by the local
         // oblast trend instead would explode national ISPs' rates inside
         // collapsed regions).
         let as_adj = match as_profile(client.asn) {
             Some(p) => {
-                let scale = damage_scale(client.oblast, day);
+                let scale = self.damage.scale(home.oblast, day);
                 let national = 1.0 + (NATIONAL_COUNT_MULT - 1.0) * scale;
                 p.at_scale(scale).count_mult / national
             }
             None => 1.0,
         };
-        year_mult * base * as_adj * DisplacementModel::test_spike(day) * self.config.scale
+        year_mult * base * as_adj * self.displacement.spike(day) * self.config.scale
     }
 
     /// Simulates all clients for one day, sharded across worker threads,
@@ -559,17 +609,24 @@ impl Simulator {
         counters: &mut SimCounters,
     ) {
         let client = &self.pool.clients()[ci];
-        let lambda = client.daily_rate * self.activity(client, day);
+        // A client that has left the country produces no tests. The check
+        // sits before the Poisson draw, which is harmless to determinism:
+        // every (client, day) has its own derived stream, so skipping one
+        // client shifts nobody else's draws.
+        let Some(home) = self.effective_home(ci, day) else {
+            return;
+        };
+        let lambda = client.daily_rate * self.activity(client, &home, day);
         if lambda <= 0.0 {
             return;
         }
-        let site = &self.lb.sites()[self.client_sites[ci].0 as usize];
+        let site = &self.lb.sites()[home.site.0 as usize];
         let mut rng = StdRng::seed_from_u64(splitmix64(
             splitmix64(self.config.seed ^ (day as u64)) ^ ci as u64,
         ));
         let n_tests = Poisson::new(lambda).sample_count(&mut rng);
         for k in 0..n_tests {
-            self.simulate_test(engine, client, site, day, k, out, &mut rng, counters);
+            self.simulate_test(engine, client, &home, site, day, k, out, &mut rng, counters);
         }
     }
 
@@ -579,6 +636,7 @@ impl Simulator {
         &self,
         engine: &mut RoutingEngine,
         client: &crate::client::Client,
+        home: &Home,
         site: &Site,
         day: i64,
         test_index: u64,
@@ -590,7 +648,8 @@ impl Simulator {
         // Damaged edge infrastructure forces local rerouting: lower the
         // primary-route bias in proportion to the client's exposure and the
         // day's regional intensity.
-        let inten = if self.config.scenario.edge_damage() { intensity(client.oblast, day) } else { 0.0 };
+        let inten =
+            if self.spec.edge_damage { intensity_for(self.spec, home.oblast, day) } else { 0.0 };
         let churn = (0.22 * client.war_exposure * inten).min(0.5);
         let bias = (engine.config().primary_bias * (1.0 - churn)).max(0.3);
         let Some(path) =
@@ -601,14 +660,16 @@ impl Simulator {
             counters.unreachable += 1;
             return;
         };
-        let mut profile = if self.config.scenario.edge_damage() {
-            client_profile(client.asn, client.oblast, day)
+        let mut profile = if self.spec.edge_damage {
+            self.damage.client_profile(client.asn, home.oblast, day)
         } else {
             ndt_conflict::damage::DamageProfile::NONE
         };
         // Besieged cities take damage beyond their region's trend.
-        if let Some(siege) = siege_boost(client.city.get().name, day)
-            .filter(|_| self.config.scenario.edge_damage())
+        if let Some(siege) = self
+            .damage
+            .siege_boost(home.city.get().name, day)
+            .filter(|_| self.spec.edge_damage)
         {
             profile.tput_mult *= siege.tput_mult;
             profile.rtt_mult *= siege.rtt_mult;
@@ -692,7 +753,7 @@ impl Simulator {
             let mut geo_rng = StdRng::seed_from_u64(splitmix64(
                 (client.ip.0 as u64) ^ ((day as u64) << 32) ^ (test_index << 1),
             ));
-            let geo = self.geodb.lookup(client.city, &mut geo_rng);
+            let geo = self.geodb.lookup(home.city, &mut geo_rng);
             let mut row = UnifiedDownloadRow {
                 day,
                 client_ip: client.ip,

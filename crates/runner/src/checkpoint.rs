@@ -34,7 +34,7 @@ use ndt_analysis::{stage_spec, StageOutput};
 use ndt_store::wire;
 use ndt_obs::ObsDelta;
 use ndt_mlab::schema::Dataset;
-use ndt_mlab::sim::{Scenario, SimConfig};
+use ndt_mlab::sim::SimConfig;
 use ndt_tcp::CongestionControl;
 use ndt_vfs::VfsHandle;
 
@@ -72,12 +72,10 @@ pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
     });
     buf.push(cfg.simulate_2021 as u8);
     buf.push(cfg.simulate_2022 as u8);
-    buf.push(match cfg.scenario {
-        Scenario::Historical => 0,
-        Scenario::NoWar => 1,
-        Scenario::EdgeDamageOnly => 2,
-        Scenario::CoreDamageOnly => 3,
-    });
+    // The full resolved scenario spec (content hash), not just a name or
+    // index: an edited `--scenario-file` changes the fingerprint and so
+    // invalidates checkpoints instead of silently resuming stale ones.
+    wire::put_u64(&mut buf, cfg.scenario.spec().fingerprint());
     wire::put_u64(&mut buf, cfg.faults.fault_seed);
     for p in [
         cfg.faults.site_outage,
@@ -453,7 +451,7 @@ mod tests {
         assert_ne!(f0, config_fingerprint(&SimConfig { scale: 0.07, ..base }), "scale");
         assert_ne!(
             f0,
-            config_fingerprint(&SimConfig { scenario: Scenario::NoWar, ..base }),
+            config_fingerprint(&SimConfig { scenario: ndt_mlab::sim::Scenario::NO_WAR, ..base }),
             "scenario"
         );
         let faulty = SimConfig { faults: ndt_mlab::FaultPlan::LIGHT, ..base };
@@ -463,6 +461,24 @@ mod tests {
             config_fingerprint(&SimConfig { threads: 3, ..base }),
             "threads must NOT invalidate checkpoints"
         );
+    }
+
+    #[test]
+    fn fingerprint_tracks_scenario_file_edits() {
+        use ndt_mlab::sim::Scenario;
+        // Re-registering an edited spec under the same name (what
+        // `--scenario-file` does after the file changed) must produce a
+        // different config fingerprint, invalidating old checkpoints.
+        let mut spec = Scenario::NO_WAR.spec().clone();
+        spec.name = "ckpt-edited".to_string();
+        let s1 = Scenario::register(spec.clone());
+        let base = SimConfig::small(7);
+        let f1 = config_fingerprint(&SimConfig { scenario: s1, ..base });
+        spec.damage_attenuation = 0.5;
+        let s2 = Scenario::register(spec);
+        assert_eq!(s1, s2, "same-name registration keeps the handle");
+        let f2 = config_fingerprint(&SimConfig { scenario: s2, ..base });
+        assert_ne!(f1, f2, "edited scenario must invalidate checkpoints");
     }
 
     #[test]

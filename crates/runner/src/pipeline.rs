@@ -17,8 +17,8 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex, TryLockError};
 
 use ndt_analysis::{
-    assemble_staged_report, run_analysis_stage, StageFailure, StageOutput, StudyData,
-    ANALYSIS_STAGES,
+    assemble_staged_report, run_analysis_stage, CountryDigest, StageFailure, StageOutput,
+    StudyData, ANALYSIS_STAGES, SCENARIO_STAGES,
 };
 use ndt_mlab::schema::Dataset;
 use ndt_mlab::sim::SimConfig;
@@ -301,10 +301,40 @@ impl Pipeline {
         Some(full)
     }
 
-    /// Runs every analysis stage of [`ANALYSIS_STAGES`] over `data`.
+    /// Generates and digests the second country's corpus when the
+    /// scenario declares one (asymmetric scenarios), as its own
+    /// checkpointable `country-b` stage. The digest is checkpointed in
+    /// its lossless text form, so a resumed run re-attaches bit-identical
+    /// stats. `None` on single-country scenarios *and* on stage failure
+    /// (the records distinguish the two).
+    pub(crate) fn second_country(&mut self, sim_cfg: &SimConfig) -> Option<CountryDigest> {
+        sim_cfg.scenario.spec().second_country.as_ref()?;
+        let cfg = *sim_cfg;
+        let text = self.stage::<String>("country-b", move |_cancel| {
+            ndt_analysis::second_country_digest(&cfg)
+                .map_err(|e| StageFault::permanent(e.to_string()))?
+                .map(|d| d.to_text())
+                .ok_or_else(|| {
+                    StageFault::permanent("scenario lost its second country".to_string())
+                })
+        })?;
+        match CountryDigest::parse(&text) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                self.skip("country-b:parse", &format!("corrupt digest checkpoint: {e}"));
+                None
+            }
+        }
+    }
+
+    /// Runs every analysis stage of [`ANALYSIS_STAGES`] over `data`, plus
+    /// the [`SCENARIO_STAGES`] the corpus activates (today: `table_ab`
+    /// when a second-country digest is attached).
     pub(crate) fn analyses(&mut self, data: Arc<StudyData>) -> Vec<StageOutput> {
         let mut outputs = Vec::new();
-        for spec in &ANALYSIS_STAGES {
+        let scenario_stages: &[ndt_analysis::StageSpec] =
+            if data.second_country.is_some() { &SCENARIO_STAGES } else { &[] };
+        for spec in ANALYSIS_STAGES.iter().chain(scenario_stages.iter()) {
             let name = spec.name;
             let data = Arc::clone(&data);
             let out = self.stage::<StageOutput>(name, move |_cancel| {
@@ -335,14 +365,24 @@ fn analyse_and_assemble(
     p: &mut Pipeline,
     cfg: &PipelineConfig,
 ) -> (Vec<StageOutput>, String) {
+    let two_country = cfg.sim.scenario.spec().second_country.is_some();
     let outputs = match p.corpus(&cfg.sim) {
         Some(corpus) => {
-            let data = Arc::new(StudyData::from_dataset(corpus));
-            p.analyses(data)
+            let mut data = StudyData::from_dataset(corpus);
+            if two_country {
+                match p.second_country(&cfg.sim) {
+                    Some(digest) => data.second_country = Some(digest),
+                    None => p.skip("table_ab", "country-b digest unavailable"),
+                }
+            }
+            p.analyses(Arc::new(data))
         }
         None => {
             for spec in &ANALYSIS_STAGES {
                 p.skip(spec.name, "corpus incomplete");
+            }
+            if two_country {
+                p.skip("table_ab", "corpus incomplete");
             }
             Vec::new()
         }

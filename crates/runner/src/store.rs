@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread;
 
-use ndt_analysis::{assemble_staged_report, StudyDataBuilder};
+use ndt_analysis::{assemble_staged_report, CountryDigest, StudyDataBuilder};
 use ndt_bq::vectorized::{BatchCol, ColumnarQuery, RowBatch};
 use ndt_bq::Value;
 use ndt_mlab::columnar::{
@@ -57,6 +57,9 @@ pub const STORE_MANIFEST: &str = "STORE.txt";
 pub const QUARANTINE_DIR: &str = ".quarantine";
 /// First line of a valid manifest.
 const MANIFEST_HEADER: &str = "ukraine-ndt store v1";
+/// Second-country digest file (asymmetric scenarios), recorded in the
+/// manifest with a `digest` line.
+pub const COUNTRY_DIGEST_FILE: &str = "country-b.digest.txt";
 /// Writer threads kept in flight while simulation works ahead, split
 /// across the shard workers (at least one each).
 const WRITERS_IN_FLIGHT: usize = 4;
@@ -235,6 +238,40 @@ pub fn run_store_generate(
         ndt_obs::set_gauge("store.encoded_pct_of_raw", pct);
     }
 
+    // Second-country digest (asymmetric scenarios): country B's corpus is
+    // generated, digested and persisted alongside the shards, so the
+    // store read path can render the A/B table without ever re-running a
+    // simulation. With `--resume`, an existing digest that still parses
+    // is kept (it is a pure function of the config the fingerprint pins).
+    let mut digests = Vec::new();
+    if sim_cfg.scenario.spec().second_country.is_some() {
+        let path = store_dir.join(COUNTRY_DIGEST_FILE);
+        let resumable = cfg.resume
+            && vfs
+                .read_to_string(&path)
+                .is_ok_and(|t| CountryDigest::parse(&t).is_ok());
+        if resumable {
+            ndt_obs::incr_process("store.digest_resumed", 1);
+            ndt_obs::info!("[runner] stage country-b: digest validated, resumed");
+            records.push(StageRecord {
+                name: "country-b".to_string(),
+                status: StageStatus::Resumed,
+            });
+        } else {
+            let _span = ndt_obs::span("stage.country-b");
+            let digest = ndt_analysis::second_country_digest(&sim_cfg)
+                .map_err(|e| io::Error::other(e.to_string()))?
+                .ok_or_else(|| io::Error::other("scenario lost its second country"))?;
+            crate::atomic::write_atomic_with(vfs, &path, digest.to_text().as_bytes())?;
+            ndt_obs::incr_process("store.digest_written", 1);
+            records.push(StageRecord {
+                name: "country-b".to_string(),
+                status: StageStatus::Computed,
+            });
+        }
+        digests.push(COUNTRY_DIGEST_FILE.to_string());
+    }
+
     // Manifest last: readers only ever see a complete store.
     let mut manifest = String::new();
     manifest.push_str(MANIFEST_HEADER);
@@ -242,6 +279,9 @@ pub fn run_store_generate(
     manifest.push_str(&format!("fingerprint {fingerprint:016x}\n"));
     for stem in &stems {
         manifest.push_str(&format!("shard {stem}\n"));
+    }
+    for name in &digests {
+        manifest.push_str(&format!("digest {name}\n"));
     }
     crate::atomic::write_atomic_with(vfs, store_dir.join(STORE_MANIFEST), manifest.as_bytes())?;
 
@@ -356,8 +396,16 @@ fn write_shard_files(
     })
 }
 
+/// A parsed store manifest: shard stems (day order) plus any auxiliary
+/// digest files (`digest <name>` lines — the second-country digest of
+/// asymmetric scenarios).
+struct Manifest {
+    stems: Vec<String>,
+    digests: Vec<String>,
+}
+
 /// Parses a store manifest into shard stems (day order).
-fn read_manifest(vfs: &VfsHandle, store_dir: &Path) -> io::Result<Vec<String>> {
+fn read_manifest(vfs: &VfsHandle, store_dir: &Path) -> io::Result<Manifest> {
     let path = store_dir.join(STORE_MANIFEST);
     let text = vfs.read_to_string(&path).map_err(|e| {
         io::Error::new(
@@ -373,12 +421,14 @@ fn read_manifest(vfs: &VfsHandle, store_dir: &Path) -> io::Result<Vec<String>> {
         ));
     }
     let mut stems = Vec::new();
+    let mut digests = Vec::new();
     for line in lines {
         if line.is_empty() || line.starts_with("fingerprint ") {
             continue;
         }
-        match line.strip_prefix("shard ") {
-            Some(stem) if !stem.contains(['/', '\\']) => stems.push(stem.to_string()),
+        match (line.strip_prefix("shard "), line.strip_prefix("digest ")) {
+            (Some(stem), _) if !stem.contains(['/', '\\']) => stems.push(stem.to_string()),
+            (_, Some(name)) if !name.contains(['/', '\\']) => digests.push(name.to_string()),
             _ => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -393,7 +443,7 @@ fn read_manifest(vfs: &VfsHandle, store_dir: &Path) -> io::Result<Vec<String>> {
             format!("{} lists no shards", path.display()),
         ));
     }
-    Ok(stems)
+    Ok(Manifest { stems, digests })
 }
 
 /// Reads the config fingerprint a store's manifest records — the same
@@ -592,18 +642,43 @@ pub fn load_study_data_with(
     engine: ScanEngine,
     threads: usize,
 ) -> io::Result<(ndt_analysis::StudyData, Vec<StageRecord>)> {
-    let stems = read_manifest(vfs, store_dir)?;
+    let manifest = read_manifest(vfs, store_dir)?;
     let _span = ndt_obs::span("stage.store-read");
     let started = std::time::Instant::now();
     let mut metrics = LoadMetrics::default();
-    let (data, records) = match engine {
+    let (mut data, mut records) = match engine {
         ScanEngine::Materialized => {
-            load_materialized(vfs, store_dir, &stems, &mut metrics)?
+            load_materialized(vfs, store_dir, &manifest.stems, &mut metrics)?
         }
         ScanEngine::Vectorized => {
-            load_vectorized(vfs, store_dir, &stems, threads, &mut metrics)?
+            load_vectorized(vfs, store_dir, &manifest.stems, threads, &mut metrics)?
         }
     };
+    // Auxiliary digest files (the second-country digest of asymmetric
+    // scenarios): same degrade-don't-die contract as shards — a missing
+    // or corrupt digest becomes a failed record and the table_ab stage
+    // is simply never scheduled, while the single-country report body
+    // stays intact.
+    for name in &manifest.digests {
+        let path = store_dir.join(name);
+        let parsed = vfs
+            .read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| CountryDigest::parse(&t));
+        match parsed {
+            Ok(digest) => data.second_country = Some(digest),
+            Err(e) => {
+                ndt_obs::incr("store.digests_failed", 1);
+                ndt_obs::error!("[runner] digest {name}: unreadable: {e}");
+                records.push(StageRecord {
+                    name: format!("store:{name}"),
+                    status: StageStatus::Failed(StageError::Failed(format!(
+                        "digest unreadable: {e}"
+                    ))),
+                });
+            }
+        }
+    }
     metrics.publish(engine, started.elapsed());
     Ok((data, records))
 }
@@ -951,6 +1026,60 @@ mod tests {
         // And the repaired store still reports identically.
         let report = run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real()).expect("report");
         assert!(report.is_complete());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn asymmetric_store_carries_the_country_digest() {
+        let d = tmpdir("asym");
+        let sim = SimConfig { scenario: ndt_mlab::sim::Scenario::ASYMMETRIC, ..tiny(47) };
+        let mut cfg = PipelineConfig::new(sim, d.join("out"));
+        cfg.checkpoints = false;
+        let in_memory = run_report(&cfg).expect("in-memory report");
+        assert!(in_memory.is_complete());
+        assert!(
+            in_memory.report.contains("Scenario A/B"),
+            "asymmetric report must carry the two-country table"
+        );
+
+        let store_dir = d.join("store");
+        let (_, records) = run_store_generate(&cfg, &store_dir).expect("store generate");
+        assert!(
+            records
+                .iter()
+                .any(|r| r.name == "country-b" && r.status == StageStatus::Computed),
+            "store generation records the digest stage: {records:?}"
+        );
+        let manifest =
+            std::fs::read_to_string(store_dir.join(STORE_MANIFEST)).expect("manifest");
+        assert!(manifest.contains(&format!("digest {COUNTRY_DIGEST_FILE}")));
+
+        let from_store =
+            run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real())
+                .expect("store report");
+        assert!(from_store.is_complete());
+        assert_eq!(in_memory.report, from_store.report, "A/B report survives the store round-trip");
+        assert_eq!(in_memory.artifacts, from_store.artifacts);
+
+        // Resume validates the persisted digest instead of re-simulating.
+        cfg.resume = true;
+        let (_, r2) = run_store_generate(&cfg, &store_dir).expect("resumed generate");
+        assert!(
+            r2.iter().all(|r| r.status == StageStatus::Resumed),
+            "complete asymmetric store resumes digest too: {r2:?}"
+        );
+
+        // A corrupted digest degrades: failed record, single-country body.
+        std::fs::write(store_dir.join(COUNTRY_DIGEST_FILE), "garbage").expect("corrupt digest");
+        let degraded =
+            run_report_from_store(&store_dir, ExecPolicy::default(), &VfsHandle::real())
+                .expect("degraded report");
+        assert!(!degraded.is_complete());
+        assert!(degraded
+            .records
+            .iter()
+            .any(|r| r.name == format!("store:{COUNTRY_DIGEST_FILE}")));
+        assert!(!degraded.report.contains("Scenario A/B"));
         let _ = std::fs::remove_dir_all(&d);
     }
 

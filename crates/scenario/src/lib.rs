@@ -1,0 +1,48 @@
+//! # ndt-scenario
+//!
+//! Composable, data-driven scenario engine for the `ukraine-ndt`
+//! reproduction of *"The Ukrainian Internet Under Attack: an NDT
+//! Perspective"* (IMC '22).
+//!
+//! The paper's findings are one instantiation of a general shape — a
+//! national topology degraded by a timeline of events. This crate makes
+//! that shape first-class:
+//!
+//! * [`ScenarioSpec`] — a typed, self-contained scenario description:
+//!   event timelines, per-front/per-oblast intensity curves, transit
+//!   decay/flap/re-homing rules, sieges, outages, key-city displacement
+//!   curves, activity spikes, cross-border migration waves, and an
+//!   optional second country for asymmetric comparisons.
+//! * [`Scenario`] — a `Copy` handle into a process-wide registry of
+//!   specs. Built-ins cover the paper's historical war, the three
+//!   counterfactuals, and three related-work scenarios (asymmetric
+//!   two-country, refugee-flow, transit-reroute); users add more with
+//!   `--scenario-file` ([`parse_scenario_file`]).
+//! * [`calendar`] — the study calendar (dates, periods, day indexing),
+//!   moved here from `ndt-conflict` so specs and models share one clock.
+//!
+//! `ndt-conflict`'s damage/displacement/intensity models evaluate specs
+//! rather than hardcoded constants; the built-in `historical` spec
+//! reproduces the original closed-form curves bit for bit. Every
+//! behavioural field participates in [`ScenarioSpec::fingerprint`], which
+//! the runner folds into its checkpoint fingerprint — editing a scenario
+//! file invalidates checkpoints instead of silently resuming stale ones.
+//!
+//! Determinism contract: nothing in a spec may observe thread count,
+//! wall-clock time, or iteration order of unordered containers. Migration
+//! waves, flaps and outages are keyed pure functions of (client address,
+//! day, salt), so every scenario is bit-identical across `--threads` and
+//! kill→resume.
+
+pub mod calendar;
+pub mod file;
+pub mod registry;
+pub mod spec;
+
+pub use file::parse_scenario_file;
+pub use registry::Scenario;
+pub use spec::{
+    front_by_name, front_name, CityCurve, CityOverride, CountrySpec, FlapRule, IntensityCurve,
+    IntensityDecay, IntensitySpec, MigrationWave, OutageRule, ScenarioSpec, SiegeRule, SpikeRule,
+    TimelineEvent, TransitRule,
+};

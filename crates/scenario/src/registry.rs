@@ -1,0 +1,530 @@
+//! The scenario registry: built-in specs, user registration, and the
+//! copyable [`Scenario`] handle the rest of the system passes around.
+//!
+//! Specs live for the whole process (`Box::leak`), so a handle is a plain
+//! `u16` index — `Copy`, hashable, and embeddable in `SimConfig` without
+//! threading lifetimes through every crate. Registration replaces by name,
+//! so `--scenario-file` can shadow a built-in; checkpoint safety comes
+//! from fingerprinting the *resolved spec content*, not the name.
+
+use std::sync::{OnceLock, RwLock};
+
+use crate::calendar::dates;
+use crate::spec::{
+    CityCurve, CityOverride, CountrySpec, FlapRule, IntensityCurve, IntensityDecay, IntensitySpec,
+    MigrationWave, OutageRule, ScenarioSpec, SiegeRule, SpikeRule, TimelineEvent, TransitRule,
+};
+use ndt_geo::{Front, Oblast};
+
+/// Handle to a registered scenario. Stable for the life of the process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario(u16);
+
+impl Scenario {
+    /// The paper's historical timeline (the calibrated war).
+    pub const HISTORICAL: Scenario = Scenario(0);
+    /// Counterfactual: the war never happens.
+    pub const NO_WAR: Scenario = Scenario(1);
+    /// Counterfactual: only edge/access damage, core untouched.
+    pub const EDGE_ONLY: Scenario = Scenario(2);
+    /// Counterfactual: only core/transit damage, edges untouched.
+    pub const CORE_ONLY: Scenario = Scenario(3);
+    /// Asymmetric two-country run: historical Ukraine plus a second,
+    /// more lightly hit national topology simulated side by side.
+    pub const ASYMMETRIC: Scenario = Scenario(4);
+    /// The second country of [`Scenario::ASYMMETRIC`] (runnable alone).
+    pub const ASYMMETRIC_B: Scenario = Scenario(5);
+    /// Historical timeline plus cross-border population migration waves.
+    pub const REFUGEE_FLOW: Scenario = Scenario(6);
+    /// Historical timeline with Cogent permanently re-homing away.
+    pub const TRANSIT_REROUTE: Scenario = Scenario(7);
+
+    /// The spec this handle points at.
+    pub fn spec(self) -> &'static ScenarioSpec {
+        let reg = registry().read().unwrap_or_else(|e| e.into_inner());
+        reg[self.0 as usize]
+    }
+
+    /// The scenario's registry name.
+    pub fn name(self) -> &'static str {
+        &self.spec().name
+    }
+
+    /// Looks up a registered scenario by name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        let reg = registry().read().unwrap_or_else(|e| e.into_inner());
+        reg.iter().position(|s| s.name == name).map(|i| Scenario(i as u16))
+    }
+
+    /// Every registered scenario, in registration order.
+    pub fn all() -> Vec<Scenario> {
+        let reg = registry().read().unwrap_or_else(|e| e.into_inner());
+        (0..reg.len()).map(|i| Scenario(i as u16)).collect()
+    }
+
+    /// Names of every registered scenario, in registration order.
+    pub fn names() -> Vec<&'static str> {
+        let reg = registry().read().unwrap_or_else(|e| e.into_inner());
+        reg.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Registers a spec, replacing any same-named scenario in place (so
+    /// existing handles pick up the new definition) or appending a new
+    /// entry. Returns the handle.
+    pub fn register(spec: ScenarioSpec) -> Scenario {
+        let leaked: &'static ScenarioSpec = Box::leak(Box::new(spec));
+        let mut reg = registry().write().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = reg.iter().position(|s| s.name == leaked.name) {
+            reg[i] = leaked;
+            Scenario(i as u16)
+        } else {
+            reg.push(leaked);
+            Scenario((reg.len() - 1) as u16)
+        }
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn registry() -> &'static RwLock<Vec<&'static ScenarioSpec>> {
+    static REGISTRY: OnceLock<RwLock<Vec<&'static ScenarioSpec>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let builtins: Vec<&'static ScenarioSpec> = builtin_specs()
+            .into_iter()
+            .map(|s| &*Box::leak(Box::new(s)))
+            .collect();
+        RwLock::new(builtins)
+    })
+}
+
+/// The historical key-event timeline (mirrors `ndt-conflict`'s
+/// `key_events`, which remains the typed source of truth).
+fn historical_timeline() -> Vec<TimelineEvent> {
+    let ev = |d: crate::calendar::Date, label: &str| TimelineEvent {
+        day: d.day_index(),
+        label: label.to_string(),
+    };
+    vec![
+        ev(dates::INVASION, "Russia begins large-scale invasion of Ukraine"),
+        ev(dates::MARIUPOL_ENCIRCLED, "Russian forces surround Mariupol"),
+        ev(
+            dates::NATIONAL_OUTAGES,
+            "Ukrtelecom down nationally 40 min; Triolan down 12+ h after cyberattack",
+        ),
+        ev(
+            dates::KHARKIV_SHELLING,
+            "Kharkiv struck 65 times; 600+ residential buildings destroyed",
+        ),
+        ev(dates::KYIV_REGAINED, "Ukraine regains Kyiv axis; Russian withdrawal from the north"),
+        ev(dates::STUDY_END, "Missile bombardment of Lviv"),
+    ]
+}
+
+/// The calibrated historical intensity model (bit-identical to the
+/// pre-refactor closed-form curves in `ndt-conflict::intensity`).
+fn historical_intensity() -> IntensitySpec {
+    let invasion = dates::INVASION.day_index();
+    IntensitySpec {
+        start_day: invasion,
+        ramp_days: 5.0,
+        north: IntensityCurve {
+            peak: 0.9,
+            step: None,
+            decay: Some(IntensityDecay {
+                after: dates::KYIV_REGAINED.day_index(),
+                floor: 0.35,
+                tau: 3.0,
+            }),
+        },
+        east: IntensityCurve::flat(0.95),
+        south: IntensityCurve::flat(0.80),
+        center: IntensityCurve::flat(0.20),
+        west: IntensityCurve::flat(0.05),
+        occupied: IntensityCurve::flat(0.10),
+        overrides: vec![
+            (
+                Oblast::Kharkiv,
+                IntensityCurve {
+                    peak: 0.95,
+                    step: Some((dates::KHARKIV_SHELLING.day_index(), 1.0)),
+                    decay: None,
+                },
+            ),
+            (Oblast::Odessa, IntensityCurve::flat(0.30)),
+            (Oblast::Lviv, IntensityCurve::flat(0.08)),
+        ],
+    }
+}
+
+/// AS numbers of the border/transit networks the historical scenario
+/// degrades (shared with `ndt-topology`'s catalog).
+const AS6663: u32 = 6663;
+const COGENT: u32 = 174;
+const UKRTELECOM_TRANSIT: u32 = 6849;
+const TRIOLAN: u32 = 13188;
+
+/// The historical border-decay rules (bit-identical to the pre-refactor
+/// `border_damage` schedule).
+fn historical_transit() -> Vec<TransitRule> {
+    vec![
+        TransitRule {
+            asn: AS6663,
+            loss_coeff: 0.035,
+            latency_coeff: 1.5,
+            ramp_days: 54.0,
+            flaps: vec![
+                FlapRule { from: 7, to: 14, modulo: 3, remainder: 0, invert: false },
+                FlapRule { from: 14, to: 28, modulo: 4, remainder: 0, invert: false },
+                FlapRule { from: 28, to: 35, modulo: 2, remainder: 0, invert: false },
+                FlapRule { from: 35, to: i64::MAX, modulo: 4, remainder: 0, invert: true },
+            ],
+            down_after: None,
+        },
+        TransitRule {
+            asn: COGENT,
+            loss_coeff: 0.005,
+            latency_coeff: 0.15,
+            ramp_days: 54.0,
+            flaps: vec![
+                FlapRule { from: 10, to: 30, modulo: 4, remainder: 0, invert: false },
+                FlapRule { from: 30, to: i64::MAX, modulo: 2, remainder: 0, invert: false },
+            ],
+            down_after: None,
+        },
+    ]
+}
+
+fn historical_sieges() -> Vec<SiegeRule> {
+    vec![SiegeRule {
+        city: "Mariupol".to_string(),
+        from_day: dates::MARIUPOL_ENCIRCLED.day_index(),
+        tput_mult: 0.55,
+        rtt_mult: 1.0,
+        loss_mult: 2.5,
+    }]
+}
+
+fn historical_outages() -> Vec<OutageRule> {
+    let mar10 = dates::NATIONAL_OUTAGES.day_index();
+    vec![
+        OutageRule { day: mar10, asn: UKRTELECOM_TRANSIT, down_fraction: 40.0 / (24.0 * 60.0) },
+        OutageRule { day: mar10, asn: TRIOLAN, down_fraction: 0.55 },
+        OutageRule { day: mar10 + 1, asn: TRIOLAN, down_fraction: 0.8 },
+    ]
+}
+
+/// The historical key-city displacement curves (bit-identical to the
+/// pre-refactor `displacement::override_curve`).
+fn historical_curves() -> Vec<CityOverride> {
+    let invasion = dates::INVASION.day_index();
+    let siege = (dates::MARIUPOL_ENCIRCLED.day_index() - invasion) as f64;
+    let shell = (dates::KHARKIV_SHELLING.day_index() - invasion) as f64;
+    vec![
+        CityOverride {
+            city: "Mariupol".to_string(),
+            curve: CityCurve::DecayAfter { after: siege, floor: 0.0, coeff: 1.0, tau: 3.0, clamp_min: 0.01 },
+        },
+        CityOverride {
+            city: "Kharkiv".to_string(),
+            curve: CityCurve::DecayAfter { after: shell, floor: 0.45, coeff: 0.55, tau: 2.0, clamp_min: 0.0 },
+        },
+        CityOverride {
+            city: "Lviv".to_string(),
+            curve: CityCurve::Ramp { gain: 0.51, tau: 20.0 },
+        },
+        CityOverride {
+            city: "Kyiv".to_string(),
+            curve: CityCurve::Ramp { gain: -0.17, tau: 10.0 },
+        },
+    ]
+}
+
+fn historical_spikes() -> Vec<SpikeRule> {
+    let invasion = dates::INVASION.day_index();
+    let mar10 = dates::NATIONAL_OUTAGES.day_index();
+    vec![
+        SpikeRule { from: mar10, to: mar10 + 1, mult: 1.9 },
+        SpikeRule { from: mar10 + 1, to: mar10 + 2, mult: 1.45 },
+        SpikeRule { from: invasion, to: invasion + 3, mult: 1.20 },
+    ]
+}
+
+/// The complete historical spec, used as the base most scenarios derive
+/// from.
+fn historical() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "historical".to_string(),
+        summary: "the paper's calibrated war timeline: full edge + core damage and displacement"
+            .to_string(),
+        timeline: historical_timeline(),
+        edge_damage: true,
+        core_damage: true,
+        displacement: true,
+        damage_attenuation: 1.0,
+        intensity: historical_intensity(),
+        transit: historical_transit(),
+        sieges: historical_sieges(),
+        outages: historical_outages(),
+        curves: historical_curves(),
+        spikes: historical_spikes(),
+        migrations: Vec::new(),
+        second_country: None,
+    }
+}
+
+fn builtin_specs() -> Vec<ScenarioSpec> {
+    let invasion = dates::INVASION.day_index();
+
+    let no_war = ScenarioSpec {
+        name: "no-war".to_string(),
+        summary: "counterfactual: the invasion never happens; 2022 behaves like the baseline"
+            .to_string(),
+        timeline: Vec::new(),
+        edge_damage: false,
+        core_damage: false,
+        displacement: false,
+        ..historical()
+    };
+
+    let edge_only = ScenarioSpec {
+        name: "edge-only".to_string(),
+        summary: "counterfactual: access-network damage and displacement only; transit core intact"
+            .to_string(),
+        edge_damage: true,
+        core_damage: false,
+        displacement: true,
+        ..historical()
+    };
+
+    let core_only = ScenarioSpec {
+        name: "core-only".to_string(),
+        summary: "counterfactual: border/transit decay and outages only; access networks intact"
+            .to_string(),
+        edge_damage: false,
+        core_damage: true,
+        displacement: true,
+        ..historical()
+    };
+
+    // The second country of the asymmetric run: same calendar, but hit far
+    // more lightly — intensity peaks scaled down, damage-profile deltas
+    // attenuated, a single milder border rule, no sieges/outages/
+    // displacement (Mizrahi, arXiv:2205.08912).
+    let scale_curve = |c: IntensityCurve, k: f64| IntensityCurve {
+        peak: c.peak * k,
+        step: c.step.map(|(d, v)| (d, v * k)),
+        decay: c.decay.map(|d| IntensityDecay { floor: d.floor * k, ..d }),
+    };
+    let hist_int = historical_intensity();
+    let asymmetric_b = ScenarioSpec {
+        name: "asymmetric-b".to_string(),
+        summary: "the lightly-hit second country of the asymmetric pair: attenuated damage, no displacement"
+            .to_string(),
+        timeline: vec![TimelineEvent {
+            day: invasion,
+            label: "Spillover pressure begins on the neighbouring country".to_string(),
+        }],
+        edge_damage: true,
+        core_damage: true,
+        displacement: false,
+        damage_attenuation: 0.45,
+        intensity: IntensitySpec {
+            north: scale_curve(hist_int.north, 0.35),
+            east: scale_curve(hist_int.east, 0.35),
+            south: scale_curve(hist_int.south, 0.35),
+            center: scale_curve(hist_int.center, 0.35),
+            west: scale_curve(hist_int.west, 0.35),
+            occupied: scale_curve(hist_int.occupied, 0.35),
+            overrides: hist_int
+                .overrides
+                .iter()
+                .map(|(o, c)| (*o, scale_curve(*c, 0.35)))
+                .collect(),
+            ..hist_int
+        },
+        transit: vec![TransitRule {
+            asn: COGENT,
+            loss_coeff: 0.002,
+            latency_coeff: 0.05,
+            ramp_days: 54.0,
+            flaps: Vec::new(),
+            down_after: None,
+        }],
+        sieges: Vec::new(),
+        outages: Vec::new(),
+        curves: Vec::new(),
+        spikes: Vec::new(),
+        migrations: Vec::new(),
+        second_country: None,
+    };
+
+    let mut asymmetric = historical();
+    asymmetric.name = "asymmetric".to_string();
+    asymmetric.summary =
+        "two-country run: historical Ukraine plus a lightly-hit second national topology, compared side by side"
+            .to_string();
+    asymmetric.timeline.push(TimelineEvent {
+        day: invasion,
+        label: "Second country (country-b) simulated side by side under asymmetric-b".to_string(),
+    });
+    asymmetric.second_country = Some(CountrySpec {
+        name: "country-b".to_string(),
+        scenario: "asymmetric-b".to_string(),
+        seed_salt: 0x00b5_1de2_ca11_ab1e,
+        scale_mult: 0.6,
+    });
+
+    let mut refugee_flow = historical();
+    refugee_flow.name = "refugee-flow".to_string();
+    refugee_flow.summary =
+        "historical timeline plus client populations migrating west and abroad, visible in the geo/AS mix"
+            .to_string();
+    refugee_flow.migrations = vec![
+        MigrationWave {
+            from_front: Front::East,
+            dest_city: Some("Lviv".to_string()),
+            fraction: 0.18,
+            start_day: invasion + 3,
+            window_days: 18,
+            salt: 0x5eed_ea57_0001,
+        },
+        MigrationWave {
+            from_front: Front::North,
+            dest_city: None,
+            fraction: 0.12,
+            start_day: invasion + 5,
+            window_days: 21,
+            salt: 0x5eed_0a0b_0002,
+        },
+        MigrationWave {
+            from_front: Front::South,
+            dest_city: None,
+            fraction: 0.10,
+            start_day: invasion + 7,
+            window_days: 25,
+            salt: 0x5eed_50a1_0003,
+        },
+    ];
+    refugee_flow.timeline.push(TimelineEvent {
+        day: invasion + 3,
+        label: "Refugee waves begin: east→Lviv, north/south→abroad".to_string(),
+    });
+
+    let mut transit_reroute = historical();
+    transit_reroute.name = "transit-reroute".to_string();
+    transit_reroute.summary =
+        "historical timeline with Cogent permanently re-homing away from Ukrainian transit on day 20"
+            .to_string();
+    for rule in &mut transit_reroute.transit {
+        if rule.asn == COGENT {
+            rule.down_after = Some(20);
+        }
+    }
+    transit_reroute.timeline.push(TimelineEvent {
+        day: invasion + 20,
+        label: "Cogent withdraws for good; traffic re-homes toward Hurricane Electric".to_string(),
+    });
+
+    vec![
+        historical(),
+        no_war,
+        edge_only,
+        core_only,
+        asymmetric,
+        asymmetric_b,
+        refugee_flow,
+        transit_reroute,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_handles_resolve_to_their_names() {
+        assert_eq!(Scenario::HISTORICAL.name(), "historical");
+        assert_eq!(Scenario::NO_WAR.name(), "no-war");
+        assert_eq!(Scenario::EDGE_ONLY.name(), "edge-only");
+        assert_eq!(Scenario::CORE_ONLY.name(), "core-only");
+        assert_eq!(Scenario::ASYMMETRIC.name(), "asymmetric");
+        assert_eq!(Scenario::ASYMMETRIC_B.name(), "asymmetric-b");
+        assert_eq!(Scenario::REFUGEE_FLOW.name(), "refugee-flow");
+        assert_eq!(Scenario::TRANSIT_REROUTE.name(), "transit-reroute");
+    }
+
+    #[test]
+    fn by_name_round_trips_every_builtin() {
+        for sc in Scenario::all() {
+            assert_eq!(Scenario::by_name(sc.name()), Some(sc));
+        }
+        assert_eq!(Scenario::by_name("blitz"), None);
+    }
+
+    #[test]
+    fn fingerprints_are_distinct_across_builtins() {
+        let mut seen = std::collections::HashSet::new();
+        for sc in Scenario::all() {
+            assert!(
+                seen.insert(sc.spec().fingerprint()),
+                "duplicate fingerprint for {:?}",
+                sc
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_behavioural_edits_but_not_display_fields() {
+        let base = Scenario::HISTORICAL.spec();
+        let fp = base.fingerprint();
+
+        let mut display = base.clone();
+        display.summary = "reworded".to_string();
+        display.timeline.clear();
+        assert_eq!(display.fingerprint(), fp, "summary/timeline are display-only");
+
+        let mut behaviour = base.clone();
+        behaviour.damage_attenuation = 0.9;
+        assert_ne!(behaviour.fingerprint(), fp);
+
+        let mut intensity = base.clone();
+        intensity.intensity.east.peak = 0.96;
+        assert_ne!(intensity.fingerprint(), fp);
+    }
+
+    #[test]
+    fn register_replaces_by_name_in_place() {
+        let mut spec = Scenario::HISTORICAL.spec().clone();
+        spec.name = "registry-test-scenario".to_string();
+        let h1 = Scenario::register(spec.clone());
+        spec.damage_attenuation = 0.5;
+        let h2 = Scenario::register(spec);
+        assert_eq!(h1, h2, "same name must reuse the slot");
+        assert_eq!(h1.spec().damage_attenuation, 0.5);
+    }
+
+    #[test]
+    fn historical_intensity_matches_paper_shape() {
+        let spec = Scenario::HISTORICAL.spec();
+        let invasion = dates::INVASION.day_index();
+        assert_eq!(spec.intensity.at(Oblast::Kharkiv, invasion - 1), 0.0);
+        let peak = dates::MAX_OCCUPATION.day_index();
+        let east = spec.intensity.at(Oblast::Donetsk, peak);
+        let west = spec.intensity.at(Oblast::Volyn, peak);
+        assert!(east > 0.9 && west < 0.1, "east {east} west {west}");
+    }
+
+    #[test]
+    fn transit_reroute_differs_only_in_cogent_permanence() {
+        let hist = Scenario::HISTORICAL.spec();
+        let rr = Scenario::TRANSIT_REROUTE.spec();
+        assert_eq!(hist.transit.len(), rr.transit.len());
+        let cogent = rr.transit.iter().find(|t| t.asn == COGENT).expect("cogent rule");
+        assert_eq!(cogent.down_after, Some(20));
+        assert!(hist.transit.iter().all(|t| t.down_after.is_none()));
+    }
+}

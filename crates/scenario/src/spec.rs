@@ -1,0 +1,514 @@
+//! The typed scenario specification.
+//!
+//! A [`ScenarioSpec`] is a complete, data-driven description of one
+//! counterfactual world: which damage processes run (edge / core /
+//! displacement), how conflict intensity evolves per military front and
+//! per oblast, which border ASes decay/flap/re-home, which cities are
+//! besieged, when transit outages strike, how populations migrate, and
+//! optionally a *second country* to simulate side by side.
+//!
+//! The historical scenario (the paper's war) is expressed entirely in this
+//! vocabulary — `ndt-conflict`'s model functions evaluate specs rather than
+//! hardcoded constants, and the built-in `historical` spec reproduces the
+//! pre-refactor curves bit for bit (the evaluation functions here use the
+//! exact same floating-point operation order as the original closed-form
+//! code).
+//!
+//! Every behavioural field participates in [`ScenarioSpec::fingerprint`],
+//! an FNV-1a content hash over a canonical byte encoding. The runner folds
+//! this hash into its config fingerprint, so *editing a scenario file
+//! invalidates checkpoints* even when the scenario name is unchanged.
+//! Display-only fields (`summary`, `timeline`) are deliberately excluded.
+
+use crate::calendar::Period;
+use ndt_geo::{Front, Oblast};
+
+/// One named milestone of a scenario, for `scenario show` output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Day index (days since 2021-01-01).
+    pub day: i64,
+    /// Human-readable description.
+    pub label: String,
+}
+
+/// Exponential step-down of an intensity curve after a date (the Kyiv-axis
+/// withdrawal shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntensityDecay {
+    /// Absolute day index the decay starts.
+    pub after: i64,
+    /// Asymptotic floor the curve decays towards.
+    pub floor: f64,
+    /// Decay time constant in days.
+    pub tau: f64,
+}
+
+/// Daily conflict-intensity curve for one front (or one oblast override).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntensityCurve {
+    /// Base intensity while the front is fully engaged.
+    pub peak: f64,
+    /// Optional step: from `(day, value)` on, the base becomes `value`
+    /// (the Kharkiv mass-shelling surge shape).
+    pub step: Option<(i64, f64)>,
+    /// Optional exponential step-down (the Kyiv withdrawal shape).
+    /// Evaluated after `step`, so a curve uses one or the other.
+    pub decay: Option<IntensityDecay>,
+}
+
+impl IntensityCurve {
+    /// A flat curve at `peak`.
+    pub const fn flat(peak: f64) -> Self {
+        IntensityCurve { peak, step: None, decay: None }
+    }
+
+    /// The curve's base value on an absolute day (before the onset ramp).
+    pub fn eval(&self, day: i64) -> f64 {
+        let mut base = self.peak;
+        if let Some((step_day, to)) = self.step {
+            if day >= step_day {
+                base = to;
+            }
+        }
+        if let Some(d) = self.decay {
+            if day >= d.after {
+                let dt = (day - d.after) as f64;
+                base = d.floor + (self.peak - d.floor) * (-dt / d.tau).exp();
+            }
+        }
+        base
+    }
+}
+
+/// Per-oblast daily conflict intensity: a start day, an onset ramp, one
+/// curve per military front, and per-oblast override curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntensitySpec {
+    /// Day index the conflict starts; intensity is 0 strictly before it.
+    pub start_day: i64,
+    /// Onset ramp length in days (`min(t / ramp_days, 1)` multiplies the
+    /// curve value, `t` = days since `start_day`).
+    pub ramp_days: f64,
+    pub north: IntensityCurve,
+    pub east: IntensityCurve,
+    pub south: IntensityCurve,
+    pub center: IntensityCurve,
+    pub west: IntensityCurve,
+    pub occupied: IntensityCurve,
+    /// Oblast-specific curves taking precedence over the front curves.
+    pub overrides: Vec<(Oblast, IntensityCurve)>,
+}
+
+impl IntensitySpec {
+    /// The curve for a front.
+    pub fn front_curve(&self, front: Front) -> &IntensityCurve {
+        match front {
+            Front::North => &self.north,
+            Front::East => &self.east,
+            Front::South => &self.south,
+            Front::Center => &self.center,
+            Front::West => &self.west,
+            Front::Occupied => &self.occupied,
+        }
+    }
+
+    /// Conflict intensity for `oblast` on `day` (day index since
+    /// 2021-01-01). Zero strictly before `start_day`.
+    pub fn at(&self, oblast: Oblast, day: i64) -> f64 {
+        if day < self.start_day {
+            return 0.0;
+        }
+        let t = (day - self.start_day) as f64;
+        let ramp = (t / self.ramp_days).min(1.0);
+        let curve = self
+            .overrides
+            .iter()
+            .find(|(o, _)| *o == oblast)
+            .map(|(_, c)| c)
+            .unwrap_or_else(|| self.front_curve(oblast.front()));
+        curve.eval(day) * ramp
+    }
+
+    /// Mean intensity over the paper's 54 wartime days.
+    pub fn wartime_mean(&self, oblast: Oblast) -> f64 {
+        let (s, e) = Period::Wartime2022.day_range();
+        (s..e).map(|d| self.at(oblast, d)).sum::<f64>() / (e - s) as f64
+    }
+}
+
+/// One modular availability window of a transit rule: the rule's AS is
+/// withdrawn on day-since-start `ti` when `from <= ti < to` and
+/// `(ti % modulo == remainder) != invert`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlapRule {
+    pub from: i64,
+    /// Exclusive upper bound (`i64::MAX` = open-ended).
+    pub to: i64,
+    pub modulo: i64,
+    pub remainder: i64,
+    /// Inverts the modular test ("down except every Nth day").
+    pub invert: bool,
+}
+
+impl FlapRule {
+    /// Whether the adjacency is withdrawn on day-since-start `ti`.
+    pub fn matches(&self, ti: i64) -> bool {
+        (self.from..self.to).contains(&ti)
+            && ((ti.rem_euclid(self.modulo.max(1)) == self.remainder) != self.invert)
+    }
+}
+
+/// Progressive decay + availability schedule of one border/transit AS's
+/// Ukrainian adjacencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitRule {
+    /// The AS, as a raw AS number.
+    pub asn: u32,
+    /// Additive loss reaches `loss_coeff` at full ramp.
+    pub loss_coeff: f64,
+    /// Latency multiplier reaches `1 + latency_coeff` at full ramp.
+    pub latency_coeff: f64,
+    /// Days over which the decay ramps to full.
+    pub ramp_days: f64,
+    /// Withdrawal (flap) schedule.
+    pub flaps: Vec<FlapRule>,
+    /// Permanent withdrawal from this day-since-start on (an operator
+    /// re-homing its transit away for good, per Haq et al. 2305.17666).
+    pub down_after: Option<i64>,
+}
+
+/// A city under siege from `from_day`: extra edge damage multiplied on top
+/// of the regional profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiegeRule {
+    pub city: String,
+    pub from_day: i64,
+    pub tput_mult: f64,
+    pub rtt_mult: f64,
+    pub loss_mult: f64,
+}
+
+/// A transit-network outage on one day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageRule {
+    pub day: i64,
+    /// Raw AS number of the affected network.
+    pub asn: u32,
+    /// Fraction of the day the network was unreachable.
+    pub down_fraction: f64,
+}
+
+/// Shape of a key-city activity override curve (argument `t` = days since
+/// the scenario start).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CityCurve {
+    /// 1.0 until `after`, then `max(floor + coeff * exp(-(t-after)/tau),
+    /// clamp_min)` — the Mariupol-collapse / Kharkiv-step shapes.
+    DecayAfter { after: f64, floor: f64, coeff: f64, tau: f64, clamp_min: f64 },
+    /// `1 + gain * min(t/tau, 1)` — the Lviv-influx / Kyiv-exodus shapes.
+    Ramp { gain: f64, tau: f64 },
+}
+
+impl CityCurve {
+    /// Evaluates the curve at `t` days since the scenario start.
+    pub fn eval(&self, t: f64) -> f64 {
+        match *self {
+            CityCurve::DecayAfter { after, floor, coeff, tau, clamp_min } => {
+                if t < after {
+                    1.0
+                } else {
+                    (floor + coeff * (-(t - after) / tau).exp()).max(clamp_min)
+                }
+            }
+            CityCurve::Ramp { gain, tau } => 1.0 + gain * (t / tau).min(1.0),
+        }
+    }
+}
+
+/// A key-city activity override.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityOverride {
+    pub city: String,
+    pub curve: CityCurve,
+}
+
+/// Behavioural test-count spike window: days in `[from, to)` multiply
+/// activity by `mult`. First matching rule wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeRule {
+    pub from: i64,
+    pub to: i64,
+    pub mult: f64,
+}
+
+/// One wave of population migration: a fraction of the clients living on a
+/// front relocates (or leaves the country) over a window of days.
+///
+/// Participation and the per-client migration day are pure functions of
+/// `(client address, salt)`, so waves are bit-identical across thread
+/// counts and shard boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationWave {
+    /// Clients whose home oblast is on this front participate.
+    pub from_front: Front,
+    /// Destination city by name; `None` = the client leaves the country
+    /// (stops producing tests in the national sample).
+    pub dest_city: Option<String>,
+    /// Fraction of the front's clients that migrate, in `[0, 1]`.
+    pub fraction: f64,
+    /// First possible migration day (absolute day index).
+    pub start_day: i64,
+    /// Migration days spread uniformly over `[start_day, start_day +
+    /// window_days)`.
+    pub window_days: i64,
+    /// Salt for the per-client participation/timing hash.
+    pub salt: u64,
+}
+
+/// A second national topology simulated side by side for asymmetric
+/// two-country comparisons (Mizrahi, arXiv:2205.08912).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountrySpec {
+    /// Display name of the second country.
+    pub name: String,
+    /// Scenario (by registered name) the second country runs under.
+    pub scenario: String,
+    /// XORed into the primary seed so the two populations are independent.
+    pub seed_salt: u64,
+    /// The second country's corpus scale relative to the primary run.
+    pub scale_mult: f64,
+}
+
+/// A complete, self-contained scenario description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Registry name (`--scenario NAME`).
+    pub name: String,
+    /// One-line description for `scenario list`.
+    pub summary: String,
+    /// Milestones for `scenario show` (display only, not fingerprinted).
+    pub timeline: Vec<TimelineEvent>,
+    /// Edge damage: per-client profile degradation, sieges, local churn.
+    pub edge_damage: bool,
+    /// Core damage: border decay, transit flaps, outages.
+    pub core_damage: bool,
+    /// Displacement: city activity curves, count spikes, migrations.
+    pub displacement: bool,
+    /// Scales the damage-profile deltas towards identity (1.0 = the full
+    /// calibrated Table 3/4 targets; 0.5 = half the deviation). Lets a
+    /// spec describe a milder or harsher war without re-deriving targets.
+    pub damage_attenuation: f64,
+    pub intensity: IntensitySpec,
+    pub transit: Vec<TransitRule>,
+    pub sieges: Vec<SiegeRule>,
+    pub outages: Vec<OutageRule>,
+    /// Key-city displacement override curves.
+    pub curves: Vec<CityOverride>,
+    pub spikes: Vec<SpikeRule>,
+    pub migrations: Vec<MigrationWave>,
+    pub second_country: Option<CountrySpec>,
+}
+
+impl ScenarioSpec {
+    /// Activity spike multiplier on `day` (first matching rule, else 1).
+    pub fn spike(&self, day: i64) -> f64 {
+        self.spikes
+            .iter()
+            .find(|s| (s.from..s.to).contains(&day))
+            .map(|s| s.mult)
+            .unwrap_or(1.0)
+    }
+
+    /// The siege rule active for `city` on `day`, if any.
+    pub fn siege(&self, city: &str, day: i64) -> Option<&SiegeRule> {
+        self.sieges.iter().find(|s| s.city == city && day >= s.from_day)
+    }
+
+    /// The city override curve for `city`, if any.
+    pub fn city_override(&self, city: &str) -> Option<&CityCurve> {
+        self.curves.iter().find(|c| c.city == city).map(|c| &c.curve)
+    }
+
+    /// FNV-1a content hash over the canonical encoding of every
+    /// behavioural field. Two specs with the same fingerprint generate the
+    /// same world; an edited scenario file changes the fingerprint and so
+    /// invalidates checkpoints keyed on it.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_at(0)
+    }
+
+    fn fingerprint_at(&self, depth: u8) -> u64 {
+        let mut buf = Vec::with_capacity(512);
+        put_str(&mut buf, &self.name);
+        buf.push(self.edge_damage as u8);
+        buf.push(self.core_damage as u8);
+        buf.push(self.displacement as u8);
+        put_f64(&mut buf, self.damage_attenuation);
+        put_i64(&mut buf, self.intensity.start_day);
+        put_f64(&mut buf, self.intensity.ramp_days);
+        for front in [Front::North, Front::East, Front::South, Front::Center, Front::West, Front::Occupied] {
+            put_curve(&mut buf, self.intensity.front_curve(front));
+        }
+        put_u64(&mut buf, self.intensity.overrides.len() as u64);
+        for (oblast, curve) in &self.intensity.overrides {
+            put_str(&mut buf, oblast.name());
+            put_curve(&mut buf, curve);
+        }
+        put_u64(&mut buf, self.transit.len() as u64);
+        for t in &self.transit {
+            put_u64(&mut buf, t.asn as u64);
+            put_f64(&mut buf, t.loss_coeff);
+            put_f64(&mut buf, t.latency_coeff);
+            put_f64(&mut buf, t.ramp_days);
+            put_u64(&mut buf, t.flaps.len() as u64);
+            for f in &t.flaps {
+                put_i64(&mut buf, f.from);
+                put_i64(&mut buf, f.to);
+                put_i64(&mut buf, f.modulo);
+                put_i64(&mut buf, f.remainder);
+                buf.push(f.invert as u8);
+            }
+            put_i64(&mut buf, t.down_after.unwrap_or(i64::MIN));
+        }
+        put_u64(&mut buf, self.sieges.len() as u64);
+        for s in &self.sieges {
+            put_str(&mut buf, &s.city);
+            put_i64(&mut buf, s.from_day);
+            put_f64(&mut buf, s.tput_mult);
+            put_f64(&mut buf, s.rtt_mult);
+            put_f64(&mut buf, s.loss_mult);
+        }
+        put_u64(&mut buf, self.outages.len() as u64);
+        for o in &self.outages {
+            put_i64(&mut buf, o.day);
+            put_u64(&mut buf, o.asn as u64);
+            put_f64(&mut buf, o.down_fraction);
+        }
+        put_u64(&mut buf, self.curves.len() as u64);
+        for c in &self.curves {
+            put_str(&mut buf, &c.city);
+            match c.curve {
+                CityCurve::DecayAfter { after, floor, coeff, tau, clamp_min } => {
+                    buf.push(0);
+                    for v in [after, floor, coeff, tau, clamp_min] {
+                        put_f64(&mut buf, v);
+                    }
+                }
+                CityCurve::Ramp { gain, tau } => {
+                    buf.push(1);
+                    put_f64(&mut buf, gain);
+                    put_f64(&mut buf, tau);
+                }
+            }
+        }
+        put_u64(&mut buf, self.spikes.len() as u64);
+        for s in &self.spikes {
+            put_i64(&mut buf, s.from);
+            put_i64(&mut buf, s.to);
+            put_f64(&mut buf, s.mult);
+        }
+        put_u64(&mut buf, self.migrations.len() as u64);
+        for m in &self.migrations {
+            put_str(&mut buf, front_name(m.from_front));
+            put_str(&mut buf, m.dest_city.as_deref().unwrap_or(""));
+            put_f64(&mut buf, m.fraction);
+            put_i64(&mut buf, m.start_day);
+            put_i64(&mut buf, m.window_days);
+            put_u64(&mut buf, m.salt);
+        }
+        match &self.second_country {
+            None => buf.push(0),
+            Some(cs) => {
+                buf.push(1);
+                put_str(&mut buf, &cs.name);
+                put_str(&mut buf, &cs.scenario);
+                put_u64(&mut buf, cs.seed_salt);
+                put_f64(&mut buf, cs.scale_mult);
+                // Fold in the resolved second-country spec so editing *its*
+                // definition also invalidates checkpoints. Depth-guarded:
+                // a second country cannot itself nest a third.
+                if depth == 0 {
+                    if let Some(b) = crate::Scenario::by_name(&cs.scenario) {
+                        put_u64(&mut buf, b.spec().fingerprint_at(1));
+                    }
+                }
+            }
+        }
+        fnv1a64(&buf)
+    }
+}
+
+/// Display name of a front (stable; used in scenario files and hashes).
+pub fn front_name(front: Front) -> &'static str {
+    match front {
+        Front::North => "north",
+        Front::East => "east",
+        Front::South => "south",
+        Front::Center => "center",
+        Front::West => "west",
+        Front::Occupied => "occupied",
+    }
+}
+
+/// Parses a front name as written in scenario files.
+pub fn front_by_name(name: &str) -> Option<Front> {
+    match name.to_ascii_lowercase().as_str() {
+        "north" => Some(Front::North),
+        "east" => Some(Front::East),
+        "south" => Some(Front::South),
+        "center" => Some(Front::Center),
+        "west" => Some(Front::West),
+        "occupied" => Some(Front::Occupied),
+        _ => None,
+    }
+}
+
+fn put_curve(buf: &mut Vec<u8>, c: &IntensityCurve) {
+    put_f64(buf, c.peak);
+    match c.step {
+        None => buf.push(0),
+        Some((d, v)) => {
+            buf.push(1);
+            put_i64(buf, d);
+            put_f64(buf, v);
+        }
+    }
+    match c.decay {
+        None => buf.push(0),
+        Some(d) => {
+            buf.push(1);
+            put_i64(buf, d.after);
+            put_f64(buf, d.floor);
+            put_f64(buf, d.tau);
+        }
+    }
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// FNV-1a over a byte slice (the same algorithm `ndt_store::wire` uses;
+/// duplicated here so the scenario crate stays dependency-light).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -13,10 +13,10 @@ use ukraine_ndt::prelude::*;
 
 fn main() {
     let scenarios = [
-        ("historical", Scenario::Historical),
-        ("no-war", Scenario::NoWar),
-        ("edge-only", Scenario::EdgeDamageOnly),
-        ("core-only", Scenario::CoreDamageOnly),
+        ("historical", Scenario::HISTORICAL),
+        ("no-war", Scenario::NO_WAR),
+        ("edge-only", Scenario::EDGE_ONLY),
+        ("core-only", Scenario::CORE_ONLY),
     ];
     println!("scenario     loss ratio   tput ratio   rtt ratio   d(paths/conn)");
     println!("----------------------------------------------------------------");

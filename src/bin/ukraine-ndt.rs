@@ -40,7 +40,13 @@
 //! identical between a clean run and a kill→resume run; only wall-clock
 //! durations vary.
 //!
-//! Scenarios: `historical` (default), `no-war`, `edge-only`, `core-only`.
+//! Scenarios are resolved by name against the `ndt-scenario` registry:
+//! `historical` (default), `no-war`, `edge-only`, `core-only`,
+//! `asymmetric`, `refugee-flow`, `transit-reroute`, plus anything
+//! registered from a `--scenario-file PATH` scenario file (see
+//! `DESIGN.md` §17 for the format). `ukraine-ndt scenario list` prints
+//! the registry; `ukraine-ndt scenario show NAME` prints one spec's
+//! summary, event timeline and behavioural knobs.
 //! Fault plans: `none` (default), `light`, `moderate`, `severe`,
 //! `sidecar-blackout` — deterministic platform-fault injection; degraded
 //! results carry coverage annotations instead of failing.
@@ -68,6 +74,7 @@ use std::process::ExitCode;
 use ukraine_ndt::conflict::calendar::dates;
 use ukraine_ndt::mlab::Scenario;
 use ukraine_ndt::prelude::*;
+use ukraine_ndt::scenario::parse_scenario_file;
 use ukraine_ndt::runner::{
     load_study_data, read_store_fingerprint, run_export, run_generate, run_report,
     run_report_from_store_with, run_store_generate, AtomicFile, ExecPolicy, ScanEngine,
@@ -139,7 +146,7 @@ impl Default for Options {
         Self {
             scale: 0.15,
             seed: 2022,
-            scenario: Scenario::Historical,
+            scenario: Scenario::HISTORICAL,
             faults: FaultPlan::NONE,
             out: PathBuf::from("out"),
             date: dates::MAX_OCCUPATION,
@@ -182,17 +189,20 @@ fn default_io_faults() -> IoFaultPlan {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ukraine-ndt <report|export|resume|generate|map|topo|serve|loadgen> \
-         [--scale S] [--seed N] [--scenario historical|no-war|edge-only|core-only] \
+        "usage: ukraine-ndt <report|export|resume|generate|map|topo|serve|loadgen|scenario> \
+         [--scale S] [--seed N] [--scenario NAME] [--scenario-file PATH] \
          [--faults none|light|moderate|severe|sidecar-blackout] \
          [--out DIR] [--date YYYY-MM-DD] [--resume] \
          [--format csv|columnar] [--from-store DIR] [--engine vectorized|materialized] \
          [--io-faults none|flaky|torn|rot|chaos] \
          [--threads N] [--metrics PATH] [--quiet] [--verbose]\n\
+         scenarios: {} (or any name registered via --scenario-file)\n\
+         scenario: list | show NAME   # inspect the scenario registry\n\
          serve:   --store DIR [--addr HOST:PORT] [--workers N] [--queue N] \
          [--deadline-ms N] [--no-cache] [--shutdown SECS]\n\
          loadgen: --addr HOST:PORT [--clients N] [--requests N] \
-         [--stages a,b,c] [--deadline-ms N]"
+         [--stages a,b,c] [--deadline-ms N]",
+        Scenario::names().join("|")
     );
     ExitCode::FAILURE
 }
@@ -281,12 +291,35 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
                 opts.stages = stages;
             }
             "--scenario" => {
-                opts.scenario = match value.as_str() {
-                    "historical" => Scenario::Historical,
-                    "no-war" => Scenario::NoWar,
-                    "edge-only" => Scenario::EdgeDamageOnly,
-                    "core-only" => Scenario::CoreDamageOnly,
-                    _ => return None,
+                opts.scenario = match Scenario::by_name(value) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!(
+                            "error: unknown scenario '{value}'; registered scenarios: {}",
+                            Scenario::names().join(", ")
+                        );
+                        return None;
+                    }
+                }
+            }
+            "--scenario-file" => {
+                // Parse and register the spec immediately so a subsequent
+                // `--scenario NAME` (or a `base NAME` line in a second
+                // file) can refer to it; the file's own scenario becomes
+                // the selected one.
+                let text = match fs::read_to_string(value) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read scenario file {value}: {e}");
+                        return None;
+                    }
+                };
+                match parse_scenario_file(&text) {
+                    Ok(spec) => opts.scenario = Scenario::register(spec),
+                    Err(e) => {
+                        eprintln!("error: scenario file {value}: {e}");
+                        return None;
+                    }
                 }
             }
             _ => return None,
@@ -499,6 +532,72 @@ fn cmd_map(opts: &Options) {
     println!("{}", map.render());
 }
 
+/// `scenario list` / `scenario show NAME`: inspect the scenario
+/// registry. A preceding `--scenario-file` is honoured by `main`, so
+/// `scenario show` also works on file-defined scenarios.
+fn cmd_scenario(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<16} {:>6}  SUMMARY", "NAME", "EVENTS");
+            for s in Scenario::all() {
+                let spec = s.spec();
+                println!("{:<16} {:>6}  {}", spec.name, spec.timeline.len(), spec.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("show") => {
+            let Some(name) = args.get(1) else {
+                eprintln!("usage: ukraine-ndt scenario show NAME");
+                return ExitCode::FAILURE;
+            };
+            let Some(s) = Scenario::by_name(name) else {
+                eprintln!(
+                    "error: unknown scenario '{name}'; registered scenarios: {}",
+                    Scenario::names().join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            let spec = s.spec();
+            println!("scenario: {}", spec.name);
+            println!("summary:  {}", spec.summary);
+            println!(
+                "damage:   edge {} / core {} / displacement {} / attenuation {}",
+                spec.edge_damage, spec.core_damage, spec.displacement, spec.damage_attenuation
+            );
+            println!(
+                "rules:    {} transit, {} siege(s), {} outage(s), {} city curve(s), \
+                 {} spike(s), {} migration wave(s)",
+                spec.transit.len(),
+                spec.sieges.len(),
+                spec.outages.len(),
+                spec.curves.len(),
+                spec.spikes.len(),
+                spec.migrations.len()
+            );
+            if let Some(b) = &spec.second_country {
+                println!(
+                    "second country: {} (scenario {}, seed salt {:#018x}, scale x{})",
+                    b.name, b.scenario, b.seed_salt, b.scale_mult
+                );
+            }
+            println!("fingerprint: {:016x}", spec.fingerprint());
+            println!("timeline:");
+            if spec.timeline.is_empty() {
+                println!("  (no events)");
+            }
+            for ev in &spec.timeline {
+                let date = Date::from_day_index(ev.day);
+                println!("  day {:>4}  {date}  {}", ev.day, ev.label);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: ukraine-ndt scenario <list|show NAME>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `serve --store DIR`: load the store once, answer report-fragment
 /// requests over TCP until drained. Prints `SERVE_ADDR=<host:port>` on
 /// stdout once listening. Exits 0 on a clean drain, [`EXIT_PARTIAL`]
@@ -635,7 +734,7 @@ mod tests {
         let (cmd, o) = parse(&args(&["report"])).expect("parses");
         assert_eq!(cmd, "report");
         assert_eq!(o.scale, 0.15);
-        assert_eq!(o.scenario, Scenario::Historical);
+        assert_eq!(o.scenario, Scenario::HISTORICAL);
         assert!(o.faults.is_none());
         assert!(!o.resume);
         assert_eq!(o.threads, 0);
@@ -644,6 +743,34 @@ mod tests {
         assert_eq!(o.format, CorpusFormat::Csv);
         assert_eq!(o.from_store, None);
         assert!(o.io_faults.is_none());
+    }
+
+    #[test]
+    fn parses_registry_scenarios() {
+        for name in ["no-war", "asymmetric", "refugee-flow", "transit-reroute"] {
+            let (_, o) = parse(&args(&["report", "--scenario", name])).expect("parses");
+            assert_eq!(o.scenario.name(), name);
+        }
+    }
+
+    #[test]
+    fn scenario_file_registers_and_selects() {
+        let dir = std::env::temp_dir().join(format!("ndt-cli-scn-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("custom.scenario");
+        fs::write(&path, "scenario cli-custom\nbase no-war\nsummary cli test\n").unwrap();
+        let (_, o) = parse(&args(&["report", "--scenario-file", path.to_str().unwrap()]))
+            .expect("parses");
+        assert_eq!(o.scenario.name(), "cli-custom");
+        // The file's scenario is now registered and addressable by name.
+        let (_, o) = parse(&args(&["report", "--scenario", "cli-custom"])).expect("parses");
+        assert_eq!(o.scenario.name(), "cli-custom");
+        // A broken file fails the parse, with the error on stderr.
+        let bad = dir.join("bad.scenario");
+        fs::write(&bad, "set nonsense 1\n").unwrap();
+        assert!(parse(&args(&["report", "--scenario-file", bad.to_str().unwrap()])).is_none());
+        assert!(parse(&args(&["report", "--scenario-file", "/nonexistent/x"])).is_none());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -687,7 +814,7 @@ mod tests {
         assert_eq!(cmd, "export");
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.seed, 9);
-        assert_eq!(o.scenario, Scenario::EdgeDamageOnly);
+        assert_eq!(o.scenario, Scenario::EDGE_ONLY);
         assert_eq!(o.faults, FaultPlan::MODERATE);
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
         assert_eq!(o.date, Date::new(2022, 3, 10));
@@ -814,6 +941,41 @@ fn write_metrics(path: &std::path::Path) -> std::io::Result<()> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `scenario list` / `scenario show NAME` take a subcommand word, not
+    // flag pairs, so they are dispatched before the flag parser. Any
+    // `--scenario-file PATH` among the arguments is registered first so
+    // file-defined scenarios are inspectable too.
+    if args.first().map(String::as_str) == Some("scenario") {
+        let mut rest: Vec<String> = Vec::new();
+        let mut i = 1;
+        while i < args.len() {
+            if args[i] == "--scenario-file" {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                let parsed = fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read scenario file {path}: {e}"))
+                    .and_then(|text| {
+                        parse_scenario_file(&text)
+                            .map_err(|e| format!("scenario file {path}: {e}"))
+                    });
+                match parsed {
+                    Ok(spec) => {
+                        Scenario::register(spec);
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            } else {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+        return cmd_scenario(&rest);
+    }
     let Some((command, mut opts)) = parse(&args) else {
         return usage();
     };

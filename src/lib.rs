@@ -58,6 +58,7 @@ pub use ndt_geo as geo;
 pub use ndt_mlab as mlab;
 pub use ndt_obs as obs;
 pub use ndt_runner as runner;
+pub use ndt_scenario as scenario;
 pub use ndt_serve as serve;
 pub use ndt_stats as stats;
 pub use ndt_store as store;

@@ -21,22 +21,22 @@ fn run(scenario: Scenario) -> StudyData {
 
 fn historical() -> &'static StudyData {
     static D: OnceLock<StudyData> = OnceLock::new();
-    D.get_or_init(|| run(Scenario::Historical))
+    D.get_or_init(|| run(Scenario::HISTORICAL))
 }
 
 fn no_war() -> &'static StudyData {
     static D: OnceLock<StudyData> = OnceLock::new();
-    D.get_or_init(|| run(Scenario::NoWar))
+    D.get_or_init(|| run(Scenario::NO_WAR))
 }
 
 fn edge_only() -> &'static StudyData {
     static D: OnceLock<StudyData> = OnceLock::new();
-    D.get_or_init(|| run(Scenario::EdgeDamageOnly))
+    D.get_or_init(|| run(Scenario::EDGE_ONLY))
 }
 
 fn core_only() -> &'static StudyData {
     static D: OnceLock<StudyData> = OnceLock::new();
-    D.get_or_init(|| run(Scenario::CoreDamageOnly))
+    D.get_or_init(|| run(Scenario::CORE_ONLY))
 }
 
 fn national_loss_ratio(data: &StudyData) -> f64 {
